@@ -1,0 +1,83 @@
+// Command kanon-bench regenerates the reproduction experiments E1–E10
+// (the tables recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	kanon-bench            # run everything at full scale
+//	kanon-bench -quick     # shrunken corpora, finishes in seconds
+//	kanon-bench -run E4,E5 # selected experiments only
+//	kanon-bench -list      # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kanon/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "kanon-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("kanon-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "shrink corpora for a fast smoke run")
+	seed := fs.Int64("seed", 0, "corpus seed (0 = the EXPERIMENTS.md default)")
+	runIDs := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	format := fs.String("format", "text", "table format: text or md (markdown)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	render := (*harness.Table).Render
+	switch *format {
+	case "text":
+	case "md":
+		render = (*harness.Table).RenderMarkdown
+	default:
+		return fmt.Errorf("unknown format %q (want text or md)", *format)
+	}
+
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	ids := *runIDs
+	if ids == "" {
+		all := make([]string, 0, len(harness.All()))
+		for _, e := range harness.All() {
+			all = append(all, e.ID)
+		}
+		ids = strings.Join(all, ",")
+	}
+	for _, id := range strings.Split(ids, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := harness.Find(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			if err := render(t, stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, _, err := runBench(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E4", "E10"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	out, _, err := runBench(t, "-quick", "-run", "E7,E9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E7") || !strings.Contains(out, "E9") {
+		t.Errorf("selected run output missing tables:\n%s", out)
+	}
+	if strings.Contains(out, "== E1") {
+		t.Error("ran E1 despite -run E7,E9")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, _, err := runBench(t, "-run", "E99"); err == nil {
+		t.Error("accepted unknown experiment ID")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, _, err := runBench(t, "-nope"); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite in -short mode")
+	}
+	out, _, err := runBench(t, "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 14; i++ {
+		id := "== E" + itoa(i)
+		if !strings.Contains(out, id) {
+			t.Errorf("full run missing %s", id)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return "1" + string(rune('0'+n-10))
+}
+
+func TestMarkdownFormat(t *testing.T) {
+	out, _, err := runBench(t, "-quick", "-run", "E9", "-format", "md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "### E9:") || !strings.Contains(out, "| --- |") {
+		t.Errorf("markdown output malformed:\n%s", out)
+	}
+	if _, _, err := runBench(t, "-format", "bogus", "-run", "E9"); err == nil {
+		t.Error("accepted unknown format")
+	}
+}

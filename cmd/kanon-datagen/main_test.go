@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runGen(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+func TestAllWorkloads(t *testing.T) {
+	for _, w := range []string{"uniform", "zipf", "planted", "census"} {
+		out, err := runGen(t, "-workload", w, "-n", "20", "-m", "4")
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 21 {
+			t.Errorf("%s: %d lines, want 21", w, len(lines))
+		}
+		if fields := strings.Split(lines[0], ","); len(fields) != 4 {
+			t.Errorf("%s: header %q", w, lines[0])
+		}
+	}
+}
+
+func TestSunflower(t *testing.T) {
+	out, err := runGen(t, "-workload", "sunflower", "-petals", "3", "-width", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + center + 3 petals
+		t.Errorf("%d lines, want 5", len(lines))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := runGen(t, "-workload", "census", "-n", "15", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runGen(t, "-workload", "census", "-n", "15", "-seed", "9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := runGen(t, "-workload", "bogus"); err == nil {
+		t.Error("accepted unknown workload")
+	}
+	if _, err := runGen(t, "-n", "0"); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := runGen(t, "-badflag"); err == nil {
+		t.Error("accepted unknown flag")
+	}
+}
+
+// TestPipelineIntoAnonymizer: datagen output must be valid kanon input
+// (integration through the CSV contract).
+func TestPipelineIntoAnonymizer(t *testing.T) {
+	out, err := runGen(t, "-workload", "zipf", "-n", "30", "-m", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ",") || strings.Contains(out, "*") {
+		t.Errorf("unexpected datagen output: %q", out[:50])
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// readCSV parses a header + rows table from CSV.
+func readCSV(r io.Reader) (header []string, rows [][]string, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err = cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading CSV header: %w", err)
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, nil, fmt.Errorf("CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		rows = append(rows, rec)
+	}
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("no data rows")
+	}
+	return header, rows, nil
+}
+
+// writeCSV renders a header + rows table as CSV.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,195 @@
+// Command kanon k-anonymizes a CSV table by entry suppression.
+//
+// Usage:
+//
+//	kanon -k 3 [-algo ball] [-in table.csv] [-out anon.csv] [-stats]
+//
+// The input's first record is the header. The output is the same table
+// with suppressed entries replaced by "*"; -stats prints the objective
+// value and group structure to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"kanon"
+	"kanon/internal/core"
+	"kanon/internal/quality"
+	"kanon/internal/relation"
+	"kanon/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "kanon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("kanon", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	k := fs.Int("k", 3, "anonymity parameter: every released row is identical to ≥ k−1 others")
+	algoName := fs.String("algo", "ball", "algorithm: ball, exhaustive, pattern, exact, kmember, mondrian, sorted, random")
+	inPath := fs.String("in", "", "input CSV path (default stdin)")
+	outPath := fs.String("out", "", "output CSV path (default stdout)")
+	stats := fs.Bool("stats", false, "print cost and group sizes to stderr")
+	seed := fs.Int64("seed", 1, "shuffle seed for -algo random")
+	refine := fs.Bool("refine", false, "post-optimize with cost-direct local search (never worse)")
+	verify := fs.Bool("verify", false, "verify the input is already k-anonymous instead of anonymizing; exit 1 if not")
+	block := fs.Int("block", 0, "stream in blocks of this many rows (bounded memory; 0 = whole table at once)")
+	weightsArg := fs.String("weights", "", "comma-separated per-column suppression weights, e.g. 3,1,1,5 (ball and exact only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alg, err := kanon.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+
+	in := stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	header, rows, err := readCSV(in)
+	if err != nil {
+		return err
+	}
+
+	if *verify {
+		ok, err := kanon.Verify(header, rows, *k)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("input is NOT %d-anonymous", *k)
+		}
+		fmt.Fprintf(stderr, "input is %d-anonymous (%d suppressed entries)\n", *k, kanon.Cost(rows))
+		return nil
+	}
+
+	weights, err := parseWeights(*weightsArg, len(header))
+	if err != nil {
+		return err
+	}
+
+	var res *kanon.Result
+	if *block > 0 {
+		res, err = streamAnonymize(header, rows, *k, *block, *refine)
+	} else {
+		res, err = kanon.Anonymize(header, rows, *k, &kanon.Options{
+			Algorithm: alg, Seed: *seed, Refine: *refine, ColumnWeights: weights,
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := writeCSV(out, res.Header, res.Rows); err != nil {
+		return err
+	}
+
+	if *stats {
+		rep, err := measureQuality(header, res.Rows, *k)
+		if err != nil {
+			return err
+		}
+		cells := len(rows) * len(header)
+		fmt.Fprintf(stderr, "algorithm: %s\n", alg)
+		fmt.Fprintf(stderr, "rows: %d, columns: %d\n", len(rows), len(header))
+		fmt.Fprintf(stderr, "suppressed entries: %d of %d (%.1f%%)\n",
+			res.Cost, cells, 100*float64(res.Cost)/float64(cells))
+		fmt.Fprintf(stderr, "k-groups: %d (min size %d, discernibility %d, C_avg %.2f)\n",
+			rep.Groups, rep.MinGroup, rep.Discernibility, rep.CAvg)
+		fmt.Fprint(stderr, "stars per column:")
+		for j, n := range rep.StarsPerColumn {
+			fmt.Fprintf(stderr, " %s=%d", header[j], n)
+		}
+		fmt.Fprintln(stderr)
+		if b := kanon.Bound(alg, *k, len(header)); b > 0 {
+			fmt.Fprintf(stderr, "proven approximation bound: %.1f×\n", b)
+		}
+	}
+	return nil
+}
+
+// parseWeights parses the -weights flag into one integer per column.
+func parseWeights(arg string, m int) ([]int, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	parts := strings.Split(arg, ",")
+	if len(parts) != m {
+		return nil, fmt.Errorf("-weights has %d entries for %d columns", len(parts), m)
+	}
+	out := make([]int, m)
+	for j, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-weights entry %d: %q is not a nonnegative integer", j, p)
+		}
+		out[j] = w
+	}
+	return out, nil
+}
+
+// streamAnonymize runs the bounded-memory block pipeline and adapts its
+// output to the facade's Result shape; groups are recovered from the
+// released table's textual equivalence classes.
+func streamAnonymize(header []string, rows [][]string, k, block int, doRefine bool) (*kanon.Result, error) {
+	t := relation.NewTable(relation.NewSchema(header...))
+	for _, r := range rows {
+		if err := t.AppendStrings(r...); err != nil {
+			return nil, err
+		}
+	}
+	sr, err := stream.Anonymize(t, k, &stream.Options{BlockRows: block, Refine: doRefine})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, sr.Anonymized.Len())
+	for i := range out {
+		out[i] = sr.Anonymized.Strings(i)
+	}
+	groups := core.FromAnonymized(sr.Anonymized)
+	groups.Normalize()
+	return &kanon.Result{
+		K:      k,
+		Header: append([]string(nil), header...),
+		Rows:   out,
+		Groups: groups.Groups,
+		Cost:   sr.Cost,
+	}, nil
+}
+
+// measureQuality builds a relation table from the anonymized rows and
+// runs the quality metrics over it.
+func measureQuality(header []string, rows [][]string, k int) (*quality.Report, error) {
+	t := relation.NewTable(relation.NewSchema(header...))
+	for _, r := range rows {
+		if err := t.AppendStrings(r...); err != nil {
+			return nil, err
+		}
+	}
+	return quality.Measure(t, k)
+}

@@ -1,0 +1,56 @@
+// Census: anonymize a census-like microdata extract with every
+// algorithm in the library and print the cost/latency frontier — the
+// deployment decision the paper's §4.3 "fast in practice" remark is
+// about.
+//
+//	go run ./examples/census [-n 500] [-k 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"kanon"
+	"kanon/internal/dataset"
+	"kanon/internal/exact"
+)
+
+func main() {
+	n := flag.Int("n", 500, "rows")
+	k := flag.Int("k", 5, "anonymity parameter (the paper cites k ≈ 5-6 in practice)")
+	seed := flag.Int64("seed", 7, "workload seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	tab := dataset.Census(rng, *n, 8)
+	header := tab.Schema().Names()
+	rows := make([][]string, tab.Len())
+	for i := range rows {
+		rows[i] = tab.Strings(i)
+	}
+	fmt.Printf("census-like microdata: %d rows × %d quasi-identifiers, k = %d\n", *n, len(header), *k)
+	fmt.Printf("sample row: %v\n\n", rows[0])
+
+	lb := exact.LowerBoundNN(tab, *k)
+	fmt.Printf("%-22s %10s %12s %10s\n", "algorithm", "stars", "vs NN-bound", "time")
+	for _, alg := range []kanon.Algorithm{
+		kanon.AlgoGreedyBall, kanon.AlgoKMember, kanon.AlgoMondrian,
+		kanon.AlgoSorted, kanon.AlgoRandom, kanon.AlgoPattern,
+	} {
+		start := time.Now()
+		res, err := kanon.Anonymize(header, rows, *k, &kanon.Options{Algorithm: alg})
+		if err != nil {
+			log.Fatalf("%v: %v", alg, err)
+		}
+		elapsed := time.Since(start)
+		vs := "-"
+		if lb > 0 {
+			vs = fmt.Sprintf("%.2f×", float64(res.Cost)/float64(lb))
+		}
+		fmt.Printf("%-22s %10d %12s %10s\n", alg.String(), res.Cost, vs, elapsed.Round(time.Millisecond))
+	}
+	fmt.Printf("\nNN lower bound on OPT: %d stars (no algorithm can beat this)\n", lb)
+}

@@ -1,0 +1,109 @@
+// Lattice: full-domain generalization — the original Samarati/Sweeney
+// k-anonymity mechanism ([10] in the paper) that the paper's cell-level
+// suppression model refines. Every value of a column is generalized to
+// the same hierarchy level; the search finds the minimal-height lattice
+// node that is k-anonymous, optionally dropping a few outlier rows.
+//
+//	go run ./examples/lattice
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kanon/internal/generalize"
+	"kanon/internal/lattice"
+	"kanon/internal/relation"
+)
+
+func main() {
+	tab := relation.NewTable(relation.NewSchema("zip", "age", "sex"))
+	for _, r := range [][]string{
+		{"15213", "34", "M"},
+		{"15217", "36", "M"},
+		{"15213", "38", "F"},
+		{"15217", "31", "F"},
+		{"15301", "52", "M"},
+		{"15301", "57", "F"},
+		{"15305", "55", "M"},
+		{"15305", "59", "F"},
+		{"90210", "23", "F"}, // a geographic outlier
+	} {
+		if err := tab.AppendStrings(r...); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	zip := generalize.NewHierarchy("*")
+	for _, p := range []string{"152**", "153**", "902**"} {
+		zip.MustAdd(p, "*")
+	}
+	zip.MustAdd("15213", "152**")
+	zip.MustAdd("15217", "152**")
+	zip.MustAdd("15301", "153**")
+	zip.MustAdd("15305", "153**")
+	zip.MustAdd("90210", "902**")
+	age := generalize.NewHierarchy("*")
+	for _, b := range []string{"20-39", "40-59"} {
+		age.MustAdd(b, "*")
+	}
+	for _, a := range []string{"23", "31", "34", "36", "38"} {
+		age.MustAdd(a, "20-39")
+	}
+	for _, a := range []string{"52", "55", "57", "59"} {
+		age.MustAdd(a, "40-59")
+	}
+	scheme := generalize.Scheme{zip, age, generalize.Suppression()}
+
+	fmt.Println("input:")
+	printRows(tab.Schema().Names(), allRows(tab))
+
+	for _, maxSup := range []int{0, 1} {
+		node, minimal, err := lattice.Search(tab, scheme, 2, maxSup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nk = 2, outlier budget %d → minimal height %d, levels %v (of %d minimal nodes)\n",
+			maxSup, node.Height, node.Levels, len(minimal))
+		if len(node.Suppressed) > 0 {
+			fmt.Printf("rows dropped as outliers: %v\n", node.Suppressed)
+		}
+		printRows(tab.Schema().Names(), node.Rows)
+	}
+	fmt.Println("\n(with one row of suppression budget the 90210 outlier is dropped")
+	fmt.Println(" instead of dragging every zip code and age to the root)")
+}
+
+func allRows(t *relation.Table) [][]string {
+	out := make([][]string, t.Len())
+	for i := range out {
+		out[i] = t.Strings(i)
+	}
+	return out
+}
+
+func printRows(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for j, h := range header {
+		widths[j] = len(h)
+	}
+	for _, r := range rows {
+		for j, c := range r {
+			if len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for j, c := range cells {
+			parts[j] = c + strings.Repeat(" ", widths[j]-len(c))
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}

@@ -1,0 +1,100 @@
+package kanon
+
+// Fuzz targets for the robustness surface: arbitrary string tables
+// through the facade, and arbitrary k. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzAnonymize .` explores further.
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAnonymize feeds an arbitrary flattened table through Anonymize
+// and checks the invariants that must survive any input: either an
+// error, or a Verify-passing release whose cost matches its stars and
+// whose non-starred cells equal the input.
+func FuzzAnonymize(f *testing.F) {
+	f.Add("a|b\nx|y\nx|z\nw|y", uint8(2), uint8(0))
+	f.Add("c\n1\n1\n1", uint8(3), uint8(1))
+	f.Add("a|b|c\n*|2|3\n*|2|4\n5|2|3", uint8(2), uint8(2))
+	f.Add("h\n\n", uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, flat string, k uint8, algoPick uint8) {
+		header, rows, ok := parseFlat(flat)
+		if !ok {
+			return
+		}
+		algos := []Algorithm{AlgoGreedyBall, AlgoPattern, AlgoSorted, AlgoRandom}
+		alg := algos[int(algoPick)%len(algos)]
+		kk := int(k%8) + 1
+		if len(rows) > 64 || len(header) > 12 {
+			return // keep the fuzz loop fast
+		}
+		res, err := Anonymize(header, rows, kk, &Options{Algorithm: alg})
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		okAnon, verr := Verify(res.Header, res.Rows, kk)
+		if verr != nil || !okAnon {
+			t.Fatalf("accepted input produced non-%d-anonymous output (verr=%v)", kk, verr)
+		}
+		if Cost(res.Rows) != res.Cost+Cost(rows) {
+			t.Fatalf("stars out %d != new cost %d + stars in %d", Cost(res.Rows), res.Cost, Cost(rows))
+		}
+		for i, r := range res.Rows {
+			for j, c := range r {
+				if c != Star && c != rows[i][j] {
+					t.Fatalf("cell (%d,%d) rewritten %q → %q", i, j, rows[i][j], c)
+				}
+			}
+		}
+	})
+}
+
+// FuzzVerifyCost checks that Verify and Cost never panic and stay
+// consistent on arbitrary tables: a table Verify accepts for k must
+// also verify for every smaller k.
+func FuzzVerifyCost(f *testing.F) {
+	f.Add("a|b\n*|y\n*|y", uint8(2))
+	f.Add("x\np\nq", uint8(1))
+	f.Fuzz(func(t *testing.T, flat string, k uint8) {
+		header, rows, ok := parseFlat(flat)
+		if !ok {
+			return
+		}
+		kk := int(k%6) + 1
+		anon, err := Verify(header, rows, kk)
+		if err != nil {
+			return
+		}
+		if anon {
+			for smaller := 1; smaller < kk; smaller++ {
+				less, err := Verify(header, rows, smaller)
+				if err != nil || !less {
+					t.Fatalf("%d-anonymous table failed Verify(%d)", kk, smaller)
+				}
+			}
+		}
+		if Cost(rows) < 0 {
+			t.Fatal("negative cost")
+		}
+	})
+}
+
+// parseFlat decodes "h1|h2\nv1|v2\n…" into a rectangular table; returns
+// ok=false for shapes the fuzz target should skip rather than feed in.
+func parseFlat(flat string) ([]string, [][]string, bool) {
+	lines := strings.Split(flat, "\n")
+	if len(lines) < 2 {
+		return nil, nil, false
+	}
+	header := strings.Split(lines[0], "|")
+	var rows [][]string
+	for _, l := range lines[1:] {
+		r := strings.Split(l, "|")
+		if len(r) != len(header) {
+			return nil, nil, false
+		}
+		rows = append(rows, r)
+	}
+	return header, rows, true
+}

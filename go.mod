@@ -1,0 +1,3 @@
+module kanon
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package algo assembles the paper's two headline approximation
+// algorithms end-to-end (§4.2.4's summary):
+//
+//  1. Π := Cover(V, family)        — Phase 1, greedy set cover
+//  2. Π := Reduce(Π) until stable  — Phase 2, cover → partition
+//  3. Suppress each S ∈ Π to uniformity.
+//
+// GreedyExhaustive runs Phase 1 over the collection C of all subsets
+// with cardinality in [k, 2k−1] (Theorem 4.1, 3k(1+ln k)-approximation,
+// O(|V|^{2k}) time). GreedyBall runs it over the ball collection D of
+// §4.3 (Theorem 4.2, 6k(1+ln m)-approximation, strongly polynomial).
+package algo
+
+import (
+	"fmt"
+	"time"
+
+	"kanon/internal/core"
+	"kanon/internal/cover"
+	"kanon/internal/metric"
+	"kanon/internal/relation"
+)
+
+// Options tunes the algorithms; the zero value reproduces the paper.
+type Options struct {
+	// SplitSorted selects the similarity-aware oversize-group split
+	// instead of the paper's arbitrary split (ablation E10).
+	SplitSorted bool
+	// TrueDiameterWeights makes the ball family weight sets by exact
+	// diameter instead of the 2·radius bound (ablation E10). Ignored by
+	// GreedyExhaustive, which always uses exact diameters.
+	TrueDiameterWeights bool
+	// MaterializeBalls forces GreedyBall through the explicit family
+	// constructor instead of the scalable implicit one; used by tests
+	// and ablations. Implied by TrueDiameterWeights.
+	MaterializeBalls bool
+	// MaxExhaustiveSets caps the enumerated family size of
+	// GreedyExhaustive (0 means the cover package default).
+	MaxExhaustiveSets int
+}
+
+// Stats records instrumentation for the experiments.
+type Stats struct {
+	FamilySize   int           // candidate sets enumerated (0 if implicit)
+	CoverSets    int           // sets chosen by Phase 1
+	CoverWeight  int           // Σ weights of chosen sets
+	DiameterSum  int           // Σ true diameters of final partition
+	PhaseCover   time.Duration // Phase 1 wall time
+	PhaseReduce  time.Duration // Phase 2 wall time
+	PhaseSupress time.Duration // Step 3 wall time
+}
+
+// Result is an anonymization outcome: the partition, the induced
+// suppressor, the anonymized table, and the star count.
+type Result struct {
+	K          int
+	Partition  *core.Partition
+	Suppressor *core.Suppressor
+	Anonymized *relation.Table
+	Cost       int
+	// WeightedCost is the column-weighted objective; set only by the
+	// *Weighted entry points (zero otherwise).
+	WeightedCost int
+	Stats        Stats
+}
+
+// GreedyExhaustive is the algorithm of Theorem 4.1.
+func GreedyExhaustive(t *relation.Table, k int, opt *Options) (*Result, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	if err := checkInstance(t, k); err != nil {
+		return nil, err
+	}
+	if r, done := trivialResult(t, k); done {
+		return r, nil
+	}
+	mat := metric.NewMatrix(t)
+	var st Stats
+
+	start := time.Now()
+	family, err := cover.Exhaustive(mat, k, opt.MaxExhaustiveSets)
+	if err != nil {
+		return nil, fmt.Errorf("algo: building exhaustive family: %w", err)
+	}
+	st.FamilySize = len(family)
+	chosen, err := cover.Greedy(t.Len(), family)
+	if err != nil {
+		return nil, fmt.Errorf("algo: greedy cover: %w", err)
+	}
+	st.PhaseCover = time.Since(start)
+
+	return finish(t, mat, k, chosen, opt, st)
+}
+
+// GreedyBall is the algorithm of Theorem 4.2.
+func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
+	if opt == nil {
+		opt = &Options{}
+	}
+	if err := checkInstance(t, k); err != nil {
+		return nil, err
+	}
+	if r, done := trivialResult(t, k); done {
+		return r, nil
+	}
+	mat := metric.NewMatrix(t)
+	var st Stats
+
+	start := time.Now()
+	var chosen []cover.Set
+	var err error
+	if opt.MaterializeBalls || opt.TrueDiameterWeights {
+		w := cover.WeightRadiusBound
+		if opt.TrueDiameterWeights {
+			w = cover.WeightTrueDiameter
+		}
+		var family []cover.Set
+		family, err = cover.Balls(mat, k, w)
+		if err == nil {
+			st.FamilySize = len(family)
+			chosen, err = cover.Greedy(t.Len(), family)
+		}
+	} else {
+		chosen, err = cover.GreedyBalls(mat, k)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("algo: greedy ball cover: %w", err)
+	}
+	st.PhaseCover = time.Since(start)
+
+	return finish(t, mat, k, chosen, opt, st)
+}
+
+// finish runs Phase 2 and the suppression step shared by both
+// algorithms.
+func finish(t *relation.Table, mat *metric.Matrix, k int, chosen []cover.Set, opt *Options, st Stats) (*Result, error) {
+	st.CoverSets = len(chosen)
+	st.CoverWeight = cover.WeightSum(chosen)
+
+	start := time.Now()
+	p, err := cover.Reduce(t.Len(), chosen, k)
+	if err != nil {
+		return nil, fmt.Errorf("algo: reduce: %w", err)
+	}
+	if opt.SplitSorted {
+		p.SplitOversizeSorted(k, mat)
+	} else {
+		p.SplitOversize(k)
+	}
+	if err := p.Validate(t.Len(), k, 2*k-1); err != nil {
+		return nil, fmt.Errorf("algo: internal: invalid partition after reduce: %w", err)
+	}
+	st.PhaseReduce = time.Since(start)
+	st.DiameterSum = p.DiameterSum(mat)
+
+	start = time.Now()
+	sup := p.Suppressor(t)
+	anon := sup.Apply(t)
+	st.PhaseSupress = time.Since(start)
+
+	if !anon.IsKAnonymous(k) {
+		return nil, fmt.Errorf("algo: internal: output is not %d-anonymous", k)
+	}
+	return &Result{
+		K:          k,
+		Partition:  p,
+		Suppressor: sup,
+		Anonymized: anon,
+		Cost:       sup.Stars(),
+		Stats:      st,
+	}, nil
+}
+
+// checkInstance validates the (t, k) input shared by all algorithms.
+func checkInstance(t *relation.Table, k int) error {
+	if k < 1 {
+		return fmt.Errorf("algo: k = %d < 1", k)
+	}
+	if t.Len() == 0 {
+		return fmt.Errorf("algo: empty table")
+	}
+	if t.Len() < k {
+		return fmt.Errorf("algo: table has %d rows, fewer than k = %d", t.Len(), k)
+	}
+	return nil
+}
+
+// trivialResult handles k = 1, where the identity suppressor is optimal
+// (every row is its own group).
+func trivialResult(t *relation.Table, k int) (*Result, bool) {
+	if k != 1 {
+		return nil, false
+	}
+	p := &core.Partition{}
+	for i := 0; i < t.Len(); i++ {
+		p.Groups = append(p.Groups, []int{i})
+	}
+	sup := core.NewSuppressor(t.Len(), t.Degree())
+	return &Result{
+		K:          1,
+		Partition:  p,
+		Suppressor: sup,
+		Anonymized: sup.Apply(t),
+		Cost:       0,
+	}, true
+}

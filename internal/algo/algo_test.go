@@ -1,0 +1,286 @@
+package algo
+
+import (
+	"math/rand"
+	"testing"
+
+	"kanon/internal/core"
+	"kanon/internal/dataset"
+	"kanon/internal/exact"
+	"kanon/internal/relation"
+)
+
+type runner func(t *relation.Table, k int, opt *Options) (*Result, error)
+
+var runners = map[string]runner{
+	"exhaustive": GreedyExhaustive,
+	"ball":       GreedyBall,
+}
+
+func checkResult(t *testing.T, tab *relation.Table, k int, r *Result) {
+	t.Helper()
+	if err := r.Partition.Validate(tab.Len(), k, 2*k-1); err != nil {
+		t.Fatalf("partition invalid: %v", err)
+	}
+	if !r.Anonymized.IsKAnonymous(k) {
+		t.Fatal("output not k-anonymous")
+	}
+	if r.Anonymized.TotalStars() != r.Cost {
+		t.Fatalf("cost %d != stars in table %d", r.Cost, r.Anonymized.TotalStars())
+	}
+	if r.Suppressor.Stars() != r.Cost {
+		t.Fatalf("cost %d != suppressor stars %d", r.Cost, r.Suppressor.Stars())
+	}
+	// Non-starred entries must match the original (suppressors never
+	// rewrite values).
+	for i := 0; i < tab.Len(); i++ {
+		orig, anon := tab.Row(i), r.Anonymized.Row(i)
+		for j := range orig {
+			if anon[j] != relation.Star && anon[j] != orig[j] {
+				t.Fatalf("entry (%d,%d) rewritten from %d to %d", i, j, orig[j], anon[j])
+			}
+		}
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// §4's worked example: V = {1010, 1110, 0110}, k = 3. The only
+	// (3,5)-partition is the single 3-group with diameter 2, cost 6.
+	tab := relation.MustFromBitstrings("1010", "1110", "0110")
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			r, err := run(tab, 3, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkResult(t, tab, 3, r)
+			if r.Cost != 6 {
+				t.Errorf("cost = %d, want 6", r.Cost)
+			}
+			// Suffixes b3b4 survive: every anonymized row ends "10".
+			for i := 0; i < 3; i++ {
+				s := r.Anonymized.Strings(i)
+				if s[2] != "1" || s[3] != "0" {
+					t.Errorf("row %d = %v, want suffix 1,0 kept", i, s)
+				}
+			}
+		})
+	}
+}
+
+func TestAlreadyAnonymousCostsZero(t *testing.T) {
+	tab := dataset.Planted(rand.New(rand.NewSource(1)), 20, 6, 3, 4, 0)
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			r, err := run(tab, 4, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkResult(t, tab, 4, r)
+			if r.Cost != 0 {
+				t.Errorf("cost = %d on an already 4-anonymous table, want 0", r.Cost)
+			}
+		})
+	}
+}
+
+func TestKOne(t *testing.T) {
+	tab := dataset.Uniform(rand.New(rand.NewSource(2)), 8, 4, 3)
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			r, err := run(tab, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Cost != 0 {
+				t.Errorf("k=1 cost = %d, want 0", r.Cost)
+			}
+			if len(r.Partition.Groups) != 8 {
+				t.Errorf("k=1 groups = %d, want 8 singletons", len(r.Partition.Groups))
+			}
+		})
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	tab := dataset.Uniform(rand.New(rand.NewSource(3)), 3, 2, 2)
+	empty := relation.NewTable(relation.NewSchema("a"))
+	for name, run := range runners {
+		t.Run(name, func(t *testing.T) {
+			if _, err := run(tab, 0, nil); err == nil {
+				t.Error("accepted k=0")
+			}
+			if _, err := run(tab, 4, nil); err == nil {
+				t.Error("accepted n < k")
+			}
+			if _, err := run(empty, 2, nil); err == nil {
+				t.Error("accepted empty table")
+			}
+		})
+	}
+}
+
+func TestExhaustiveFamilyCap(t *testing.T) {
+	tab := dataset.Uniform(rand.New(rand.NewSource(4)), 40, 4, 2)
+	if _, err := GreedyExhaustive(tab, 3, &Options{MaxExhaustiveSets: 500}); err == nil {
+		t.Error("GreedyExhaustive ignored the family cap")
+	}
+}
+
+// TestApproximationRatios measures both algorithms against exact OPT on
+// random instances and asserts the paper's guarantees (and that the
+// measured ratios are far better in practice — the E1/E2 shape).
+func TestApproximationRatios(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	type gen func() *relation.Table
+	gens := map[string]gen{
+		"uniform": func() *relation.Table { return dataset.Uniform(rng, 9+rng.Intn(5), 4+rng.Intn(4), 3) },
+		"planted": func() *relation.Table { return dataset.Planted(rng, 9+rng.Intn(5), 6, 3, 3, 2) },
+	}
+	for gname, g := range gens {
+		for _, k := range []int{2, 3} {
+			worst := map[string]float64{"exhaustive": 1, "ball": 1}
+			for trial := 0; trial < 8; trial++ {
+				tab := g()
+				opt, err := exact.OPT(tab, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for name, run := range runners {
+					r, err := run(tab, k, nil)
+					if err != nil {
+						t.Fatalf("%s/%s k=%d: %v", gname, name, k, err)
+					}
+					checkResult(t, tab, k, r)
+					if r.Cost < opt {
+						t.Fatalf("%s/%s: cost %d below OPT %d — exact solver or algorithm broken", gname, name, r.Cost, opt)
+					}
+					ratio := exact.Ratio(r.Cost, opt)
+					if ratio > worst[name] {
+						worst[name] = ratio
+					}
+				}
+			}
+			bounds := map[string]float64{
+				"exhaustive": core.Theorem41SafeBound(k),
+				"ball":       core.Theorem42SafeBound(k, 14),
+			}
+			for name, w := range worst {
+				if w > bounds[name] {
+					t.Errorf("%s/%s k=%d: worst ratio %.3f exceeds bound %.3f", gname, name, k, w, bounds[name])
+				}
+				// Practical shape: greedy is typically within 3× of OPT
+				// on these instances.
+				if w > 3.5 {
+					t.Errorf("%s/%s k=%d: worst ratio %.3f unexpectedly poor", gname, name, k, w)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	tab := dataset.Uniform(rand.New(rand.NewSource(7)), 12, 5, 3)
+	r, err := GreedyExhaustive(tab, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.FamilySize == 0 || r.Stats.CoverSets == 0 {
+		t.Errorf("stats not populated: %+v", r.Stats)
+	}
+	rb, err := GreedyBall(tab, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Stats.FamilySize != 0 {
+		t.Errorf("implicit ball run should report FamilySize 0, got %d", rb.Stats.FamilySize)
+	}
+	if rb.Stats.CoverSets == 0 {
+		t.Error("ball stats missing cover sets")
+	}
+}
+
+func TestOptionVariantsStillValid(t *testing.T) {
+	tab := dataset.Zipf(rand.New(rand.NewSource(8)), 30, 6, 5, 1.6)
+	opts := []*Options{
+		{SplitSorted: true},
+		{TrueDiameterWeights: true},
+		{MaterializeBalls: true},
+		{SplitSorted: true, TrueDiameterWeights: true},
+	}
+	for i, o := range opts {
+		r, err := GreedyBall(tab, 3, o)
+		if err != nil {
+			t.Fatalf("option set %d: %v", i, err)
+		}
+		checkResult(t, tab, 3, r)
+	}
+}
+
+// TestTrueDiameterNeverWorseOnAverage: with exact diameters the greedy
+// has strictly better information; check it is not systematically worse
+// across a fixed corpus (allowing individual instances to flip).
+func TestTrueDiameterWeightsComparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sumBound, sumTrue := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		tab := dataset.Uniform(rng, 20, 6, 3)
+		a, err := GreedyBall(tab, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GreedyBall(tab, 3, &Options{TrueDiameterWeights: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumBound += a.Cost
+		sumTrue += b.Cost
+	}
+	if sumTrue > sumBound*3/2 {
+		t.Errorf("true-diameter weights much worse in aggregate: %d vs %d", sumTrue, sumBound)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	tab := dataset.Census(rand.New(rand.NewSource(10)), 40, 6)
+	a, err := GreedyBall(tab, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyBall(tab, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("same input, different costs %d vs %d", a.Cost, b.Cost)
+	}
+	a.Partition.Normalize()
+	b.Partition.Normalize()
+	if len(a.Partition.Groups) != len(b.Partition.Groups) {
+		t.Fatal("same input, different partitions")
+	}
+}
+
+// TestExhaustiveBeatsBallTypically: on small instances the richer
+// family should never lose by much; the E10 ablation quantifies this.
+func TestExhaustiveVsBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	worse := 0
+	for trial := 0; trial < 10; trial++ {
+		tab := dataset.Uniform(rng, 12, 5, 2)
+		e, err := GreedyExhaustive(tab, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GreedyBall(tab, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Cost > b.Cost {
+			worse++
+		}
+	}
+	if worse > 5 {
+		t.Errorf("exhaustive family lost to ball family on %d/10 instances", worse)
+	}
+}

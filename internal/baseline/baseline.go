@@ -1,0 +1,322 @@
+// Package baseline implements the comparison heuristics for experiment
+// E8: the practical algorithms a deployment of suppression k-anonymity
+// would otherwise reach for. None carries an approximation guarantee
+// (random and sorted chunking can be arbitrarily bad); their role is to
+// calibrate the paper's greedy algorithms on realistic workloads.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kanon/internal/core"
+	"kanon/internal/metric"
+	"kanon/internal/relation"
+)
+
+// Result mirrors algo.Result for the baselines: partition, suppressor,
+// anonymized table and star count.
+type Result struct {
+	K          int
+	Partition  *core.Partition
+	Suppressor *core.Suppressor
+	Anonymized *relation.Table
+	Cost       int
+}
+
+// finish materializes a Result from a partition, validating k-anonymity.
+func finish(t *relation.Table, k int, p *core.Partition) (*Result, error) {
+	if err := p.Validate(t.Len(), k, 0); err != nil {
+		return nil, fmt.Errorf("baseline: internal: %w", err)
+	}
+	sup := p.Suppressor(t)
+	anon := sup.Apply(t)
+	if !anon.IsKAnonymous(k) {
+		return nil, fmt.Errorf("baseline: internal: output not %d-anonymous", k)
+	}
+	return &Result{K: k, Partition: p, Suppressor: sup, Anonymized: anon, Cost: sup.Stars()}, nil
+}
+
+func checkInstance(t *relation.Table, k int) error {
+	if k < 1 {
+		return fmt.Errorf("baseline: k = %d < 1", k)
+	}
+	if t.Len() < k {
+		return fmt.Errorf("baseline: table has %d rows, fewer than k = %d", t.Len(), k)
+	}
+	return nil
+}
+
+// SortedChunks sorts rows lexicographically and groups consecutive runs
+// of k (the last group absorbs the remainder). Fast — O(n log n · m) —
+// and surprisingly strong on data whose prefix columns carry most
+// identity, which is why it is the standard strawman.
+func SortedChunks(t *relation.Table, k int) (*Result, error) {
+	if err := checkInstance(t, k); err != nil {
+		return nil, err
+	}
+	idx := t.SortedIndex()
+	p := &core.Partition{}
+	for len(idx) > 0 {
+		sz := k
+		if len(idx) < 2*k {
+			sz = len(idx)
+		}
+		g := append([]int(nil), idx[:sz]...)
+		sort.Ints(g)
+		p.Groups = append(p.Groups, g)
+		idx = idx[sz:]
+	}
+	return finish(t, k, p)
+}
+
+// RandomChunks shuffles rows with the supplied source and groups
+// consecutive runs of k. The no-effort baseline; expected cost is near
+// the all-suppressed maximum on high-entropy data.
+func RandomChunks(t *relation.Table, k int, rng *rand.Rand) (*Result, error) {
+	if err := checkInstance(t, k); err != nil {
+		return nil, err
+	}
+	idx := rng.Perm(t.Len())
+	p := &core.Partition{}
+	for len(idx) > 0 {
+		sz := k
+		if len(idx) < 2*k {
+			sz = len(idx)
+		}
+		g := append([]int(nil), idx[:sz]...)
+		sort.Ints(g)
+		p.Groups = append(p.Groups, g)
+		idx = idx[sz:]
+	}
+	return finish(t, k, p)
+}
+
+// KMember is a greedy clustering in the style of Byun et al.'s k-member
+// algorithm: repeatedly seed a new group with the row farthest from the
+// previous seed, then grow the group to size k by adding the row whose
+// inclusion costs the fewest extra stars; leftover rows (< k of them)
+// join the group where they are cheapest.
+func KMember(t *relation.Table, k int) (*Result, error) {
+	if err := checkInstance(t, k); err != nil {
+		return nil, err
+	}
+	n := t.Len()
+	mat := metric.NewMatrix(t)
+	unassigned := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		unassigned[i] = true
+	}
+	var groups [][]int
+	seed := 0 // first seed: row 0; subsequent: farthest from last seed
+	for len(unassigned) >= k {
+		// Pick seed: farthest unassigned row from the previous seed.
+		best, bestD := -1, -1
+		for v := range unassigned {
+			if d := mat.Dist(seed, v); d > bestD || (d == bestD && v < best) {
+				best, bestD = v, d
+			}
+		}
+		seed = best
+		group := []int{seed}
+		delete(unassigned, seed)
+		for len(group) < k {
+			cand, candCost := -1, -1
+			for v := range unassigned {
+				c := core.Anon(t, append(group, v))
+				if candCost == -1 || c < candCost || (c == candCost && v < cand) {
+					cand, candCost = v, c
+				}
+			}
+			group = append(group, cand)
+			delete(unassigned, cand)
+		}
+		sort.Ints(group)
+		groups = append(groups, group)
+	}
+	// Distribute the < k leftovers to their cheapest group, in index
+	// order for determinism (map iteration order is randomized).
+	leftovers := make([]int, 0, len(unassigned))
+	for v := range unassigned {
+		leftovers = append(leftovers, v)
+	}
+	sort.Ints(leftovers)
+	for _, v := range leftovers {
+		bestG, bestDelta := -1, -1
+		for gi, g := range groups {
+			delta := core.Anon(t, append(append([]int(nil), g...), v)) - core.Anon(t, g)
+			if bestDelta == -1 || delta < bestDelta || (delta == bestDelta && gi < bestG) {
+				bestG, bestDelta = gi, delta
+			}
+		}
+		groups[bestG] = append(groups[bestG], v)
+		sort.Ints(groups[bestG])
+	}
+	return finish(t, k, &core.Partition{Groups: groups})
+}
+
+// Mondrian adapts the multidimensional Mondrian partitioner (LeFevre et
+// al.) to the suppression model: recursively split the current row set
+// on the attribute with the most distinct values, sending each value
+// class to the side with fewer rows so both halves keep ≥ k rows; stop
+// when no attribute admits a feasible split and emit the leaf as one
+// group.
+func Mondrian(t *relation.Table, k int) (*Result, error) {
+	if err := checkInstance(t, k); err != nil {
+		return nil, err
+	}
+	var groups [][]int
+	all := make([]int, t.Len())
+	for i := range all {
+		all[i] = i
+	}
+	var split func(rows []int)
+	split = func(rows []int) {
+		if len(rows) < 2*k {
+			g := append([]int(nil), rows...)
+			sort.Ints(g)
+			groups = append(groups, g)
+			return
+		}
+		// Rank attributes by distinct-value count among rows (Mondrian's
+		// widest-dimension heuristic for categorical data) and take the
+		// first that admits an allowable cut — one leaving ≥ k rows on
+		// both sides.
+		type attr struct{ j, distinct int }
+		attrs := make([]attr, 0, t.Degree())
+		for j := 0; j < t.Degree(); j++ {
+			seen := map[int32]bool{}
+			for _, i := range rows {
+				seen[t.Row(i)[j]] = true
+			}
+			if len(seen) > 1 {
+				attrs = append(attrs, attr{j, len(seen)})
+			}
+		}
+		sort.Slice(attrs, func(a, b int) bool {
+			if attrs[a].distinct != attrs[b].distinct {
+				return attrs[a].distinct > attrs[b].distinct
+			}
+			return attrs[a].j < attrs[b].j
+		})
+		for _, a := range attrs {
+			// Partition rows by value and greedily pack value classes
+			// into two halves balancing sizes.
+			byVal := map[int32][]int{}
+			var vals []int32
+			for _, i := range rows {
+				v := t.Row(i)[a.j]
+				if _, ok := byVal[v]; !ok {
+					vals = append(vals, v)
+				}
+				byVal[v] = append(byVal[v], i)
+			}
+			sort.Slice(vals, func(x, y int) bool {
+				if len(byVal[vals[x]]) != len(byVal[vals[y]]) {
+					return len(byVal[vals[x]]) > len(byVal[vals[y]])
+				}
+				return vals[x] < vals[y]
+			})
+			var left, right []int
+			for _, v := range vals {
+				if len(left) <= len(right) {
+					left = append(left, byVal[v]...)
+				} else {
+					right = append(right, byVal[v]...)
+				}
+			}
+			if len(left) >= k && len(right) >= k {
+				split(left)
+				split(right)
+				return
+			}
+		}
+		// No attribute admits an allowable cut: emit the leaf.
+		g := append([]int(nil), rows...)
+		sort.Ints(g)
+		groups = append(groups, g)
+	}
+	split(all)
+	return finish(t, k, &core.Partition{Groups: groups})
+}
+
+// SuppressColumns is the whole-attribute strawman: greedily suppress the
+// attribute whose removal most reduces the number of k-anonymity
+// violations (rows in equivalence classes smaller than k) until the
+// projection is k-anonymous, then group rows by their surviving
+// projection. Cost is counted in entries (n per suppressed column) so it
+// is comparable with the cell-suppression algorithms.
+func SuppressColumns(t *relation.Table, k int) (*Result, error) {
+	if err := checkInstance(t, k); err != nil {
+		return nil, err
+	}
+	m := t.Degree()
+	kept := make([]bool, m)
+	for j := range kept {
+		kept[j] = true
+	}
+	violations := func(drop int) int {
+		sig := make(map[string]int, t.Len())
+		keys := make([]string, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			key := projectionKey(t.Row(i), kept, drop)
+			keys[i] = key
+			sig[key]++
+		}
+		bad := 0
+		for _, key := range keys {
+			if sig[key] < k {
+				bad++
+			}
+		}
+		return bad
+	}
+	for violations(-1) > 0 {
+		bestJ, bestBad := -1, -1
+		for j := 0; j < m; j++ {
+			if !kept[j] {
+				continue
+			}
+			bad := violations(j)
+			if bestBad == -1 || bad < bestBad {
+				bestJ, bestBad = j, bad
+			}
+		}
+		if bestJ == -1 {
+			break // nothing left to drop; single-class projection is k-anonymous for n ≥ k
+		}
+		kept[bestJ] = false
+	}
+	// Group rows by surviving projection.
+	buckets := map[string][]int{}
+	var order []string
+	for i := 0; i < t.Len(); i++ {
+		key := projectionKey(t.Row(i), kept, -1)
+		if _, ok := buckets[key]; !ok {
+			order = append(order, key)
+		}
+		buckets[key] = append(buckets[key], i)
+	}
+	p := &core.Partition{}
+	for _, key := range order {
+		p.Groups = append(p.Groups, buckets[key])
+	}
+	// The partition's induced suppressor stars exactly the dropped
+	// columns (plus any column non-uniform within a group — none by
+	// construction), so finish() accounts the cost correctly.
+	return finish(t, k, p)
+}
+
+// projectionKey renders the row restricted to kept columns, optionally
+// treating column drop as removed too.
+func projectionKey(r relation.Row, kept []bool, drop int) string {
+	b := make([]byte, 0, len(r)*3)
+	for j, v := range r {
+		if !kept[j] || j == drop {
+			continue
+		}
+		b = append(b, byte(j), byte(v), byte(v>>8), '|')
+	}
+	return string(b)
+}

@@ -1,0 +1,235 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"kanon/internal/algo"
+	"kanon/internal/dataset"
+	"kanon/internal/exact"
+	"kanon/internal/relation"
+)
+
+type runner func(t *relation.Table, k int) (*Result, error)
+
+func allRunners() map[string]runner {
+	return map[string]runner{
+		"sorted":   SortedChunks,
+		"kmember":  KMember,
+		"mondrian": Mondrian,
+		"columns":  SuppressColumns,
+		"random": func(t *relation.Table, k int) (*Result, error) {
+			return RandomChunks(t, k, rand.New(rand.NewSource(1234)))
+		},
+	}
+}
+
+func checkResult(t *testing.T, tab *relation.Table, k int, r *Result) {
+	t.Helper()
+	if err := r.Partition.Validate(tab.Len(), k, 0); err != nil {
+		t.Fatalf("invalid partition: %v", err)
+	}
+	if !r.Anonymized.IsKAnonymous(k) {
+		t.Fatal("output not k-anonymous")
+	}
+	if r.Anonymized.TotalStars() != r.Cost {
+		t.Fatalf("cost %d != stars %d", r.Cost, r.Anonymized.TotalStars())
+	}
+}
+
+func TestAllBaselinesProduceValidAnonymizations(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tables := map[string]*relation.Table{
+		"uniform": dataset.Uniform(rng, 23, 5, 3),
+		"planted": dataset.Planted(rng, 24, 6, 3, 4, 1),
+		"census":  dataset.Census(rng, 25, 6),
+		"zipf":    dataset.Zipf(rng, 22, 5, 6, 1.5),
+	}
+	for tname, tab := range tables {
+		for _, k := range []int{2, 3, 5} {
+			for bname, run := range allRunners() {
+				t.Run(tname+"/"+bname, func(t *testing.T) {
+					r, err := run(tab, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkResult(t, tab, k, r)
+				})
+			}
+		}
+	}
+}
+
+func TestBaselinesInputValidation(t *testing.T) {
+	tab := dataset.Uniform(rand.New(rand.NewSource(6)), 3, 2, 2)
+	for name, run := range allRunners() {
+		t.Run(name, func(t *testing.T) {
+			if _, err := run(tab, 0); err == nil {
+				t.Error("accepted k=0")
+			}
+			if _, err := run(tab, 5); err == nil {
+				t.Error("accepted n < k")
+			}
+		})
+	}
+}
+
+func TestSortedChunksOnPresortedClusters(t *testing.T) {
+	// Identical triples are adjacent after sorting, so sorted chunks
+	// recovers zero cost on a duplicated table.
+	tab := relation.MustFromVectors([][]int{
+		{1, 1}, {2, 2}, {1, 1}, {2, 2}, {1, 1}, {2, 2},
+	})
+	r, err := SortedChunks(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 {
+		t.Errorf("cost = %d, want 0", r.Cost)
+	}
+}
+
+func TestKMemberRecoverPlanted(t *testing.T) {
+	// Zero-noise planted clusters: k-member should pay nothing.
+	tab := dataset.Planted(rand.New(rand.NewSource(7)), 15, 6, 4, 3, 0)
+	r, err := KMember(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 {
+		t.Errorf("k-member cost %d on planted clusters, want 0", r.Cost)
+	}
+}
+
+func TestMondrianIdenticalRows(t *testing.T) {
+	tab := relation.MustFromVectors([][]int{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}})
+	r, err := Mondrian(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 {
+		t.Errorf("cost = %d on identical rows, want 0", r.Cost)
+	}
+}
+
+func TestMondrianSplitsSeparableClusters(t *testing.T) {
+	tab := relation.MustFromVectors([][]int{
+		{0, 0, 0}, {0, 0, 1}, {9, 9, 0}, {9, 9, 1}, {0, 0, 2}, {9, 9, 2},
+	})
+	r, err := Mondrian(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, tab, 3, r)
+	// Perfect split: two groups {0,1,4} and {2,3,5}, each uniform on
+	// the first two columns, paying only the third column: 3+3 stars
+	// per group = 6 total... column 3 has 3 distinct values in each
+	// group, so cost = 2 groups × 3 rows × 1 column = 6.
+	if r.Cost != 6 {
+		t.Errorf("cost = %d, want 6", r.Cost)
+	}
+}
+
+func TestSuppressColumnsAllDistinctOneColumn(t *testing.T) {
+	// Column 0 identifies rows uniquely; dropping it is the only way to
+	// k-anonymize, with cost n (4 rows × 1 column).
+	tab := relation.MustFromVectors([][]int{
+		{1, 7}, {2, 7}, {3, 7}, {4, 7},
+	})
+	r, err := SuppressColumns(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 4 {
+		t.Errorf("cost = %d, want 4", r.Cost)
+	}
+}
+
+func TestSuppressColumnsAlreadyAnonymous(t *testing.T) {
+	tab := relation.MustFromVectors([][]int{{1, 2}, {1, 2}, {1, 2}})
+	r, err := SuppressColumns(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 {
+		t.Errorf("cost = %d, want 0", r.Cost)
+	}
+}
+
+// TestGreedyBeatsWeakBaselines is the E8 shape in miniature: on skewed
+// census-like data the paper's ball greedy should beat random chunking
+// decisively and be no worse than ~1.5× the strongest baseline.
+func TestGreedyBeatsWeakBaselines(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tab := dataset.Census(rng, 60, 6)
+	k := 3
+	g, err := algo.GreedyBall(tab, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := RandomChunks(tab, k, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cost >= rnd.Cost {
+		t.Errorf("greedy %d should beat random %d", g.Cost, rnd.Cost)
+	}
+	km, err := KMember(tab, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(g.Cost) > 1.5*float64(km.Cost)+1 {
+		t.Errorf("greedy %d much worse than k-member %d", g.Cost, km.Cost)
+	}
+}
+
+// TestBaselinesNeverBeatExact sanity-checks the exact solver from the
+// other side: no baseline may go below OPT.
+func TestBaselinesNeverBeatExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		tab := dataset.Uniform(rng, 10, 4, 2)
+		k := 2 + trial%2
+		opt, err := exact.OPT(tab, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range allRunners() {
+			r, err := run(tab, k)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if r.Cost < opt {
+				t.Errorf("trial %d: %s cost %d < OPT %d", trial, name, r.Cost, opt)
+			}
+		}
+	}
+}
+
+func TestKMemberDeterministic(t *testing.T) {
+	tab := dataset.Zipf(rand.New(rand.NewSource(10)), 17, 5, 4, 1.4)
+	a, err := KMember(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMember(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("nondeterministic: %d vs %d", a.Cost, b.Cost)
+	}
+	a.Partition.Normalize()
+	b.Partition.Normalize()
+	for i := range a.Partition.Groups {
+		ga, gb := a.Partition.Groups[i], b.Partition.Groups[i]
+		if len(ga) != len(gb) {
+			t.Fatal("nondeterministic partition")
+		}
+		for j := range ga {
+			if ga[j] != gb[j] {
+				t.Fatal("nondeterministic partition")
+			}
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kanon/internal/metric"
+	"kanon/internal/relation"
+)
+
+func TestSuppressorApply(t *testing.T) {
+	tab := relation.MustFromBitstrings("1010", "1110", "0110")
+	s := NewSuppressor(3, 4)
+	// The paper's §4 example suppressor t(b1 b2 b3 b4) = ★★b3b4.
+	for i := 0; i < 3; i++ {
+		s.Suppress(i, 0)
+		s.Suppress(i, 1)
+	}
+	if got := s.Stars(); got != 6 {
+		t.Fatalf("Stars = %d, want 6", got)
+	}
+	out := s.Apply(tab)
+	if !out.IsKAnonymous(3) {
+		t.Error("anonymized example should be 3-anonymous")
+	}
+	for i := 0; i < 3; i++ {
+		r := out.Row(i)
+		if r[0] != relation.Star || r[1] != relation.Star {
+			t.Errorf("row %d = %v, want first two entries starred", i, r)
+		}
+	}
+	// Original table untouched.
+	if tab.TotalStars() != 0 {
+		t.Error("Apply mutated the input table")
+	}
+	if !s.Suppressed(0, 1) || s.Suppressed(0, 2) {
+		t.Error("Suppressed() reports wrong mask")
+	}
+	if s.Rows() != 3 {
+		t.Errorf("Rows = %d, want 3", s.Rows())
+	}
+}
+
+func TestAnonCost(t *testing.T) {
+	tab := relation.MustFromBitstrings("1010", "1110", "0110")
+	// Non-uniform columns of the full set: col0 (1,1,0), col1 (0,1,1);
+	// cols 2,3 are uniform. Anon = 3 rows × 2 cols = 6.
+	if got := Anon(tab, []int{0, 1, 2}); got != 6 {
+		t.Errorf("Anon = %d, want 6", got)
+	}
+	if got := Anon(tab, []int{1}); got != 0 {
+		t.Errorf("singleton Anon = %d, want 0", got)
+	}
+	if got := Anon(tab, nil); got != 0 {
+		t.Errorf("empty Anon = %d, want 0", got)
+	}
+	if got := NonUniformColumns(tab, []int{0, 1}); got != 1 {
+		t.Errorf("NonUniformColumns({0,1}) = %d, want 1", got)
+	}
+}
+
+func TestAnonEqualsGroupStarCount(t *testing.T) {
+	// Property: applying a partition's suppressor yields exactly
+	// Cost(partition) stars and a table where each group is uniform.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		m := 2 + rng.Intn(6)
+		vecs := make([][]int, n)
+		for i := range vecs {
+			v := make([]int, m)
+			for j := range v {
+				v[j] = rng.Intn(3)
+			}
+			vecs[i] = v
+		}
+		tab := relation.MustFromVectors(vecs)
+		// Random partition into contiguous chunks of size ≥ 2.
+		var p Partition
+		perm := rng.Perm(n)
+		for len(perm) > 0 {
+			sz := 2 + rng.Intn(3)
+			if sz > len(perm) || len(perm)-sz == 1 {
+				sz = len(perm)
+			}
+			p.Groups = append(p.Groups, perm[:sz])
+			perm = perm[sz:]
+		}
+		sup := p.Suppressor(tab)
+		if sup.Stars() != p.Cost(tab) {
+			return false
+		}
+		out := sup.Apply(tab)
+		for _, g := range p.Groups {
+			first := out.Row(g[0])
+			for _, i := range g[1:] {
+				if !out.Row(i).Equal(first) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		groups [][]int
+		n, k   int
+		kMax   int
+		wantOK bool
+	}{
+		{"valid", [][]int{{0, 1}, {2, 3}}, 4, 2, 3, true},
+		{"undersized group", [][]int{{0}, {1, 2, 3}}, 4, 2, 0, false},
+		{"oversized group", [][]int{{0, 1, 2, 3}}, 4, 2, 3, false},
+		{"duplicate index", [][]int{{0, 1}, {1, 2, 3}}, 4, 2, 0, false},
+		{"missing index", [][]int{{0, 1}}, 4, 2, 0, false},
+		{"out of range", [][]int{{0, 1}, {2, 9}}, 4, 2, 0, false},
+		{"negative index", [][]int{{0, 1}, {2, -1}}, 4, 2, 0, false},
+		{"no max check when kMax=0", [][]int{{0, 1, 2, 3}}, 4, 2, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := Partition{Groups: c.groups}
+			err := p.Validate(c.n, c.k, c.kMax)
+			if (err == nil) != c.wantOK {
+				t.Errorf("Validate = %v, wantOK=%v", err, c.wantOK)
+			}
+		})
+	}
+}
+
+func TestPartitionCostAndDiameterSum(t *testing.T) {
+	tab := relation.MustFromBitstrings("0000", "0001", "1110", "1111")
+	m := metric.NewMatrix(tab)
+	p := Partition{Groups: [][]int{{0, 1}, {2, 3}}}
+	if got := p.Cost(tab); got != 4 { // each pair differs in 1 column → 2 stars per group
+		t.Errorf("Cost = %d, want 4", got)
+	}
+	if got := p.DiameterSum(m); got != 2 {
+		t.Errorf("DiameterSum = %d, want 2", got)
+	}
+}
+
+func TestSplitOversize(t *testing.T) {
+	p := Partition{Groups: [][]int{{0, 1, 2, 3, 4, 5, 6}}}
+	p.SplitOversize(2)
+	for _, g := range p.Groups {
+		if len(g) < 2 || len(g) > 3 {
+			t.Errorf("group size %d outside [2,3]", len(g))
+		}
+	}
+	if err := p.Validate(7, 2, 3); err != nil {
+		t.Errorf("split partition invalid: %v", err)
+	}
+	// A group below 2k is untouched.
+	q := Partition{Groups: [][]int{{0, 1, 2}}}
+	q.SplitOversize(2)
+	if len(q.Groups) != 1 || len(q.Groups[0]) != 3 {
+		t.Errorf("SplitOversize split a size-3 group at k=2: %v", q.Groups)
+	}
+}
+
+// TestSplitNeverIncreasesCost verifies the paper's §4.1 wlog: splitting
+// an oversize group into parts of size ≥ k never increases total stars.
+func TestSplitNeverIncreasesCost(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(2)
+		n := 2*k + rng.Intn(3*k)
+		m := 2 + rng.Intn(5)
+		vecs := make([][]int, n)
+		for i := range vecs {
+			v := make([]int, m)
+			for j := range v {
+				v[j] = rng.Intn(2)
+			}
+			vecs[i] = v
+		}
+		tab := relation.MustFromVectors(vecs)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		whole := Partition{Groups: [][]int{all}}
+		before := whole.Cost(tab)
+		whole.SplitOversize(k)
+		if err := whole.Validate(n, k, 2*k-1); err != nil {
+			return false
+		}
+		return whole.Cost(tab) <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitOversizeSorted(t *testing.T) {
+	// Two well-separated clusters interleaved inside one big group; the
+	// similarity-aware split should recover them, and never cost more
+	// than the arbitrary split.
+	tab := relation.MustFromBitstrings(
+		"000000", "111111", "000001", "111110", "000010", "111101",
+	)
+	m := metric.NewMatrix(tab)
+	arbitrary := Partition{Groups: [][]int{{0, 1, 2, 3, 4, 5}}}
+	sorted := Partition{Groups: [][]int{{0, 1, 2, 3, 4, 5}}}
+	arbitrary.SplitOversize(3)
+	sorted.SplitOversizeSorted(3, m)
+	if err := sorted.Validate(6, 3, 5); err != nil {
+		t.Fatalf("sorted split invalid: %v", err)
+	}
+	ca, cs := arbitrary.Cost(tab), sorted.Cost(tab)
+	if cs > ca {
+		t.Errorf("similarity-aware split cost %d > arbitrary %d", cs, ca)
+	}
+	// The nearest-neighbor chain from row 0 gathers the even cluster
+	// first: expect the clusters separated exactly.
+	if cs != 12 { // two groups of 3, each with 2 non-uniform columns × 3 rows
+		t.Errorf("sorted split cost = %d, want 12", cs)
+	}
+}
+
+func TestPartitionSuppressorProducesKAnonymity(t *testing.T) {
+	tab := relation.MustFromBitstrings("1010", "1110", "0110", "0001", "1001")
+	p := Partition{Groups: [][]int{{0, 1, 2}, {3, 4}}}
+	out := p.Suppressor(tab).Apply(tab)
+	if !out.IsKAnonymous(2) {
+		t.Error("output not 2-anonymous")
+	}
+	grp := FromAnonymized(out)
+	grp.Normalize()
+	if len(grp.Groups) != 2 {
+		t.Fatalf("recovered %d groups, want 2", len(grp.Groups))
+	}
+}
+
+func TestFromAnonymized(t *testing.T) {
+	tab := relation.MustFromVectors([][]int{{1, 1}, {2, 2}, {1, 1}, {2, 2}, {1, 1}})
+	p := FromAnonymized(tab)
+	p.Normalize()
+	if len(p.Groups) != 2 {
+		t.Fatalf("groups = %v", p.Groups)
+	}
+	if len(p.Groups[0]) != 3 || p.Groups[0][0] != 0 {
+		t.Errorf("first group = %v, want [0 2 4]", p.Groups[0])
+	}
+	if len(p.Groups[1]) != 2 || p.Groups[1][0] != 1 {
+		t.Errorf("second group = %v, want [1 3]", p.Groups[1])
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Partition{Groups: [][]int{{5, 3}, {2, 0, 4}}}
+	p.Normalize()
+	if p.Groups[0][0] != 0 || p.Groups[1][0] != 3 {
+		t.Errorf("Normalize order wrong: %v", p.Groups)
+	}
+}
+
+func TestGroupBounds(t *testing.T) {
+	tab := relation.MustFromBitstrings("110", "011", "101")
+	m := metric.NewMatrix(tab)
+	b := GroupBounds(tab, m, []int{0, 1, 2})
+	if b.Diameter != 2 || b.NonUniform != 3 || b.Anon != 9 || b.Size != 3 {
+		t.Errorf("GroupBounds = %+v", b)
+	}
+	// This is the counterexample to the printed Anon(S) ≤ |S|·d(S):
+	// 9 > 3·2. The safe bound |S|(|S|−1)d(S) = 12 holds.
+	if b.Anon <= b.Size*b.Diameter {
+		t.Error("expected the printed per-group bound to fail on this instance")
+	}
+	if b.Anon > b.Size*(b.Size-1)*b.Diameter {
+		t.Error("safe per-group bound violated")
+	}
+}
+
+// TestSafeGroupBoundsProperty checks |S|·d(S) ≤ Anon(S) ≤ |S|(|S|−1)d(S)
+// on random groups.
+func TestSafeGroupBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(8)
+		vecs := make([][]int, n)
+		for i := range vecs {
+			v := make([]int, m)
+			for j := range v {
+				v[j] = rng.Intn(3)
+			}
+			vecs[i] = v
+		}
+		tab := relation.MustFromVectors(vecs)
+		mat := metric.NewMatrix(tab)
+		g := make([]int, n)
+		for i := range g {
+			g[i] = i
+		}
+		b := GroupBounds(tab, mat, g)
+		if b.Anon < b.Size*b.Diameter {
+			return false
+		}
+		if b.Size > 1 && b.Anon > b.Size*(b.Size-1)*b.Diameter {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckLemma41(t *testing.T) {
+	tab := relation.MustFromBitstrings("0000", "0001", "1110", "1111")
+	m := metric.NewMatrix(tab)
+	p := Partition{Groups: [][]int{{0, 1}, {2, 3}}}
+	c := CheckLemma41(tab, m, &p, 2)
+	if c.DiameterSum != 2 || c.Cost != 4 {
+		t.Fatalf("check = %+v", c)
+	}
+	if !c.PaperLowerHolds || !c.PaperUpperHolds {
+		t.Errorf("paper sandwich should hold here: %+v", c)
+	}
+	if !c.SafeLowerHolds || !c.SafeUpperHolds {
+		t.Errorf("safe sandwich should hold here: %+v", c)
+	}
+}
+
+func TestBoundFormulas(t *testing.T) {
+	if got := Theorem41Bound(1); got != 3 { // 3·1·(1+ln 1) = 3
+		t.Errorf("Theorem41Bound(1) = %v, want 3", got)
+	}
+	if Theorem41Bound(5) <= Theorem41Bound(2) {
+		t.Error("Theorem41Bound should increase with k")
+	}
+	if Theorem42Bound(3, 100) <= Theorem42Bound(3, 4) {
+		t.Error("Theorem42Bound should increase with m")
+	}
+	// Safe bound dominated by 4k(1+ln k).
+	for k := 2; k <= 10; k++ {
+		if got, cap := Theorem41SafeBound(k), 4*Theorem41Bound(k)/3; got > cap {
+			t.Errorf("Theorem41SafeBound(%d) = %v exceeds 4k(1+ln k) = %v", k, got, cap)
+		}
+	}
+	if Theorem42SafeBound(3, 10) <= 0 {
+		t.Error("Theorem42SafeBound should be positive")
+	}
+}

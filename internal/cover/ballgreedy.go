@@ -1,0 +1,167 @@
+package cover
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"kanon/internal/metric"
+)
+
+// GreedyBalls runs the greedy cover over the ball family without
+// materializing it, which is what makes Theorem 4.2's algorithm scale.
+// It is exactly equivalent to Greedy(n, Balls(mat, k,
+// WeightRadiusBound)) (the tests cross-check costs) but stores only one
+// sorted neighbor order per center, so memory is O(n²) small words
+// instead of O(n² ) full member slices, and each round re-evaluates at
+// most a few centers.
+//
+// Correctness of the laziness: for a fixed center, every ball's ratio
+// weight/uncovered is nondecreasing as the covered region grows, hence
+// so is the center's best ratio. A priority queue keyed by last-known
+// best ratio therefore yields the true global minimum once the popped
+// center's recomputed key is no worse than the next key in the queue.
+func GreedyBalls(mat *metric.Matrix, k int) ([]Set, error) {
+	n := mat.Len()
+	if k < 1 {
+		return nil, fmt.Errorf("cover: k = %d < 1", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("cover: n = %d < k = %d", n, k)
+	}
+
+	// ord[c] holds the other rows sorted by distance from c (ties by
+	// index, matching Balls for reproducible cross-checks).
+	ord := make([][]int32, n)
+	for c := 0; c < n; c++ {
+		o := make([]int32, n)
+		for v := range o {
+			o[v] = int32(v)
+		}
+		sort.Slice(o, func(a, b int) bool {
+			da, db := mat.Dist(c, int(o[a])), mat.Dist(c, int(o[b]))
+			if da != db {
+				return da < db
+			}
+			return o[a] < o[b]
+		})
+		ord[c] = o
+	}
+
+	covered := make([]bool, n)
+	remaining := n
+
+	// bestBall returns the minimum-ratio ball centered at c against the
+	// current covered set: its (weight, uncovered, prefix length), or
+	// ok=false if no ball of c contains an uncovered element.
+	bestBall := func(c int) (w, unc, end int, ok bool) {
+		o := ord[c]
+		uncCount := 0
+		bw, bu, be := 0, 0, 0
+		for e := 0; e < n; e++ {
+			if !covered[o[e]] {
+				uncCount++
+			}
+			size := e + 1
+			if size < k || uncCount == 0 {
+				continue
+			}
+			if size < n && mat.Dist(c, int(o[e+1])) == mat.Dist(c, int(o[e])) {
+				continue // not a distance boundary
+			}
+			weight := 2 * mat.Dist(c, int(o[e]))
+			if !ok || better(weight, uncCount, bw, bu) {
+				bw, bu, be, ok = weight, uncCount, size, true
+			}
+		}
+		return bw, bu, be, ok
+	}
+
+	pq := make(centerHeap, 0, n)
+	for c := 0; c < n; c++ {
+		if w, unc, end, ok := bestBall(c); ok {
+			pq = append(pq, centerEntry{center: c, weight: w, unc: unc, end: end})
+		}
+	}
+	heap.Init(&pq)
+
+	var chosen []Set
+	for remaining > 0 {
+		if len(pq) == 0 {
+			return nil, fmt.Errorf("cover: ball family cannot cover %d remaining elements", remaining)
+		}
+		top := heap.Pop(&pq).(centerEntry)
+		w, unc, end, ok := bestBall(top.center)
+		if !ok {
+			continue
+		}
+		fresh := centerEntry{center: top.center, weight: w, unc: unc, end: end}
+		if len(pq) > 0 && pq[0].less(fresh) {
+			heap.Push(&pq, fresh)
+			continue
+		}
+		members := make([]int, end)
+		for i := 0; i < end; i++ {
+			v := int(ord[top.center][i])
+			members[i] = v
+			if !covered[v] {
+				covered[v] = true
+				remaining--
+			}
+		}
+		sort.Ints(members)
+		chosen = append(chosen, Set{Members: members, Weight: w})
+		if remaining > 0 {
+			if w2, unc2, end2, ok2 := bestBall(top.center); ok2 {
+				heap.Push(&pq, centerEntry{center: top.center, weight: w2, unc: unc2, end: end2})
+			}
+		}
+	}
+	return chosen, nil
+}
+
+// better reports whether ratio w1/u1 beats w2/u2 under the same
+// tie-breaking as ratioEntry.less: smaller ratio first, then larger
+// uncovered count.
+func better(w1, u1, w2, u2 int) bool {
+	l := int64(w1) * int64(u2)
+	r := int64(w2) * int64(u1)
+	if l != r {
+		return l < r
+	}
+	return u1 > u2
+}
+
+// centerEntry is a heap entry: a center with its last-known best ball.
+type centerEntry struct {
+	center int
+	weight int
+	unc    int
+	end    int
+}
+
+func (a centerEntry) less(b centerEntry) bool {
+	l := int64(a.weight) * int64(b.unc)
+	r := int64(b.weight) * int64(a.unc)
+	if l != r {
+		return l < r
+	}
+	if a.unc != b.unc {
+		return a.unc > b.unc
+	}
+	return a.center < b.center
+}
+
+type centerHeap []centerEntry
+
+func (h centerHeap) Len() int           { return len(h) }
+func (h centerHeap) Less(i, j int) bool { return h[i].less(h[j]) }
+func (h centerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *centerHeap) Push(x any)        { *h = append(*h, x.(centerEntry)) }
+func (h *centerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

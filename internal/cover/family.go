@@ -1,0 +1,195 @@
+package cover
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kanon/internal/metric"
+)
+
+// Exhaustive builds the paper's collection C: every subset of {0..n−1}
+// with cardinality in [k, 2k−1], weighted by its true diameter. The
+// family has Σ_{s=k}^{2k−1} C(n, s) sets; maxSets guards against
+// accidental blow-ups (pass 0 for the default of 5 million). Use the
+// ball family when this errors — that trade-off is exactly the paper's
+// §4.3.
+func Exhaustive(mat *metric.Matrix, k, maxSets int) ([]Set, error) {
+	n := mat.Len()
+	if k < 1 {
+		return nil, fmt.Errorf("cover: k = %d < 1", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("cover: n = %d < k = %d", n, k)
+	}
+	if maxSets <= 0 {
+		maxSets = 5_000_000
+	}
+	count := 0.0
+	for s := k; s <= 2*k-1 && s <= n; s++ {
+		count += binomial(n, s)
+	}
+	if count > float64(maxSets) {
+		return nil, fmt.Errorf("cover: exhaustive family would hold ~%.3g sets (max %d); use the ball family", count, maxSets)
+	}
+
+	sets := make([]Set, 0, int(count))
+	// Depth-first enumeration of combinations with incremental
+	// diameter maintenance: extending a prefix by element e costs
+	// O(|prefix|) distance lookups.
+	prefix := make([]int, 0, 2*k-1)
+	var rec func(start, diam int)
+	rec = func(start, diam int) {
+		if len(prefix) >= k {
+			sets = append(sets, Set{Members: append([]int(nil), prefix...), Weight: diam})
+		}
+		if len(prefix) == 2*k-1 {
+			return
+		}
+		for e := start; e < n; e++ {
+			nd := mat.DiameterWith(prefix, diam, e)
+			prefix = append(prefix, e)
+			rec(e+1, nd)
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	rec(0, 0)
+	return sets, nil
+}
+
+// binomial returns C(n, s) as a float64 (guard arithmetic only).
+func binomial(n, s int) float64 {
+	if s < 0 || s > n {
+		return 0
+	}
+	out := 1.0
+	for i := 1; i <= s; i++ {
+		out *= float64(n - s + i)
+		out /= float64(i)
+		if math.IsInf(out, 1) {
+			return out
+		}
+	}
+	return out
+}
+
+// BallWeight selects how ball sets are weighted in the greedy cover.
+type BallWeight int
+
+const (
+	// WeightRadiusBound weights S_{c,i} by 2·r where r is the largest
+	// realized distance from c within the ball (r ≤ i). By the triangle
+	// inequality this upper-bounds the true diameter (Lemma 4.2's
+	// d(S_{c,i}) ≤ 2i), so Theorem 4.2's guarantee is preserved while
+	// avoiding any pairwise diameter computation. This is the default.
+	WeightRadiusBound BallWeight = iota
+	// WeightTrueDiameter weights each ball by its exact diameter —
+	// never weaker, but costs O(|S|²) per ball; ablation E10 measures
+	// the cost/quality trade-off.
+	WeightTrueDiameter
+)
+
+// BallsWitness builds the paper's alternative collection: for every
+// ordered pair (c, c') the set S_{c,c'} = {v : d(c, v) ≤ d(c, c')},
+// restricted to sets with at least k members and deduplicated per
+// center. The paper advises choosing between this and the radius form
+// by size; TestWitnessFamilyEqualsRadiusFamily shows the two families
+// are identical once degenerate radii are removed, so the advice is
+// moot — this constructor exists to substantiate that claim and for the
+// E10 ablation.
+func BallsWitness(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
+	n := mat.Len()
+	if k < 1 {
+		return nil, fmt.Errorf("cover: k = %d < 1", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("cover: n = %d < k = %d", n, k)
+	}
+	var sets []Set
+	for c := 0; c < n; c++ {
+		seen := map[int]bool{} // realized radii already emitted for c
+		for w2 := 0; w2 < n; w2++ {
+			r := mat.Dist(c, w2)
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			members := mat.Ball(c, r)
+			if len(members) < k {
+				continue
+			}
+			// Effective radius: largest realized distance within the
+			// ball (matches Balls' weight convention).
+			eff := 0
+			for _, v := range members {
+				if d := mat.Dist(c, v); d > eff {
+					eff = d
+				}
+			}
+			if eff != r {
+				// A larger witness distance yields the same member set;
+				// skip the duplicate (the set will be emitted at its
+				// effective radius).
+				continue
+			}
+			weight := 2 * eff
+			if w == WeightTrueDiameter {
+				weight = mat.Diameter(members)
+			}
+			sets = append(sets, Set{Members: members, Weight: weight})
+		}
+	}
+	return sets, nil
+}
+
+// Balls builds the paper's collection D: for every center c ∈ V, the
+// distinct balls S_{c,i} with at least k members.
+//
+// Only radii at which a ball actually grows are emitted, so the family
+// has at most n distinct sets per center. This deduplicated family
+// coincides with the paper's alternative formulation S_{c,c'} = {v :
+// d(c, v) ≤ d(c, c')} (plus the radius-0 ball of exact duplicates): a
+// ball changes only at realized distances, so enumerating realized radii
+// and enumerating witnesses c' produce the same sets. The paper's advice
+// to "substitute whichever collection is smaller" is therefore moot
+// after deduplication — E10 confirms.
+func Balls(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
+	n := mat.Len()
+	if k < 1 {
+		return nil, fmt.Errorf("cover: k = %d < 1", k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("cover: n = %d < k = %d", n, k)
+	}
+	var sets []Set
+	type dv struct{ d, v int }
+	buf := make([]dv, n)
+	for c := 0; c < n; c++ {
+		for v := 0; v < n; v++ {
+			buf[v] = dv{mat.Dist(c, v), v}
+		}
+		sort.Slice(buf, func(a, b int) bool {
+			if buf[a].d != buf[b].d {
+				return buf[a].d < buf[b].d
+			}
+			return buf[a].v < buf[b].v
+		})
+		// Prefixes ending at a distance boundary are the distinct balls.
+		for end := k; end <= n; end++ {
+			if end < n && buf[end].d == buf[end-1].d {
+				continue // not a boundary: same ball as a longer prefix
+			}
+			members := make([]int, end)
+			for i := 0; i < end; i++ {
+				members[i] = buf[i].v
+			}
+			sort.Ints(members)
+			weight := 2 * buf[end-1].d
+			if w == WeightTrueDiameter {
+				weight = mat.Diameter(members)
+			}
+			sets = append(sets, Set{Members: members, Weight: weight})
+		}
+	}
+	return sets, nil
+}

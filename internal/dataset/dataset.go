@@ -1,0 +1,191 @@
+// Package dataset generates the synthetic workloads the experiments run
+// on. The paper's motivating setting is categorical microdata (hospital
+// records, census-style tables); real census extracts are not available
+// offline, so this package produces census-like categorical data with
+// skewed (Zipf) marginals, plus the abstract vector workloads — uniform,
+// planted-cluster, adversarial — used to measure approximation quality.
+//
+// Every generator takes an explicit *rand.Rand so corpora are
+// reproducible from a seed; nothing here reads global randomness.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kanon/internal/relation"
+)
+
+// Uniform returns an n×m table with entries drawn uniformly from an
+// alphabet of the given size.
+func Uniform(rng *rand.Rand, n, m, alphabet int) *relation.Table {
+	if alphabet < 1 {
+		alphabet = 1
+	}
+	vecs := make([][]int, n)
+	for i := range vecs {
+		v := make([]int, m)
+		for j := range v {
+			v[j] = rng.Intn(alphabet)
+		}
+		vecs[i] = v
+	}
+	return relation.MustFromVectors(vecs)
+}
+
+// Planted returns an n×m table consisting of ⌈n/k⌉ cluster centers over
+// the alphabet, each replicated to fill k (or more) rows, with each
+// replica having up to noise coordinates resampled. With noise = 0 the
+// instance is perfectly k-anonymous already (OPT = 0); small noise
+// yields instances whose optimal groups are the planted clusters. Rows
+// are shuffled so cluster membership is hidden from positional
+// heuristics.
+func Planted(rng *rand.Rand, n, m, alphabet, k, noise int) *relation.Table {
+	if alphabet < 2 {
+		alphabet = 2
+	}
+	vecs := make([][]int, 0, n)
+	for len(vecs) < n {
+		center := make([]int, m)
+		for j := range center {
+			center[j] = rng.Intn(alphabet)
+		}
+		sz := k
+		if rem := n - len(vecs); rem < 2*k {
+			sz = rem // last cluster absorbs the remainder
+		}
+		for r := 0; r < sz; r++ {
+			row := append([]int(nil), center...)
+			flips := 0
+			if noise > 0 {
+				flips = rng.Intn(noise + 1)
+			}
+			for f := 0; f < flips; f++ {
+				j := rng.Intn(m)
+				row[j] = rng.Intn(alphabet)
+			}
+			vecs = append(vecs, row)
+		}
+	}
+	rng.Shuffle(len(vecs), func(a, b int) { vecs[a], vecs[b] = vecs[b], vecs[a] })
+	return relation.MustFromVectors(vecs)
+}
+
+// Zipf returns an n×m table where column j draws from an alphabet of
+// the given size with Zipf-skewed frequencies (exponent s > 1). Skewed
+// categorical marginals are the norm in microdata quasi-identifiers.
+func Zipf(rng *rand.Rand, n, m, alphabet int, s float64) *relation.Table {
+	if alphabet < 1 {
+		alphabet = 1
+	}
+	if s <= 1 {
+		s = 1.1
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(alphabet-1))
+	vecs := make([][]int, n)
+	for i := range vecs {
+		v := make([]int, m)
+		for j := range v {
+			v[j] = int(z.Uint64())
+		}
+		vecs[i] = v
+	}
+	return relation.MustFromVectors(vecs)
+}
+
+// censusAttribute describes one synthetic microdata column.
+type censusAttribute struct {
+	name   string
+	values []string
+	skew   float64 // Zipf exponent; 0 means uniform
+}
+
+// censusSchema mirrors the quasi-identifier mix of public microdata
+// releases (cf. the Adult census extract): a few high-cardinality
+// columns (zip, birth year) and several low-cardinality demographic
+// ones.
+var censusSchema = []censusAttribute{
+	{"age", ageBands(), 1.3},
+	{"zip", zipPrefixes(), 1.5},
+	{"sex", []string{"F", "M"}, 0},
+	{"race", []string{"White", "Black", "Asian", "AmInd", "Other"}, 1.7},
+	{"education", []string{"HS", "SomeCollege", "Bachelors", "Masters", "Doctorate", "Grade<9", "Prof"}, 1.4},
+	{"marital", []string{"Married", "Never", "Divorced", "Widowed", "Separated"}, 1.3},
+	{"occupation", []string{"Tech", "Sales", "Admin", "Exec", "Service", "Craft", "Transport", "Farming", "Military", "Clerical"}, 1.5},
+	{"country", []string{"US", "MX", "PH", "DE", "CA", "IN", "CN", "Other"}, 2.2},
+}
+
+func ageBands() []string {
+	out := make([]string, 0, 16)
+	for lo := 15; lo < 95; lo += 5 {
+		out = append(out, fmt.Sprintf("%d-%d", lo, lo+4))
+	}
+	return out
+}
+
+func zipPrefixes() []string {
+	out := make([]string, 0, 40)
+	for p := 100; p < 140; p++ {
+		out = append(out, fmt.Sprintf("%d**", p))
+	}
+	return out
+}
+
+// Census returns n rows of census-like categorical microdata with at
+// most m of the schema's columns (m ≤ 8; larger m repeats columns with
+// fresh draws under suffixed names, so any degree is available).
+func Census(rng *rand.Rand, n, m int) *relation.Table {
+	attrs := make([]censusAttribute, 0, m)
+	for j := 0; j < m; j++ {
+		base := censusSchema[j%len(censusSchema)]
+		if j >= len(censusSchema) {
+			base.name = fmt.Sprintf("%s%d", base.name, j/len(censusSchema)+1)
+		}
+		attrs = append(attrs, base)
+	}
+	names := make([]string, len(attrs))
+	for j, a := range attrs {
+		names[j] = a.name
+	}
+	t := relation.NewTable(relation.NewSchema(names...))
+	samplers := make([]func() string, len(attrs))
+	for j, a := range attrs {
+		vals := a.values
+		if a.skew > 0 && len(vals) > 1 {
+			z := rand.NewZipf(rng, a.skew, 1, uint64(len(vals)-1))
+			samplers[j] = func() string { return vals[z.Uint64()] }
+		} else {
+			samplers[j] = func() string { return vals[rng.Intn(len(vals))] }
+		}
+	}
+	row := make([]string, len(attrs))
+	for i := 0; i < n; i++ {
+		for j := range attrs {
+			row[j] = samplers[j]()
+		}
+		if err := t.AppendStrings(row...); err != nil {
+			panic(err) // arity is correct by construction
+		}
+	}
+	return t
+}
+
+// Sunflower returns the adversarial family from the bounds analysis in
+// internal/core: one all-zero center row plus petals−many rows, each
+// equal to the center except for a private block of width w set to 1.
+// Its single-group Anon cost is (petals+1)·(core + petals·w) while the
+// diameter stays 2w + core-ish, exercising the gap between the printed
+// and safe Lemma 4.1 constants. Degree is petals·w.
+func Sunflower(petals, w int) *relation.Table {
+	m := petals * w
+	vecs := make([][]int, 0, petals+1)
+	vecs = append(vecs, make([]int, m))
+	for p := 0; p < petals; p++ {
+		v := make([]int, m)
+		for x := 0; x < w; x++ {
+			v[p*w+x] = 1
+		}
+		vecs = append(vecs, v)
+	}
+	return relation.MustFromVectors(vecs)
+}

@@ -1,0 +1,197 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"kanon/internal/metric"
+	"kanon/internal/relation"
+)
+
+func TestUniformShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := Uniform(rng, 50, 7, 4)
+	if tab.Len() != 50 || tab.Degree() != 7 {
+		t.Fatalf("shape %dx%d, want 50x7", tab.Len(), tab.Degree())
+	}
+	for j := 0; j < tab.Degree(); j++ {
+		if sz := tab.Schema().Attribute(j).AlphabetSize(); sz > 4 {
+			t.Errorf("column %d alphabet %d > 4", j, sz)
+		}
+	}
+}
+
+func TestUniformAlphabetFloor(t *testing.T) {
+	tab := Uniform(rand.New(rand.NewSource(2)), 5, 3, 0)
+	for j := 0; j < 3; j++ {
+		if sz := tab.Schema().Attribute(j).AlphabetSize(); sz != 1 {
+			t.Errorf("column %d alphabet %d, want 1", j, sz)
+		}
+	}
+}
+
+func TestPlantedZeroNoiseIsKAnonymous(t *testing.T) {
+	for _, k := range []int{2, 3, 5} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		tab := Planted(rng, 30, 6, 4, k, 0)
+		if tab.Len() != 30 {
+			t.Fatalf("Len = %d", tab.Len())
+		}
+		if !tab.IsKAnonymous(k) {
+			t.Errorf("k=%d: zero-noise planted instance not k-anonymous", k)
+		}
+	}
+}
+
+func TestPlantedRemainderAbsorbed(t *testing.T) {
+	// n = 10, k = 3: the last cluster must absorb the remainder so no
+	// cluster has fewer than k rows.
+	rng := rand.New(rand.NewSource(7))
+	tab := Planted(rng, 10, 4, 3, 3, 0)
+	if tab.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tab.Len())
+	}
+	if !tab.IsKAnonymous(3) {
+		t.Error("remainder handling broke k-anonymity of zero-noise instance")
+	}
+}
+
+func TestPlantedNoiseBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	noise := 2
+	tab := Planted(rng, 40, 8, 3, 4, noise)
+	// Every row must be within `noise` of some other row's cluster...
+	// weaker but checkable: with noise ≤ 2 on degree 8, each row has a
+	// row within distance 2·noise (its cluster sibling).
+	mat := metric.NewMatrix(tab)
+	for i := 0; i < tab.Len(); i++ {
+		best := tab.Degree() + 1
+		for j := 0; j < tab.Len(); j++ {
+			if i != j && mat.Dist(i, j) < best {
+				best = mat.Dist(i, j)
+			}
+		}
+		if best > 2*noise {
+			t.Errorf("row %d has nearest neighbor at distance %d > %d", i, best, 2*noise)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tab := Zipf(rng, 2000, 1, 20, 2.0)
+	// Count frequency of the most common symbol in column 0; Zipf(2.0)
+	// should put well over a third of the mass on the mode.
+	counts := map[int32]int{}
+	for i := 0; i < tab.Len(); i++ {
+		counts[tab.Row(i)[0]]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < tab.Len()/3 {
+		t.Errorf("Zipf mode frequency %d/%d, expected heavy skew", max, tab.Len())
+	}
+}
+
+func TestZipfParameterFloors(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tab := Zipf(rng, 10, 2, 1, 0.5) // degenerate alphabet and s both floored
+	if tab.Len() != 10 || tab.Degree() != 2 {
+		t.Fatalf("shape %dx%d", tab.Len(), tab.Degree())
+	}
+}
+
+func TestCensusSchemaAndValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tab := Census(rng, 100, 8)
+	if tab.Len() != 100 || tab.Degree() != 8 {
+		t.Fatalf("shape %dx%d", tab.Len(), tab.Degree())
+	}
+	names := tab.Schema().Names()
+	if names[0] != "age" || names[2] != "sex" {
+		t.Errorf("unexpected schema %v", names)
+	}
+	// sex column only has F/M.
+	if sz := tab.Schema().Attribute(2).AlphabetSize(); sz > 2 {
+		t.Errorf("sex alphabet size %d", sz)
+	}
+}
+
+func TestCensusWideSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tab := Census(rng, 10, 19)
+	if tab.Degree() != 19 {
+		t.Fatalf("Degree = %d, want 19", tab.Degree())
+	}
+	names := tab.Schema().Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate column name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSunflowerStructure(t *testing.T) {
+	tab := Sunflower(4, 2)
+	if tab.Len() != 5 || tab.Degree() != 8 {
+		t.Fatalf("shape %dx%d, want 5x8", tab.Len(), tab.Degree())
+	}
+	mat := metric.NewMatrix(tab)
+	// Center to petal: w; petal to petal: 2w.
+	if d := mat.Dist(0, 1); d != 2 {
+		t.Errorf("center-petal distance %d, want 2", d)
+	}
+	if d := mat.Dist(1, 2); d != 4 {
+		t.Errorf("petal-petal distance %d, want 4", d)
+	}
+	all := []int{0, 1, 2, 3, 4}
+	if got := mat.Diameter(all); got != 4 {
+		t.Errorf("diameter %d, want 4", got)
+	}
+	// All 8 columns are non-uniform: group cost is 5×8 = 40 > |S|·d = 20,
+	// the counterexample driving the safe-bound discussion.
+	nonUniform := 0
+	for j := 0; j < tab.Degree(); j++ {
+		v := tab.Row(0)[j]
+		for i := 1; i < tab.Len(); i++ {
+			if tab.Row(i)[j] != v {
+				nonUniform++
+				break
+			}
+		}
+	}
+	if nonUniform != 8 {
+		t.Errorf("non-uniform columns = %d, want 8", nonUniform)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	gens := map[string]func(seed int64) *relation.Table{
+		"uniform": func(s int64) *relation.Table { return Uniform(rand.New(rand.NewSource(s)), 20, 5, 3) },
+		"planted": func(s int64) *relation.Table { return Planted(rand.New(rand.NewSource(s)), 20, 5, 3, 3, 1) },
+		"zipf":    func(s int64) *relation.Table { return Zipf(rand.New(rand.NewSource(s)), 20, 5, 6, 1.5) },
+		"census":  func(s int64) *relation.Table { return Census(rand.New(rand.NewSource(s)), 20, 6) },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			a, b := gen(42), gen(42)
+			if a.Len() != b.Len() {
+				t.Fatal("same seed, different length")
+			}
+			for i := 0; i < a.Len(); i++ {
+				sa, sb := a.Strings(i), b.Strings(i)
+				for j := range sa {
+					if sa[j] != sb[j] {
+						t.Fatalf("same seed, row %d differs: %v vs %v", i, sa, sb)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"math/rand"
+
+	"kanon/internal/dataset"
+	"kanon/internal/metric"
+)
+
+// runE9 checks, over large random corpora, the geometric facts the
+// approximation analysis rests on: d is a metric (§4's remark), Lemma
+// 4.2's ball-diameter bound d(S_{c,i}) ≤ 2i, and Figure 1's
+// diameter triangle inequality d(S_i ∪ S_j) ≤ d(S_i) + d(S_j) for
+// overlapping sets.
+func runE9(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Metric and diameter properties (Figure 1, Lemma 4.2)",
+		Header: []string{"property", "trials", "violations"},
+	}
+	trials := 4000
+	if cfg.Quick {
+		trials = 500
+	}
+	rng := rand.New(rand.NewSource(cfg.seed()))
+
+	symmetry, identity, triangle := 0, 0, 0
+	for i := 0; i < trials; i++ {
+		tab := dataset.Uniform(rng, 3, 1+rng.Intn(12), 2+rng.Intn(3))
+		u, v, w := tab.Row(0), tab.Row(1), tab.Row(2)
+		if metric.Distance(u, v) != metric.Distance(v, u) {
+			symmetry++
+		}
+		if metric.Distance(u, u) != 0 {
+			identity++
+		}
+		if metric.Distance(u, w) > metric.Distance(u, v)+metric.Distance(v, w) {
+			triangle++
+		}
+	}
+	t.AddRow("d symmetric", itoa(trials), itoa(symmetry))
+	t.AddRow("d(u,u) = 0", itoa(trials), itoa(identity))
+	t.AddRow("d triangle inequality", itoa(trials), itoa(triangle))
+
+	ballViolations := 0
+	for i := 0; i < trials/4; i++ {
+		n := 4 + rng.Intn(12)
+		m := 2 + rng.Intn(8)
+		tab := dataset.Uniform(rng, n, m, 2+rng.Intn(3))
+		mat := metric.NewMatrix(tab)
+		c := rng.Intn(n)
+		radius := rng.Intn(m + 1)
+		ball := mat.Ball(c, radius)
+		if mat.Diameter(ball) > 2*radius {
+			ballViolations++
+		}
+	}
+	t.AddRow("Lemma 4.2: d(S_{c,i}) ≤ 2i", itoa(trials/4), itoa(ballViolations))
+
+	// Figure 1: overlapping sets' union diameter.
+	fig1Violations := 0
+	for i := 0; i < trials/4; i++ {
+		n := 6 + rng.Intn(10)
+		tab := dataset.Uniform(rng, n, 3+rng.Intn(6), 2+rng.Intn(3))
+		mat := metric.NewMatrix(tab)
+		// Two random sets sharing at least one element.
+		shared := rng.Intn(n)
+		si := []int{shared}
+		sj := []int{shared}
+		for v := 0; v < n; v++ {
+			if v == shared {
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				si = append(si, v)
+			case 1:
+				sj = append(sj, v)
+			}
+		}
+		union := append(append([]int(nil), si...), sj[1:]...)
+		if mat.Diameter(union) > mat.Diameter(si)+mat.Diameter(sj) {
+			fig1Violations++
+		}
+	}
+	t.AddRow("Figure 1: d(Si∪Sj) ≤ d(Si)+d(Sj), Si∩Sj ≠ ∅", itoa(trials/4), itoa(fig1Violations))
+	return []*Table{t}, nil
+}

@@ -1,0 +1,91 @@
+package hypergraph
+
+import (
+	"math/rand"
+)
+
+// This file provides deterministic instance generators for the hardness
+// experiments (E4, E5). All take an explicit *rand.Rand so corpora are
+// reproducible from a seed.
+
+// RandomSimple returns a simple k-uniform hypergraph on n vertices with
+// (up to) m distinct random edges. If fewer than m distinct edges exist
+// it returns as many as possible.
+func RandomSimple(rng *rand.Rand, n, k, m int) *Graph {
+	g := New(n, k)
+	seen := make(map[string]bool)
+	attempts := 0
+	for g.M() < m && attempts < 50*m+100 {
+		attempts++
+		e := samplePerm(rng, n, k)
+		key := edgeKey(e)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		// AddEdge re-validates; errors cannot occur for a fresh sample.
+		if err := g.AddEdge(e...); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// RandomWithPlantedMatching returns a simple k-uniform hypergraph on n
+// vertices (n divisible by k) containing a planted perfect matching plus
+// extra random distinct edges, for a total of (up to) m edges. The
+// planted matching pairs consecutive vertex blocks after a random vertex
+// permutation, so it is hidden from positional heuristics.
+func RandomWithPlantedMatching(rng *rand.Rand, n, k, m int) *Graph {
+	if n%k != 0 {
+		panic("hypergraph: planted matching needs k | n")
+	}
+	g := New(n, k)
+	seen := make(map[string]bool)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i += k {
+		e := append([]int(nil), perm[i:i+k]...)
+		if err := g.AddEdge(e...); err != nil {
+			panic(err)
+		}
+		seen[edgeKey(sortedCopy(e))] = true
+	}
+	attempts := 0
+	for g.M() < m && attempts < 50*m+100 {
+		attempts++
+		e := samplePerm(rng, n, k)
+		key := edgeKey(e)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if err := g.AddEdge(e...); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// samplePerm samples k distinct vertices from 0..n−1, sorted.
+func samplePerm(rng *rand.Rand, n, k int) []int {
+	p := rng.Perm(n)[:k]
+	return sortedCopy(p)
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func edgeKey(sorted []int) string {
+	b := make([]byte, 0, len(sorted)*2)
+	for _, v := range sorted {
+		b = append(b, byte(v), byte(v>>8))
+	}
+	return string(b)
+}

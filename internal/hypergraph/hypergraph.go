@@ -1,0 +1,223 @@
+// Package hypergraph implements k-uniform hypergraphs and an exact
+// perfect-matching decision procedure. The paper's hardness results
+// (Theorems 3.1 and 3.2) reduce from k-Dimensional Perfect Matching:
+// given a k-uniform hypergraph H = (U, E), decide whether some n/k
+// hyperedges cover every vertex exactly once. This package supplies the
+// reduction's source problem and the ground truth the reduction
+// experiments compare against.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a k-uniform hypergraph on vertices 0..N−1. Edges are sorted
+// vertex slices of length exactly K.
+type Graph struct {
+	N     int
+	K     int
+	Edges [][]int
+}
+
+// New returns an empty k-uniform hypergraph on n vertices. It panics if
+// k < 2 or n < 0 (programmer error, not input error).
+func New(n, k int) *Graph {
+	if k < 2 {
+		panic(fmt.Sprintf("hypergraph: uniformity k = %d < 2", k))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("hypergraph: negative vertex count %d", n))
+	}
+	return &Graph{N: n, K: k}
+}
+
+// AddEdge adds a hyperedge over the given vertices. It returns an error
+// if the edge has the wrong arity, repeats a vertex, references a vertex
+// out of range, or duplicates an existing edge (the paper assumes H is
+// simple).
+func (g *Graph) AddEdge(vertices ...int) error {
+	if len(vertices) != g.K {
+		return fmt.Errorf("hypergraph: edge arity %d, want %d", len(vertices), g.K)
+	}
+	e := append([]int(nil), vertices...)
+	sort.Ints(e)
+	for i, v := range e {
+		if v < 0 || v >= g.N {
+			return fmt.Errorf("hypergraph: vertex %d out of range [0,%d)", v, g.N)
+		}
+		if i > 0 && e[i-1] == v {
+			return fmt.Errorf("hypergraph: repeated vertex %d in edge", v)
+		}
+	}
+	for _, ex := range g.Edges {
+		if equalEdge(ex, e) {
+			return fmt.Errorf("hypergraph: duplicate edge %v", e)
+		}
+	}
+	g.Edges = append(g.Edges, e)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; for tests and fixed
+// constructions.
+func (g *Graph) MustAddEdge(vertices ...int) {
+	if err := g.AddEdge(vertices...); err != nil {
+		panic(err)
+	}
+}
+
+func equalEdge(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// M reports the number of edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// IsPerfectMatching reports whether the edge-index set S is a perfect
+// matching: every vertex covered exactly once.
+func (g *Graph) IsPerfectMatching(S []int) bool {
+	if len(S)*g.K != g.N {
+		return false
+	}
+	covered := make([]bool, g.N)
+	for _, ei := range S {
+		if ei < 0 || ei >= len(g.Edges) {
+			return false
+		}
+		for _, v := range g.Edges[ei] {
+			if covered[v] {
+				return false
+			}
+			covered[v] = true
+		}
+	}
+	return true
+}
+
+// PerfectMatching searches for a perfect matching and returns the edge
+// indices of one, or nil if none exists. The search is exact: a
+// backtracking cover of the lowest uncovered vertex, memoized on the
+// covered-vertex bitmask for n ≤ 64. k-Dimensional Matching is NP-hard
+// for k ≥ 3, so exponential worst-case time is expected; instances in
+// the experiments keep n small enough (≤ ~30) for this to be instant.
+func (g *Graph) PerfectMatching() []int {
+	if g.N == 0 {
+		return []int{}
+	}
+	if g.N%g.K != 0 || g.N > 64 {
+		if g.N%g.K != 0 {
+			return nil
+		}
+		// Fall back to unmemoized search for very large vertex sets;
+		// not exercised by the experiments.
+		return g.matchNoMemo(make([]bool, g.N), nil)
+	}
+	// byVertex[v] lists edges containing v.
+	byVertex := make([][]int, g.N)
+	for ei, e := range g.Edges {
+		for _, v := range e {
+			byVertex[v] = append(byVertex[v], ei)
+		}
+	}
+	dead := make(map[uint64]bool)
+	var chosen []int
+	var rec func(mask uint64) bool
+	full := uint64(1)<<uint(g.N) - 1
+	if g.N == 64 {
+		full = ^uint64(0)
+	}
+	rec = func(mask uint64) bool {
+		if mask == full {
+			return true
+		}
+		if dead[mask] {
+			return false
+		}
+		// Lowest uncovered vertex.
+		v := 0
+		for mask&(1<<uint(v)) != 0 {
+			v++
+		}
+		for _, ei := range byVertex[v] {
+			em := uint64(0)
+			ok := true
+			for _, w := range g.Edges[ei] {
+				b := uint64(1) << uint(w)
+				if mask&b != 0 {
+					ok = false
+					break
+				}
+				em |= b
+			}
+			if !ok {
+				continue
+			}
+			chosen = append(chosen, ei)
+			if rec(mask | em) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		dead[mask] = true
+		return false
+	}
+	if rec(0) {
+		out := append([]int(nil), chosen...)
+		sort.Ints(out)
+		return out
+	}
+	return nil
+}
+
+// matchNoMemo is the unmemoized fallback for n > 64.
+func (g *Graph) matchNoMemo(covered []bool, chosen []int) []int {
+	v := -1
+	for i, c := range covered {
+		if !c {
+			v = i
+			break
+		}
+	}
+	if v == -1 {
+		out := append([]int(nil), chosen...)
+		sort.Ints(out)
+		return out
+	}
+	for ei, e := range g.Edges {
+		contains := false
+		free := true
+		for _, w := range e {
+			if w == v {
+				contains = true
+			}
+			if covered[w] {
+				free = false
+			}
+		}
+		if !contains || !free {
+			continue
+		}
+		for _, w := range e {
+			covered[w] = true
+		}
+		if out := g.matchNoMemo(covered, append(chosen, ei)); out != nil {
+			return out
+		}
+		for _, w := range e {
+			covered[w] = false
+		}
+	}
+	return nil
+}
+
+// HasPerfectMatching reports whether a perfect matching exists.
+func (g *Graph) HasPerfectMatching() bool { return g.PerfectMatching() != nil }

@@ -1,0 +1,257 @@
+package hypergraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(6, 3)
+	if err := g.AddEdge(0, 1, 2); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := g.AddEdge(0, 1, 1); err == nil {
+		t.Error("repeated vertex accepted")
+	}
+	if err := g.AddEdge(0, 1, 6); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if err := g.AddEdge(2, 1, 0); err == nil {
+		t.Error("duplicate edge (reordered) accepted")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{5, 1}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.n, c.k)
+				}
+			}()
+			New(c.n, c.k)
+		}()
+	}
+}
+
+func TestIsPerfectMatching(t *testing.T) {
+	g := New(6, 3)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(3, 4, 5)
+	g.MustAddEdge(0, 3, 4)
+	if !g.IsPerfectMatching([]int{0, 1}) {
+		t.Error("edges {0,1} form a perfect matching")
+	}
+	if g.IsPerfectMatching([]int{0, 2}) {
+		t.Error("edges {0,2} overlap at vertex 0")
+	}
+	if g.IsPerfectMatching([]int{0}) {
+		t.Error("single edge cannot cover 6 vertices")
+	}
+	if g.IsPerfectMatching([]int{0, 99}) {
+		t.Error("out-of-range edge index accepted")
+	}
+}
+
+func TestPerfectMatchingPositive(t *testing.T) {
+	g := New(9, 3)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(3, 4, 5)
+	g.MustAddEdge(6, 7, 8)
+	g.MustAddEdge(0, 3, 6) // distractors
+	g.MustAddEdge(1, 4, 7)
+	m := g.PerfectMatching()
+	if m == nil {
+		t.Fatal("matching exists but was not found")
+	}
+	if !g.IsPerfectMatching(m) {
+		t.Fatalf("returned non-matching %v", m)
+	}
+}
+
+func TestPerfectMatchingNegative(t *testing.T) {
+	// Every edge uses vertex 0, so at most one edge can be chosen and
+	// 6 vertices cannot be covered.
+	g := New(6, 3)
+	g.MustAddEdge(0, 1, 2)
+	g.MustAddEdge(0, 3, 4)
+	g.MustAddEdge(0, 4, 5)
+	if g.HasPerfectMatching() {
+		t.Error("found matching in matchless graph")
+	}
+}
+
+func TestPerfectMatchingIndivisible(t *testing.T) {
+	g := New(7, 3)
+	g.MustAddEdge(0, 1, 2)
+	if g.PerfectMatching() != nil {
+		t.Error("7 vertices cannot be perfectly matched by 3-edges")
+	}
+}
+
+func TestPerfectMatchingEmptyGraph(t *testing.T) {
+	g := New(0, 3)
+	m := g.PerfectMatching()
+	if m == nil || len(m) != 0 {
+		t.Errorf("empty graph should have the empty matching, got %v", m)
+	}
+}
+
+func TestPerfectMatchingNoEdges(t *testing.T) {
+	g := New(3, 3)
+	if g.HasPerfectMatching() {
+		t.Error("edgeless graph cannot have a matching")
+	}
+}
+
+// TestPlantedAlwaysMatched: the planted generator must always produce a
+// graph with a perfect matching, and the solver must find one.
+func TestPlantedAlwaysMatched(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(3)
+		blocks := 1 + rng.Intn(4)
+		n := k * blocks
+		m := blocks + rng.Intn(10)
+		g := RandomWithPlantedMatching(rng, n, k, m)
+		match := g.PerfectMatching()
+		return match != nil && g.IsPerfectMatching(match)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolverAgreesWithBruteForce cross-checks the memoized solver
+// against exhaustive subset search on tiny instances.
+func TestSolverAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		k := 2 + rng.Intn(2)
+		n := k * (1 + rng.Intn(3))
+		m := 1 + rng.Intn(8)
+		g := RandomSimple(rng, n, k, m)
+		want := bruteForceHasMatching(g)
+		if got := g.HasPerfectMatching(); got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v on %+v", trial, got, want, g)
+		}
+	}
+}
+
+func bruteForceHasMatching(g *Graph) bool {
+	need := g.N / g.K
+	if g.N%g.K != 0 {
+		return false
+	}
+	idx := make([]int, need)
+	var rec func(pos, from int) bool
+	rec = func(pos, from int) bool {
+		if pos == need {
+			return g.IsPerfectMatching(idx)
+		}
+		for e := from; e < g.M(); e++ {
+			idx[pos] = e
+			if rec(pos+1, e+1) {
+				return true
+			}
+		}
+		return false
+	}
+	if need == 0 {
+		return true
+	}
+	return rec(0, 0)
+}
+
+func TestRandomSimpleProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomSimple(rng, 10, 3, 15)
+	if g.M() > 15 {
+		t.Errorf("M = %d > requested 15", g.M())
+	}
+	seen := map[string]bool{}
+	for _, e := range g.Edges {
+		if len(e) != 3 {
+			t.Errorf("edge arity %d", len(e))
+		}
+		k := edgeKey(e)
+		if seen[k] {
+			t.Errorf("duplicate edge %v", e)
+		}
+		seen[k] = true
+	}
+}
+
+func TestRandomSimpleSaturation(t *testing.T) {
+	// Only C(3,2) = 3 distinct edges exist; asking for 10 must not loop
+	// forever and must return at most 3.
+	rng := rand.New(rand.NewSource(5))
+	g := RandomSimple(rng, 3, 2, 10)
+	if g.M() > 3 {
+		t.Errorf("M = %d, want ≤ 3", g.M())
+	}
+}
+
+func TestPlantedNeedsDivisibility(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RandomWithPlantedMatching accepted n not divisible by k")
+		}
+	}()
+	RandomWithPlantedMatching(rand.New(rand.NewSource(1)), 7, 3, 5)
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := RandomSimple(rand.New(rand.NewSource(99)), 12, 3, 20)
+	b := RandomSimple(rand.New(rand.NewSource(99)), 12, 3, 20)
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts %d vs %d", a.M(), b.M())
+	}
+	for i := range a.Edges {
+		if !equalEdge(a.Edges[i], b.Edges[i]) {
+			t.Fatalf("same seed, different edge %d: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}
+
+func TestMustAddEdgePanics(t *testing.T) {
+	g := New(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddEdge did not panic on invalid edge")
+		}
+	}()
+	g.MustAddEdge(0, 0)
+}
+
+// TestLargeVertexFallback exercises the unmemoized search used when the
+// vertex count exceeds the 64-bit mask.
+func TestLargeVertexFallback(t *testing.T) {
+	n := 66
+	g := New(n, 3)
+	// Planted matching over consecutive triples plus a few distractors.
+	for v := 0; v < n; v += 3 {
+		g.MustAddEdge(v, v+1, v+2)
+	}
+	g.MustAddEdge(0, 4, 8)
+	g.MustAddEdge(1, 5, 9)
+	m := g.PerfectMatching()
+	if m == nil || !g.IsPerfectMatching(m) {
+		t.Fatalf("fallback solver failed on 66-vertex planted instance: %v", m)
+	}
+	// Matchless large instance: every edge shares vertex 0 except the
+	// planted first triple removed.
+	g2 := New(66, 3)
+	g2.MustAddEdge(0, 1, 2)
+	g2.MustAddEdge(0, 3, 4)
+	if g2.HasPerfectMatching() {
+		t.Error("fallback found matching in matchless 66-vertex graph")
+	}
+}

@@ -1,0 +1,217 @@
+// Package lattice implements full-domain generalization — the original
+// k-anonymity mechanism of Samarati & Sweeney ([10] in the paper, the
+// model behind the paper's §1 example). Every value of attribute j is
+// generalized to the same level ℓ_j of that attribute's hierarchy; a
+// release is a node (ℓ_1, …, ℓ_m) of the product lattice. The goal is a
+// minimal-height node whose projection is k-anonymous, optionally after
+// fully suppressing at most maxSup outlier rows.
+//
+// The search exploits generalization monotonicity: if a node is
+// feasible, so is every node above it. Samarati's algorithm binary
+// searches on total height; this implementation enumerates nodes in
+// height order with early exit (equivalent result, simpler, and it can
+// return *all* minimal-height solutions), which is comfortably fast for
+// the m ≤ 10 quasi-identifier counts the model is used with.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+
+	"kanon/internal/generalize"
+	"kanon/internal/relation"
+)
+
+// Node is one lattice point: a generalization level per column.
+type Node struct {
+	// Levels[j] is how many hierarchy edges column j's values climb.
+	Levels []int
+	// Height is the sum of levels.
+	Height int
+	// Suppressed lists the row indices removed as outliers (rows whose
+	// equivalence class stayed below k at this node).
+	Suppressed []int
+	// Rows is the generalized release (suppressed rows excluded),
+	// parallel to Kept.
+	Rows [][]string
+	// Kept lists the surviving original row indices, parallel to Rows.
+	Kept []int
+}
+
+// Search finds the minimal-height feasible node(s). It returns the
+// lexicographically smallest level vector among them (a deterministic
+// representative) and the full list of minimal solutions' level
+// vectors. maxSup bounds how many rows may be dropped as outliers.
+func Search(t *relation.Table, scheme generalize.Scheme, k, maxSup int) (*Node, [][]int, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("lattice: k = %d < 1", k)
+	}
+	if t.Len() == 0 {
+		return nil, nil, fmt.Errorf("lattice: empty table")
+	}
+	if len(scheme) != t.Degree() {
+		return nil, nil, fmt.Errorf("lattice: scheme has %d hierarchies for degree %d", len(scheme), t.Degree())
+	}
+	if maxSup < 0 {
+		maxSup = 0
+	}
+	m := t.Degree()
+
+	// Per column: the generalization chain of every row value, bottom-up.
+	// chains[j][i] = path from row i's value at column j to the root.
+	chains := make([][][]string, m)
+	maxLevel := make([]int, m)
+	for j := 0; j < m; j++ {
+		h := scheme[j]
+		if h == nil {
+			h = generalize.Suppression()
+		}
+		chains[j] = make([][]string, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			v := t.Schema().Attribute(j).Value(t.Row(i)[j])
+			chains[j][i] = chainOf(h, v)
+			if l := len(chains[j][i]) - 1; l > maxLevel[j] {
+				maxLevel[j] = l
+			}
+		}
+	}
+
+	// Enumerate level vectors in height order.
+	totalMax := 0
+	for _, l := range maxLevel {
+		totalMax += l
+	}
+	levels := make([]int, m)
+	var minimal [][]int
+	for height := 0; height <= totalMax; height++ {
+		minimal = minimal[:0]
+		enumerate(levels, 0, height, maxLevel, func() {
+			if feasible(t, chains, levels, k, maxSup) {
+				minimal = append(minimal, append([]int(nil), levels...))
+			}
+		})
+		if len(minimal) > 0 {
+			sort.Slice(minimal, func(a, b int) bool {
+				for j := range minimal[a] {
+					if minimal[a][j] != minimal[b][j] {
+						return minimal[a][j] < minimal[b][j]
+					}
+				}
+				return false
+			})
+			node := materialize(t, chains, minimal[0], k)
+			return node, minimal, nil
+		}
+	}
+	// The all-root node makes every row identical, so with n ≥ k this
+	// is unreachable; n < k needs full suppression of everything.
+	if t.Len() <= maxSup {
+		node := &Node{Levels: make([]int, m), Suppressed: allRows(t.Len())}
+		return node, [][]int{node.Levels}, nil
+	}
+	return nil, nil, fmt.Errorf("lattice: no feasible node (n = %d < k = %d and maxSup = %d)", t.Len(), k, maxSup)
+}
+
+func allRows(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// chainOf is the hierarchy chain from value to root.
+func chainOf(h *generalize.Hierarchy, value string) []string {
+	return h.Chain(value)
+}
+
+// enumerate calls fn for every assignment of levels[j] ∈ [0, maxLevel[j]]
+// with Σ levels = height.
+func enumerate(levels []int, j, remaining int, maxLevel []int, fn func()) {
+	if j == len(levels) {
+		if remaining == 0 {
+			fn()
+		}
+		return
+	}
+	// Prune: the remaining columns cannot absorb more than their max.
+	rest := 0
+	for jj := j; jj < len(maxLevel); jj++ {
+		rest += maxLevel[jj]
+	}
+	if remaining > rest {
+		return
+	}
+	for l := 0; l <= maxLevel[j] && l <= remaining; l++ {
+		levels[j] = l
+		enumerate(levels, j+1, remaining-l, maxLevel, fn)
+	}
+	levels[j] = 0
+}
+
+// labelAt returns row i's column-j label generalized to the given level
+// (clamped to the value's own chain length).
+func labelAt(chains [][][]string, i, j, level int) string {
+	c := chains[j][i]
+	if level >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[level]
+}
+
+// feasible reports whether the node k-anonymizes the table after
+// suppressing at most maxSup violating rows.
+func feasible(t *relation.Table, chains [][][]string, levels []int, k, maxSup int) bool {
+	counts := make(map[string]int, t.Len())
+	keys := make([]string, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		key := rowKey(chains, i, levels)
+		keys[i] = key
+		counts[key]++
+	}
+	bad := 0
+	for _, key := range keys {
+		if counts[key] < k {
+			bad++
+			if bad > maxSup {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func rowKey(chains [][][]string, i int, levels []int) string {
+	out := ""
+	for j, l := range levels {
+		out += labelAt(chains, i, j, l) + "\x00"
+	}
+	return out
+}
+
+// materialize builds the released table for a feasible node.
+func materialize(t *relation.Table, chains [][][]string, levels []int, k int) *Node {
+	counts := make(map[string]int, t.Len())
+	keys := make([]string, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		keys[i] = rowKey(chains, i, levels)
+		counts[keys[i]]++
+	}
+	node := &Node{Levels: append([]int(nil), levels...)}
+	for _, l := range levels {
+		node.Height += l
+	}
+	for i := 0; i < t.Len(); i++ {
+		if counts[keys[i]] < k {
+			node.Suppressed = append(node.Suppressed, i)
+			continue
+		}
+		row := make([]string, len(levels))
+		for j, l := range levels {
+			row[j] = labelAt(chains, i, j, l)
+		}
+		node.Rows = append(node.Rows, row)
+		node.Kept = append(node.Kept, i)
+	}
+	return node
+}

@@ -1,0 +1,272 @@
+package lattice
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kanon/internal/generalize"
+	"kanon/internal/relation"
+)
+
+// zipAgeTable: zip has a 2-level hierarchy (digit prefixes), age a
+// 2-level hierarchy (bands).
+func zipAgeTable(t *testing.T) (*relation.Table, generalize.Scheme) {
+	t.Helper()
+	tab := relation.NewTable(relation.NewSchema("zip", "age"))
+	for _, r := range [][]string{
+		{"15213", "34"}, {"15217", "36"},
+		{"15213", "47"}, {"15217", "49"},
+	} {
+		if err := tab.AppendStrings(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	zip := generalize.NewHierarchy("*")
+	zip.MustAdd("152**", "*")
+	zip.MustAdd("15213", "152**")
+	zip.MustAdd("15217", "152**")
+	age := generalize.NewHierarchy("*")
+	age.MustAdd("30-39", "*")
+	age.MustAdd("40-49", "*")
+	age.MustAdd("34", "30-39")
+	age.MustAdd("36", "30-39")
+	age.MustAdd("47", "40-49")
+	age.MustAdd("49", "40-49")
+	return tab, generalize.Scheme{zip, age}
+}
+
+func TestSearchFindsMinimalNode(t *testing.T) {
+	tab, scheme := zipAgeTable(t)
+	node, minimal, err := Search(tab, scheme, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generalizing zip one level (152**) and age one level (bands)
+	// creates two classes of 2: (152**, 30-39) and (152**, 40-49).
+	// Height 2 is minimal: height 0 is the raw table (all distinct);
+	// at height 1, either zips alone (ages still distinguish) or ages
+	// alone (zips distinguish) stay 1-anonymous.
+	if node.Height != 2 {
+		t.Fatalf("height = %d (levels %v), want 2", node.Height, node.Levels)
+	}
+	if len(node.Suppressed) != 0 {
+		t.Errorf("suppressed %v, want none", node.Suppressed)
+	}
+	if len(node.Rows) != 4 {
+		t.Fatalf("released %d rows", len(node.Rows))
+	}
+	// Two minimal nodes exist at height 2: (0,2) — ages suppressed to *
+	// — and (1,1) — both columns one level up. (2,0) is infeasible
+	// because distinct ages survive. The representative is the
+	// lexicographically smallest, (0,2).
+	if len(minimal) != 2 {
+		t.Fatalf("minimal = %v, want two nodes", minimal)
+	}
+	if minimal[0][0] != 0 || minimal[0][1] != 2 || minimal[1][0] != 1 || minimal[1][1] != 1 {
+		t.Errorf("minimal = %v, want [[0 2] [1 1]]", minimal)
+	}
+	if node.Rows[0][0] != "15213" || node.Rows[0][1] != "*" {
+		t.Errorf("row 0 = %v, want [15213 *]", node.Rows[0])
+	}
+}
+
+func TestSearchHeightZeroWhenAlreadyAnonymous(t *testing.T) {
+	tab := relation.NewTable(relation.NewSchema("a"))
+	for _, v := range []string{"x", "x", "x"} {
+		if err := tab.AppendStrings(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node, _, err := Search(tab, generalize.Scheme{generalize.Suppression()}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Height != 0 {
+		t.Errorf("height = %d, want 0", node.Height)
+	}
+}
+
+func TestSuppressionBudgetLowersHeight(t *testing.T) {
+	// Three rows pair up after one generalization; a single outlier
+	// otherwise forces the root. With maxSup = 1 the outlier is dropped
+	// instead.
+	tab := relation.NewTable(relation.NewSchema("v"))
+	for _, v := range []string{"a1", "a2", "a1", "zz"} {
+		if err := tab.AppendStrings(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := generalize.NewHierarchy("*")
+	h.MustAdd("A", "*")
+	h.MustAdd("a1", "A")
+	h.MustAdd("a2", "A")
+	h.MustAdd("Z", "*")
+	h.MustAdd("zz", "Z")
+	scheme := generalize.Scheme{h}
+
+	strict, _, err := Search(tab, scheme, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Height != 2 { // must climb to * to merge zz with the rest
+		t.Errorf("strict height = %d, want 2", strict.Height)
+	}
+	relaxed, _, err := Search(tab, scheme, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Height != 1 {
+		t.Errorf("relaxed height = %d, want 1", relaxed.Height)
+	}
+	if len(relaxed.Suppressed) != 1 || relaxed.Suppressed[0] != 3 {
+		t.Errorf("suppressed = %v, want [3]", relaxed.Suppressed)
+	}
+	if len(relaxed.Kept) != 3 {
+		t.Errorf("kept = %v", relaxed.Kept)
+	}
+}
+
+func TestSearchAllMinimalSolutions(t *testing.T) {
+	// Symmetric instance: generalizing either column alone suffices, so
+	// there are exactly two minimal nodes at height 1.
+	tab := relation.NewTable(relation.NewSchema("x", "y"))
+	for _, r := range [][]string{
+		{"x1", "y1"}, {"x2", "y2"},
+	} {
+		if err := tab.AppendStrings(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hx := generalize.NewHierarchy("*")
+	hx.MustAdd("x1", "*")
+	hx.MustAdd("x2", "*")
+	hy := generalize.NewHierarchy("*")
+	hy.MustAdd("y1", "*")
+	hy.MustAdd("y2", "*")
+	node, minimal, err := Search(tab, generalize.Scheme{hx, hy}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Height 1 cannot merge the rows (the other column still differs),
+	// so the answer is height 2 with a single node (1,1).
+	if node.Height != 2 || len(minimal) != 1 {
+		t.Errorf("height %d, minimal %v", node.Height, minimal)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	tab, scheme := zipAgeTable(t)
+	if _, _, err := Search(tab, scheme, 0, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, _, err := Search(tab, scheme[:1], 2, 0); err == nil {
+		t.Error("accepted short scheme")
+	}
+	empty := relation.NewTable(relation.NewSchema("a"))
+	if _, _, err := Search(empty, generalize.Scheme{nil}, 2, 0); err == nil {
+		t.Error("accepted empty table")
+	}
+	// n < k without budget is infeasible even at the root.
+	small := relation.NewTable(relation.NewSchema("a"))
+	if err := small.AppendStrings("v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Search(small, generalize.Scheme{nil}, 2, 0); err == nil {
+		t.Error("accepted n < k with no suppression budget")
+	}
+	// …but with budget ≥ n the degenerate all-suppressed node works.
+	node, _, err := Search(small, generalize.Scheme{nil}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Suppressed) != 1 || len(node.Rows) != 0 {
+		t.Errorf("degenerate node = %+v", node)
+	}
+}
+
+func TestNilHierarchyMeansSuppression(t *testing.T) {
+	tab := relation.NewTable(relation.NewSchema("a", "b"))
+	for _, r := range [][]string{{"p", "1"}, {"p", "2"}} {
+		if err := tab.AppendStrings(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node, _, err := Search(tab, generalize.Scheme{nil, nil}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column b must climb to * (suppression); column a is already
+	// uniform.
+	if node.Height != 1 || node.Rows[0][1] != "*" {
+		t.Errorf("node = %+v", node)
+	}
+	if node.Rows[0][0] != "p" {
+		t.Errorf("column a generalized unnecessarily: %v", node.Rows[0])
+	}
+}
+
+// TestReleaseIsKAnonymous: on random tables with random 2-level
+// hierarchies, the released rows always form classes of size ≥ k.
+func TestReleaseIsKAnonymous(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(10)
+		m := 2 + rng.Intn(2)
+		tab := relation.NewTable(relation.NewSchema(colNames(m)...))
+		scheme := make(generalize.Scheme, m)
+		for j := 0; j < m; j++ {
+			h := generalize.NewHierarchy("*")
+			h.MustAdd("G0", "*")
+			h.MustAdd("G1", "*")
+			for v := 0; v < 4; v++ {
+				h.MustAdd(val(j, v), "G"+itoa(v%2))
+			}
+			scheme[j] = h
+		}
+		for i := 0; i < n; i++ {
+			row := make([]string, m)
+			for j := range row {
+				row[j] = val(j, rng.Intn(4))
+			}
+			if err := tab.AppendStrings(row...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k := 2 + rng.Intn(2)
+		maxSup := rng.Intn(3)
+		node, _, err := Search(tab, scheme, k, maxSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(node.Suppressed) > maxSup {
+			t.Fatalf("trial %d: suppressed %d > budget %d", trial, len(node.Suppressed), maxSup)
+		}
+		counts := map[string]int{}
+		for _, r := range node.Rows {
+			counts[strings.Join(r, "|")]++
+		}
+		for key, c := range counts {
+			if c < k {
+				t.Fatalf("trial %d: class %q has %d < k rows", trial, key, c)
+			}
+		}
+	}
+}
+
+func colNames(m int) []string {
+	out := make([]string, m)
+	for j := range out {
+		out[j] = "c" + itoa(j)
+	}
+	return out
+}
+
+func val(j, v int) string { return "v" + itoa(j) + "_" + itoa(v) }
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + itoa(n%10)
+}

@@ -1,0 +1,223 @@
+// Package metric implements the distance of Definition 4.1 and the group
+// diameter machinery that drives both of the paper's approximation
+// algorithms.
+//
+// For u, v ∈ Σ^m the distance d(u, v) = |{j : u[j] ≠ v[j]}| is the number
+// of coordinates on which the vectors disagree — the Hamming distance on
+// symbol codes. The diameter of a set S is max_{u,v∈S} d(u, v). The
+// paper notes (and TestDistanceIsMetric verifies) that d is a metric.
+package metric
+
+import (
+	"runtime"
+	"sync"
+
+	"kanon/internal/relation"
+)
+
+// Distance returns d(u, v), the number of coordinates where the rows
+// differ. Suppressed entries (relation.Star) compare like any other
+// symbol: star equals star and differs from every concrete value. The
+// paper only ever measures distance on un-suppressed vectors, but this
+// convention makes the function total.
+func Distance(u, v relation.Row) int {
+	d := 0
+	for j := range u {
+		if u[j] != v[j] {
+			d++
+		}
+	}
+	return d
+}
+
+// Diameter returns the diameter of the set of rows at the given indices
+// of t: the maximum pairwise distance. The diameter of an empty or
+// singleton set is 0.
+func Diameter(t *relation.Table, indices []int) int {
+	best := 0
+	for a := 0; a < len(indices); a++ {
+		ra := t.Row(indices[a])
+		for b := a + 1; b < len(indices); b++ {
+			if d := Distance(ra, t.Row(indices[b])); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// DiameterRows is Diameter over explicit rows rather than table indices.
+func DiameterRows(rows []relation.Row) int {
+	best := 0
+	for a := 0; a < len(rows); a++ {
+		for b := a + 1; b < len(rows); b++ {
+			if d := Distance(rows[a], rows[b]); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Matrix is a precomputed symmetric distance matrix over the rows of a
+// table. Both approximation algorithms consult pairwise distances
+// heavily; precomputing them once turns the inner loops into table
+// lookups.
+type Matrix struct {
+	n int
+	d []int16 // row-major n×n; distances fit easily in int16 (m ≤ 32767)
+}
+
+// NewMatrixFunc builds a matrix from an arbitrary symmetric distance
+// function over indices 0..n−1. Used by the generalization extension,
+// whose per-cell costs come from hierarchy trees rather than symbol
+// equality; any metric works with the cover machinery.
+func NewMatrixFunc(n int, dist func(i, j int) int) *Matrix {
+	m := &Matrix{n: n, d: make([]int16, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := int16(dist(i, j))
+			m.d[i*n+j] = d
+			m.d[j*n+i] = d
+		}
+	}
+	return m
+}
+
+// parallelThreshold is the row count above which NewMatrix fans the
+// O(n²m) distance computation out over all CPUs. Below it the goroutine
+// overhead outweighs the work.
+const parallelThreshold = 256
+
+// NewMatrix computes the full pairwise distance matrix of t. Large
+// tables are computed in parallel; the result is identical either way
+// (each worker owns disjoint rows of the output).
+func NewMatrix(t *relation.Table) *Matrix {
+	n := t.Len()
+	m := &Matrix{n: n, d: make([]int16, n*n)}
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := t.Row(i)
+			for j := i + 1; j < n; j++ {
+				d := int16(Distance(ri, t.Row(j)))
+				m.d[i*n+j] = d
+				m.d[j*n+i] = d
+			}
+		}
+	}
+	if n < parallelThreshold {
+		fill(0, n)
+		return m
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	// Row i costs ~(n−i) pairs; interleave rows across workers so the
+	// load balances without a work queue.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fill(i, i+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m
+}
+
+// Len reports the number of rows the matrix covers.
+func (m *Matrix) Len() int { return m.n }
+
+// Dist returns d(row i, row j).
+func (m *Matrix) Dist(i, j int) int { return int(m.d[i*m.n+j]) }
+
+// Diameter returns the diameter of the index set using precomputed
+// distances.
+func (m *Matrix) Diameter(indices []int) int {
+	best := 0
+	for a := 0; a < len(indices); a++ {
+		ia := indices[a]
+		for b := a + 1; b < len(indices); b++ {
+			if d := m.Dist(ia, indices[b]); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// DiameterWith returns the diameter of indices ∪ {extra}, given the
+// diameter of indices, in O(|indices|) — the incremental step used by
+// the exhaustive-family enumerator.
+func (m *Matrix) DiameterWith(indices []int, current int, extra int) int {
+	best := current
+	for _, i := range indices {
+		if d := m.Dist(i, extra); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Ball returns the indices v with d(center, v) ≤ radius, in index order.
+// This is the paper's S_{c,i} (§4.3).
+func (m *Matrix) Ball(center, radius int) []int {
+	var out []int
+	for v := 0; v < m.n; v++ {
+		if m.Dist(center, v) <= radius {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// KthNearest returns, for each row i, the distance to its r-th nearest
+// other row (r ≥ 1). Every k-group containing i must contain k−1 other
+// rows, each of which forces at least d(i, ·) suppressed coordinates on
+// i; hence KthNearest(k−1) is a per-row lower bound used by the
+// branch-and-bound exact solver.
+func (m *Matrix) KthNearest(r int) []int {
+	out := make([]int, m.n)
+	if r <= 0 {
+		return out
+	}
+	buf := make([]int, 0, m.n-1)
+	for i := 0; i < m.n; i++ {
+		buf = buf[:0]
+		for j := 0; j < m.n; j++ {
+			if j != i {
+				buf = append(buf, m.Dist(i, j))
+			}
+		}
+		// Selection of the r-th smallest; n is small enough that a
+		// partial insertion pass beats sorting allocations.
+		out[i] = kthSmallest(buf, r)
+	}
+	return out
+}
+
+// kthSmallest returns the r-th smallest element (1-based) of xs,
+// mutating xs. If r > len(xs) it returns the maximum.
+func kthSmallest(xs []int, r int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	if r > len(xs) {
+		r = len(xs)
+	}
+	// Simple partial selection sort: r is tiny (k−1 ≤ a handful).
+	for a := 0; a < r; a++ {
+		min := a
+		for b := a + 1; b < len(xs); b++ {
+			if xs[b] < xs[min] {
+				min = b
+			}
+		}
+		xs[a], xs[min] = xs[min], xs[a]
+	}
+	return xs[r-1]
+}

@@ -1,0 +1,103 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"kanon/internal/dataset"
+	"kanon/internal/exact"
+	"kanon/internal/relation"
+)
+
+func TestAnonymizeValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{2, 3} {
+		tab := dataset.Uniform(rng, 20, 5, 2)
+		r, err := Anonymize(tab, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Anonymized.IsKAnonymous(k) {
+			t.Errorf("k=%d: output not k-anonymous", k)
+		}
+		if r.Anonymized.TotalStars() != r.Cost {
+			t.Errorf("k=%d: cost %d != stars %d", k, r.Cost, r.Anonymized.TotalStars())
+		}
+		if r.FamilySize == 0 {
+			t.Error("family size not recorded")
+		}
+	}
+}
+
+func TestAnonymizeDuplicateHeavy(t *testing.T) {
+	// Duplicate-heavy data: the full-column pattern buckets have ≥ k
+	// rows, so the solver pays nothing.
+	tab := relation.MustFromVectors([][]int{
+		{1, 2, 3}, {1, 2, 3}, {4, 5, 6}, {4, 5, 6}, {1, 2, 3},
+	})
+	r, err := Anonymize(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 {
+		t.Errorf("cost = %d, want 0", r.Cost)
+	}
+}
+
+func TestAnonymizeErrors(t *testing.T) {
+	tab := relation.MustFromVectors([][]int{{1}, {2}})
+	if _, err := Anonymize(tab, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := Anonymize(tab, 3); err == nil {
+		t.Error("accepted n < k")
+	}
+	wide := dataset.Uniform(rand.New(rand.NewSource(2)), 4, MaxColumns+1, 2)
+	if _, err := Anonymize(wide, 2); err == nil {
+		t.Error("accepted m over limit")
+	}
+}
+
+// TestNearOptimalOnSmallInstances: the pattern family contains every
+// group of every optimal solution at exact cost, so greedy lands close
+// to OPT; assert within the set-cover factor on a fixed corpus.
+func TestNearOptimalOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + rng.Intn(6)
+		k := 2 + trial%2
+		tab := dataset.Uniform(rng, n, 4, 2)
+		opt, err := exact.OPT(tab, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Anonymize(tab, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cost < opt {
+			t.Fatalf("trial %d: pattern cost %d below OPT %d", trial, r.Cost, opt)
+		}
+		if ratio := exact.Ratio(r.Cost, opt); ratio > 3 {
+			t.Errorf("trial %d: ratio %.2f unexpectedly poor (cost %d, OPT %d)", trial, ratio, r.Cost, opt)
+		}
+	}
+}
+
+func TestBestSingleGroup(t *testing.T) {
+	tab := relation.MustFromVectors([][]int{
+		{1, 9}, {1, 8}, {2, 7}, {2, 6},
+	})
+	// Row 0's cheapest ≥2-group: keep column 0 (value 1) → rows {0,1},
+	// starring column 1: weight 2·1 = 2.
+	members, weight, err := BestSingleGroup(tab, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weight != 2 || len(members) != 2 || members[0] != 0 || members[1] != 1 {
+		t.Errorf("got members=%v weight=%d, want [0 1] weight 2", members, weight)
+	}
+	if _, _, err := BestSingleGroup(tab, 2, 99); err == nil {
+		t.Error("accepted out-of-range row")
+	}
+}

@@ -1,0 +1,112 @@
+// Package quality computes standard utility metrics of a k-anonymized
+// release. The paper's objective is the raw count of suppressed entries;
+// deployments usually look at a small dashboard of derived measures
+// when comparing releases, and the E8 baseline study reports them:
+//
+//   - suppression rate, overall and per column (which attributes the
+//     release sacrificed);
+//   - the discernibility metric DM = Σ_groups |g|² (Bayardo & Agrawal):
+//     each row is charged the size of its equivalence class;
+//   - the normalized average group size C_avg = (n / #groups) / k
+//     (LeFevre et al.): 1.0 means groups are as small as k-anonymity
+//     permits — no unnecessary blurring.
+package quality
+
+import (
+	"fmt"
+
+	"kanon/internal/core"
+	"kanon/internal/relation"
+)
+
+// Report holds the utility metrics of one anonymized table.
+type Report struct {
+	Rows    int
+	Columns int
+	K       int
+
+	// Stars is the total suppressed entries; StarsPerColumn breaks it
+	// down by column index.
+	Stars          int
+	StarsPerColumn []int
+	// SuppressionRate is Stars / (Rows·Columns).
+	SuppressionRate float64
+
+	// Groups is the number of equivalence classes; GroupSizes the sorted
+	// multiset of their sizes (ascending).
+	Groups     int
+	GroupSizes []int
+	// MinGroup is the smallest class — the release is MinGroup-anonymous.
+	MinGroup int
+
+	// Discernibility is Σ |g|².
+	Discernibility int
+	// CAvg is (Rows/Groups)/K; 0 if K = 0.
+	CAvg float64
+
+	// ProsecutorRisk is the worst-case re-identification probability
+	// for an attacker who knows their target is in the release:
+	// 1 / MinGroup.
+	ProsecutorRisk float64
+	// AvgRisk is the expected re-identification probability for a
+	// uniformly chosen row: (1/n) Σ_rows 1/|class(row)| = Groups / Rows.
+	AvgRisk float64
+}
+
+// Measure computes the Report for an anonymized table against the
+// anonymity parameter k it was produced for.
+func Measure(t *relation.Table, k int) (*Report, error) {
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("quality: empty table")
+	}
+	r := &Report{
+		Rows:           t.Len(),
+		Columns:        t.Degree(),
+		K:              k,
+		StarsPerColumn: make([]int, t.Degree()),
+	}
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		for j, c := range row {
+			if c == relation.Star {
+				r.Stars++
+				r.StarsPerColumn[j]++
+			}
+		}
+	}
+	r.SuppressionRate = float64(r.Stars) / float64(r.Rows*r.Columns)
+
+	p := core.FromAnonymized(t)
+	r.Groups = len(p.Groups)
+	r.MinGroup = t.Len()
+	for _, g := range p.Groups {
+		r.GroupSizes = append(r.GroupSizes, len(g))
+		r.Discernibility += len(g) * len(g)
+		if len(g) < r.MinGroup {
+			r.MinGroup = len(g)
+		}
+	}
+	sortInts(r.GroupSizes)
+	if k > 0 {
+		r.CAvg = float64(r.Rows) / float64(r.Groups) / float64(k)
+	}
+	r.ProsecutorRisk = 1 / float64(r.MinGroup)
+	r.AvgRisk = float64(r.Groups) / float64(r.Rows)
+	return r, nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// String renders the report as a short human-readable block.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"rows=%d cols=%d k=%d stars=%d (%.1f%%) groups=%d min-group=%d DM=%d C_avg=%.2f risk=%.3f/%.3f",
+		r.Rows, r.Columns, r.K, r.Stars, 100*r.SuppressionRate,
+		r.Groups, r.MinGroup, r.Discernibility, r.CAvg, r.ProsecutorRisk, r.AvgRisk)
+}

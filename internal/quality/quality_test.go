@@ -1,0 +1,112 @@
+package quality
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kanon/internal/algo"
+	"kanon/internal/dataset"
+	"kanon/internal/relation"
+)
+
+func TestMeasureKnownTable(t *testing.T) {
+	tab := relation.NewTable(relation.NewSchema("a", "b"))
+	for _, r := range [][]string{
+		{"*", "x"}, {"*", "x"}, // group of 2, 2 stars in column 0
+		{"y", "*"}, {"y", "*"}, {"y", "*"}, // group of 3, 3 stars in column 1
+	} {
+		if err := tab.AppendStrings(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := Measure(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows != 5 || r.Columns != 2 || r.Stars != 5 {
+		t.Errorf("basic counts wrong: %+v", r)
+	}
+	if r.StarsPerColumn[0] != 2 || r.StarsPerColumn[1] != 3 {
+		t.Errorf("per-column stars = %v", r.StarsPerColumn)
+	}
+	if r.SuppressionRate != 0.5 {
+		t.Errorf("rate = %v, want 0.5", r.SuppressionRate)
+	}
+	if r.Groups != 2 || r.MinGroup != 2 {
+		t.Errorf("groups = %d, min = %d", r.Groups, r.MinGroup)
+	}
+	if r.Discernibility != 4+9 {
+		t.Errorf("DM = %d, want 13", r.Discernibility)
+	}
+	if want := (5.0 / 2.0) / 2.0; r.CAvg != want {
+		t.Errorf("CAvg = %v, want %v", r.CAvg, want)
+	}
+	if r.GroupSizes[0] != 2 || r.GroupSizes[1] != 3 {
+		t.Errorf("sizes = %v", r.GroupSizes)
+	}
+	s := r.String()
+	for _, want := range []string{"rows=5", "DM=13", "min-group=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	tab := relation.NewTable(relation.NewSchema("a"))
+	if _, err := Measure(tab, 2); err == nil {
+		t.Error("accepted empty table")
+	}
+}
+
+func TestMeasureOnAlgorithmOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := dataset.Census(rng, 60, 6)
+	res, err := algo.GreedyBall(tab, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Measure(res.Anonymized, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stars != res.Cost {
+		t.Errorf("stars %d != algorithm cost %d", r.Stars, res.Cost)
+	}
+	if r.MinGroup < 3 {
+		t.Errorf("min group %d < k", r.MinGroup)
+	}
+	// C_avg ≥ 1 always (no class can be smaller than k); it may exceed
+	// (2k−1)/k because distinct partition groups whose anonymized rows
+	// coincide merge into one textual equivalence class.
+	if r.CAvg < 1 {
+		t.Errorf("CAvg = %v < 1", r.CAvg)
+	}
+	// DM bounds: n·k ≤ DM ≤ n·maxGroup.
+	if r.Discernibility < r.Rows*3 {
+		t.Errorf("DM = %d below n·k", r.Discernibility)
+	}
+}
+
+func TestRiskMetrics(t *testing.T) {
+	tab := relation.NewTable(relation.NewSchema("a"))
+	for _, v := range []string{"x", "x", "y", "y", "y", "y"} {
+		if err := tab.AppendStrings(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := Measure(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ProsecutorRisk != 0.5 { // worst class has 2 members
+		t.Errorf("ProsecutorRisk = %v, want 0.5", r.ProsecutorRisk)
+	}
+	if want := 2.0 / 6.0; r.AvgRisk != want {
+		t.Errorf("AvgRisk = %v, want %v", r.AvgRisk, want)
+	}
+	if !strings.Contains(r.String(), "risk=0.500") {
+		t.Errorf("String() missing risk: %s", r.String())
+	}
+}

@@ -1,0 +1,262 @@
+// Package reduction implements the paper's §3 NP-hardness constructions
+// as executable objects: the map from k-Dimensional Perfect Matching to
+// optimal k-anonymity by entry suppression (Theorem 3.1) and to optimal
+// k-anonymity by attribute suppression (Theorem 3.2), together with
+// witness extraction in both directions. Experiments E4/E5 run these on
+// instance corpora with exact solvers on both sides and check the iff.
+//
+// A note on the Theorem 3.1 construction. The supplied paper text prints
+// v_i[j] := 0 if u_i ∈ e_j, "1 otherwise", but its own proof requires
+// that two rows can agree only on 0-entries ("any two v_i vectors can
+// match only in coordinates that are 0") and the theorem statement
+// requires an alphabet as large as the table (Σ = {0, 1, …, n}). Both
+// are satisfied by the repaired construction used here:
+//
+//	v_i[j] = 0 if u_i ∈ e_j, and v_i[j] = i+1 otherwise
+//
+// (each row carries a private filler symbol). TestTheorem31IffHolds
+// fails if the printed "1 otherwise" variant is substituted, which is
+// how the repair was validated.
+package reduction
+
+import (
+	"fmt"
+
+	"kanon/internal/core"
+	"kanon/internal/hypergraph"
+	"kanon/internal/relation"
+)
+
+// EntryInstance is the output of the Theorem 3.1 reduction: a table
+// whose optimal k-anonymization cost reveals whether the source
+// hypergraph has a perfect matching.
+type EntryInstance struct {
+	Graph *hypergraph.Graph
+	Table *relation.Table
+	K     int
+	// Threshold is n(m−1): OPT(Table) ≤ Threshold iff Graph has a
+	// perfect matching (and then OPT = Threshold exactly, provided the
+	// graph has at least one edge per vertex).
+	Threshold int
+}
+
+// FromMatchingEntry builds the Theorem 3.1 instance from a k-uniform
+// hypergraph. The resulting table has one row per vertex and one column
+// per hyperedge over the alphabet {0, 1, …, n}.
+func FromMatchingEntry(g *hypergraph.Graph) (*EntryInstance, error) {
+	if g.M() == 0 {
+		return nil, fmt.Errorf("reduction: hypergraph has no edges")
+	}
+	if g.N == 0 {
+		return nil, fmt.Errorf("reduction: hypergraph has no vertices")
+	}
+	onEdge := make([][]bool, g.N)
+	for i := range onEdge {
+		onEdge[i] = make([]bool, g.M())
+	}
+	for ej, e := range g.Edges {
+		for _, v := range e {
+			onEdge[v][ej] = true
+		}
+	}
+	vecs := make([][]int, g.N)
+	for i := 0; i < g.N; i++ {
+		row := make([]int, g.M())
+		for j := 0; j < g.M(); j++ {
+			if onEdge[i][j] {
+				row[j] = 0
+			} else {
+				row[j] = i + 1 // private filler symbol for row i
+			}
+		}
+		vecs[i] = row
+	}
+	t, err := relation.FromVectors(vecs)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: %w", err)
+	}
+	return &EntryInstance{
+		Graph:     g,
+		Table:     t,
+		K:         g.K,
+		Threshold: g.N * (g.M() - 1),
+	}, nil
+}
+
+// SuppressorFromMatching converts a perfect matching (edge indices) of
+// the source graph into a k-anonymizer of the reduced table with exactly
+// Threshold stars: row i keeps only the column of its matching edge.
+func (inst *EntryInstance) SuppressorFromMatching(matching []int) (*core.Suppressor, error) {
+	if !inst.Graph.IsPerfectMatching(matching) {
+		return nil, fmt.Errorf("reduction: not a perfect matching")
+	}
+	edgeOf := make([]int, inst.Graph.N)
+	for i := range edgeOf {
+		edgeOf[i] = -1
+	}
+	for _, ej := range matching {
+		for _, v := range inst.Graph.Edges[ej] {
+			edgeOf[v] = ej
+		}
+	}
+	s := core.NewSuppressor(inst.Table.Len(), inst.Table.Degree())
+	for i := 0; i < inst.Table.Len(); i++ {
+		for j := 0; j < inst.Table.Degree(); j++ {
+			if j != edgeOf[i] {
+				s.Suppress(i, j)
+			}
+		}
+	}
+	return s, nil
+}
+
+// MatchingFromPartition extracts a perfect matching from a k-anonymity
+// partition of the reduced table whose cost is at most Threshold,
+// reversing the proof of Theorem 3.1: such a partition must leave each
+// row exactly one unsuppressed coordinate, which names the matching edge
+// covering that vertex. Returns an error if the partition costs more
+// than Threshold (no matching can be concluded).
+func (inst *EntryInstance) MatchingFromPartition(p *core.Partition) ([]int, error) {
+	if err := p.Validate(inst.Table.Len(), inst.K, 0); err != nil {
+		return nil, fmt.Errorf("reduction: %w", err)
+	}
+	if got := p.Cost(inst.Table); got > inst.Threshold {
+		return nil, fmt.Errorf("reduction: partition cost %d exceeds threshold %d", got, inst.Threshold)
+	}
+	m := inst.Table.Degree()
+	edgeSet := map[int]bool{}
+	for _, g := range p.Groups {
+		u := core.NonUniformColumns(inst.Table, g)
+		kept := m - u
+		if kept != 1 {
+			// Cost ≤ Threshold forces exactly one kept column per row
+			// (see the proof); kept = 0 can only appear if the cost
+			// accounting is broken.
+			return nil, fmt.Errorf("reduction: group %v keeps %d columns, want 1", g, kept)
+		}
+		// Find the kept (uniform) column; it must be 0-valued, i.e. an
+		// edge containing every vertex of the group.
+		for j := 0; j < m; j++ {
+			uniform := true
+			first := inst.Table.Row(g[0])[j]
+			for _, i := range g[1:] {
+				if inst.Table.Row(i)[j] != first {
+					uniform = false
+					break
+				}
+			}
+			if uniform {
+				edgeSet[j] = true
+				break
+			}
+		}
+	}
+	matching := make([]int, 0, len(edgeSet))
+	for ej := range edgeSet {
+		matching = append(matching, ej)
+	}
+	sortInts(matching)
+	if !inst.Graph.IsPerfectMatching(matching) {
+		return nil, fmt.Errorf("reduction: extracted edge set %v is not a perfect matching", matching)
+	}
+	return matching, nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// AttributeInstance is the output of the Theorem 3.2 reduction: a
+// boolean table (one row per vertex, one column per edge) whose minimum
+// attribute-suppression k-anonymization reveals whether the source
+// graph has a perfect matching.
+type AttributeInstance struct {
+	Graph *hypergraph.Graph
+	Table *relation.Table
+	K     int
+	// Threshold is m − n/k: the graph has a perfect matching iff the
+	// table can be k-anonymized by suppressing exactly Threshold
+	// attributes (and no fewer suffice).
+	Threshold int
+}
+
+// FromMatchingAttribute builds the Theorem 3.2 instance: v_i[j] = b1 if
+// u_i ∈ e_j else b0, over the boolean alphabet {b0, b1} = {0, 1}.
+func FromMatchingAttribute(g *hypergraph.Graph) (*AttributeInstance, error) {
+	if g.M() == 0 {
+		return nil, fmt.Errorf("reduction: hypergraph has no edges")
+	}
+	if g.N%g.K != 0 {
+		return nil, fmt.Errorf("reduction: n = %d not divisible by k = %d; threshold m − n/k undefined", g.N, g.K)
+	}
+	vecs := make([][]int, g.N)
+	for i := range vecs {
+		vecs[i] = make([]int, g.M())
+	}
+	for ej, e := range g.Edges {
+		for _, v := range e {
+			vecs[v][ej] = 1
+		}
+	}
+	t, err := relation.FromVectors(vecs)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: %w", err)
+	}
+	return &AttributeInstance{
+		Graph:     g,
+		Table:     t,
+		K:         g.K,
+		Threshold: g.M() - g.N/g.K,
+	}, nil
+}
+
+// AttributesFromMatching converts a perfect matching into the set of
+// column indices to suppress: every column whose edge is not in the
+// matching. The result has exactly Threshold columns.
+func (inst *AttributeInstance) AttributesFromMatching(matching []int) ([]int, error) {
+	if !inst.Graph.IsPerfectMatching(matching) {
+		return nil, fmt.Errorf("reduction: not a perfect matching")
+	}
+	inMatching := make([]bool, inst.Graph.M())
+	for _, ej := range matching {
+		inMatching[ej] = true
+	}
+	var drop []int
+	for j := 0; j < inst.Graph.M(); j++ {
+		if !inMatching[j] {
+			drop = append(drop, j)
+		}
+	}
+	return drop, nil
+}
+
+// MatchingFromAttributes extracts a perfect matching from a set of
+// suppressed columns that k-anonymizes the table with |drop| ≤
+// Threshold: the surviving columns are pairwise disjoint edges covering
+// all vertices.
+func (inst *AttributeInstance) MatchingFromAttributes(drop []int) ([]int, error) {
+	if len(drop) > inst.Threshold {
+		return nil, fmt.Errorf("reduction: %d attributes suppressed, more than threshold %d", len(drop), inst.Threshold)
+	}
+	dropped := make([]bool, inst.Graph.M())
+	for _, j := range drop {
+		if j < 0 || j >= inst.Graph.M() {
+			return nil, fmt.Errorf("reduction: column %d out of range", j)
+		}
+		dropped[j] = true
+	}
+	var matching []int
+	for j := 0; j < inst.Graph.M(); j++ {
+		if !dropped[j] {
+			matching = append(matching, j)
+		}
+	}
+	if !inst.Graph.IsPerfectMatching(matching) {
+		return nil, fmt.Errorf("reduction: surviving columns %v are not a perfect matching", matching)
+	}
+	return matching, nil
+}

@@ -1,0 +1,238 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kanon/internal/algo"
+	"kanon/internal/baseline"
+	"kanon/internal/core"
+	"kanon/internal/dataset"
+	"kanon/internal/exact"
+	"kanon/internal/relation"
+)
+
+func TestRelocateFixesObviousMistake(t *testing.T) {
+	// Rows 0,1,2 identical; rows 3,4,5 identical. A partition that
+	// crosses the clusters is strictly improvable.
+	tab := relation.MustFromVectors([][]int{
+		{1, 1}, {1, 1}, {1, 1}, {2, 2}, {2, 2}, {2, 2},
+	})
+	p := &core.Partition{Groups: [][]int{{0, 1, 3}, {2, 4, 5}}}
+	before := p.Cost(tab)
+	st, err := Partition(tab, p, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CostBefore != before {
+		t.Errorf("CostBefore = %d, want %d", st.CostBefore, before)
+	}
+	if st.CostAfter != 0 {
+		t.Errorf("CostAfter = %d, want 0 (clusters are separable)", st.CostAfter)
+	}
+	if st.Relocates+st.Swaps+st.Dissolves == 0 {
+		t.Error("no moves recorded despite improvement")
+	}
+}
+
+func TestSwapFixesCrossedPairs(t *testing.T) {
+	// Two groups of exactly k=2 with crossed membership: only a swap
+	// (not a relocate, which would break the size floor) can fix it.
+	tab := relation.MustFromVectors([][]int{
+		{1, 1}, {2, 2}, {1, 1}, {2, 2},
+	})
+	p := &core.Partition{Groups: [][]int{{0, 1}, {2, 3}}}
+	st, err := Partition(tab, p, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CostAfter != 0 {
+		t.Errorf("CostAfter = %d, want 0", st.CostAfter)
+	}
+	if st.Swaps == 0 {
+		t.Error("expected at least one swap")
+	}
+}
+
+func TestDissolveMergesUselessGroup(t *testing.T) {
+	// Three groups; the middle one's rows each belong with one of the
+	// outer clusters. Relocation alone cannot empty it (size floor k),
+	// dissolving can.
+	tab := relation.MustFromVectors([][]int{
+		{1, 1}, {1, 1}, // cluster A
+		{1, 1}, {2, 2}, // stragglers
+		{2, 2}, {2, 2}, // cluster B
+	})
+	p := &core.Partition{Groups: [][]int{{0, 1}, {2, 3}, {4, 5}}}
+	st, err := Partition(tab, p, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CostAfter != 0 {
+		t.Errorf("CostAfter = %d, want 0 (got groups %v)", st.CostAfter, p.Groups)
+	}
+	if st.Dissolves == 0 {
+		t.Error("expected a dissolve")
+	}
+	if len(p.Groups) != 2 {
+		t.Errorf("groups = %v, want 2 groups", p.Groups)
+	}
+}
+
+func TestNoDissolveOption(t *testing.T) {
+	tab := relation.MustFromVectors([][]int{
+		{1, 1}, {1, 1}, {1, 1}, {2, 2}, {2, 2}, {2, 2},
+	})
+	p := &core.Partition{Groups: [][]int{{0, 1, 2}, {3, 4, 5}}}
+	st, err := Partition(tab, p, 3, &Options{NoDissolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dissolves != 0 {
+		t.Error("dissolve ran despite NoDissolve")
+	}
+	if st.CostAfter != 0 {
+		t.Errorf("CostAfter = %d", st.CostAfter)
+	}
+}
+
+func TestRejectsInvalidPartition(t *testing.T) {
+	tab := relation.MustFromVectors([][]int{{1}, {2}, {3}})
+	p := &core.Partition{Groups: [][]int{{0}, {1, 2}}}
+	if _, err := Partition(tab, p, 2, nil); err == nil {
+		t.Error("accepted partition with undersized group")
+	}
+}
+
+// TestNeverWorseAndAlwaysValid: on random partitions of random tables,
+// refinement never increases cost, never violates validity, and its
+// incremental accounting matches a recomputation.
+func TestNeverWorseAndAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(2)
+		n := 2*k + rng.Intn(14)
+		tab := dataset.Uniform(rng, n, 2+rng.Intn(5), 2+rng.Intn(2))
+		// Random valid partition: shuffled chunks of size k..2k−1.
+		perm := rng.Perm(n)
+		var groups [][]int
+		for len(perm) > 0 {
+			sz := k + rng.Intn(k)
+			if sz > len(perm) || len(perm)-sz < k {
+				sz = len(perm)
+			}
+			groups = append(groups, append([]int(nil), perm[:sz]...))
+			perm = perm[sz:]
+		}
+		p := &core.Partition{Groups: groups}
+		before := p.Cost(tab)
+		st, err := Partition(tab, p, k, nil)
+		if err != nil {
+			return false
+		}
+		if st.CostAfter > before {
+			return false
+		}
+		if err := p.Validate(n, k, 0); err != nil {
+			return false
+		}
+		return p.Cost(tab) == st.CostAfter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNeverBelowOPT: refinement of any feasible start stays ≥ OPT.
+func TestNeverBelowOPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		k := 2 + trial%2
+		n := 8 + rng.Intn(6)
+		tab := dataset.Uniform(rng, n, 4, 2)
+		opt, err := exact.OPT(tab, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := baseline.RandomChunks(tab, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Partition(tab, r.Partition, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CostAfter < opt {
+			t.Fatalf("trial %d: refined cost %d below OPT %d", trial, st.CostAfter, opt)
+		}
+	}
+}
+
+// TestImprovesGreedyBall: the headline use — refinement should recover
+// a meaningful fraction of the ball greedy's slack on census-like data.
+func TestImprovesGreedyBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	totalBefore, totalAfter := 0, 0
+	for trial := 0; trial < 5; trial++ {
+		tab := dataset.Census(rng, 80, 6)
+		r, err := algo.GreedyBall(tab, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Partition(tab, r.Partition, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalBefore += st.CostBefore
+		totalAfter += st.CostAfter
+	}
+	if totalAfter > totalBefore {
+		t.Fatalf("refinement increased aggregate cost %d → %d", totalBefore, totalAfter)
+	}
+	if totalAfter == totalBefore {
+		t.Log("refinement found no slack on this corpus (unusual but legal)")
+	} else {
+		t.Logf("refinement: %d → %d stars (−%.1f%%)", totalBefore, totalAfter,
+			100*float64(totalBefore-totalAfter)/float64(totalBefore))
+	}
+}
+
+func TestMaxRoundsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := dataset.Uniform(rng, 20, 4, 2)
+	r, err := baseline.RandomChunks(tab, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Partition(tab, r.Partition, 2, &Options{MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds > 1 {
+		t.Errorf("Rounds = %d, want ≤ 1", st.Rounds)
+	}
+}
+
+// TestDissolveWithAliasedChunks is a regression test: SplitOversize
+// used to return chunks sharing one backing array, and the dissolve
+// pass's in-place append then clobbered a sibling group, losing rows.
+// Reproduce the shape: an oversize group split into aliased chunks,
+// followed by refinement that dissolves one of them.
+func TestDissolveWithAliasedChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		tab := dataset.Census(rng, 120, 6)
+		k := 2 + trial%4
+		r, err := algo.GreedyBall(tab, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Partition(tab, r.Partition, k, nil); err != nil {
+			t.Fatalf("trial %d (k=%d): %v", trial, k, err)
+		}
+		if err := r.Partition.Validate(tab.Len(), k, 0); err != nil {
+			t.Fatalf("trial %d (k=%d): corrupted partition: %v", trial, k, err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// FromVectors builds a table from raw integer vectors over a generic
+// schema with attribute names a0, a1, …. Each integer is interned via
+// its decimal string, so symbol codes are stable across equal values but
+// need not equal the integers themselves. Rows must be rectangular.
+//
+// This is the bridge used by the §3 reductions, the synthetic
+// generators, and most tests, which all work with abstract Σ^m vectors
+// rather than named microdata.
+func FromVectors(vectors [][]int) (*Table, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("relation: FromVectors needs at least one vector")
+	}
+	m := len(vectors[0])
+	names := make([]string, m)
+	for j := range names {
+		names[j] = "a" + strconv.Itoa(j)
+	}
+	t := NewTable(NewSchema(names...))
+	for i, v := range vectors {
+		if len(v) != m {
+			return nil, fmt.Errorf("relation: vector %d has degree %d, want %d", i, len(v), m)
+		}
+		r := make(Row, m)
+		for j, x := range v {
+			r[j] = t.schema.Attribute(j).Intern(strconv.Itoa(x))
+		}
+		t.rows = append(t.rows, r)
+	}
+	return t, nil
+}
+
+// MustFromVectors is FromVectors that panics on error; for tests and
+// fixed examples.
+func MustFromVectors(vectors [][]int) *Table {
+	t, err := FromVectors(vectors)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromBitstrings builds a table from equal-length strings of '0'/'1'
+// characters, as in the paper's §4 worked example V = {1010, 1110,
+// 0110}.
+func FromBitstrings(rows ...string) (*Table, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("relation: FromBitstrings needs at least one row")
+	}
+	vecs := make([][]int, len(rows))
+	m := len(rows[0])
+	for i, s := range rows {
+		if len(s) != m {
+			return nil, fmt.Errorf("relation: bitstring %d has length %d, want %d", i, len(s), m)
+		}
+		v := make([]int, m)
+		for j, ch := range s {
+			switch ch {
+			case '0':
+				v[j] = 0
+			case '1':
+				v[j] = 1
+			default:
+				return nil, fmt.Errorf("relation: bitstring %d has non-binary character %q", i, ch)
+			}
+		}
+		vecs[i] = v
+	}
+	return FromVectors(vecs)
+}
+
+// MustFromBitstrings is FromBitstrings that panics on error.
+func MustFromBitstrings(rows ...string) *Table {
+	t, err := FromBitstrings(rows...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"kanon/internal/algo"
+	"kanon/internal/dataset"
+	"kanon/internal/relation"
+)
+
+func TestBasicStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := dataset.Census(rng, 200, 6)
+	res, err := Anonymize(tab, 3, &Options{BlockRows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anonymized.Len() != 200 {
+		t.Fatalf("output rows %d", res.Anonymized.Len())
+	}
+	if !res.Anonymized.IsKAnonymous(3) {
+		t.Error("output not 3-anonymous")
+	}
+	if res.Blocks != 4 {
+		t.Errorf("blocks = %d, want 4", res.Blocks)
+	}
+	if res.Cost != res.Anonymized.TotalStars() {
+		t.Errorf("cost %d != stars %d", res.Cost, res.Anonymized.TotalStars())
+	}
+	// Non-starred cells preserved in order.
+	for i := 0; i < tab.Len(); i++ {
+		orig, anon := tab.Row(i), res.Anonymized.Row(i)
+		for j := range orig {
+			if anon[j] != relation.Star && anon[j] != orig[j] {
+				t.Fatalf("cell (%d,%d) rewritten", i, j)
+			}
+		}
+	}
+}
+
+func TestShortTailAbsorbed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// 52 rows with block 25 and k=3: blocks [0,25), [25,52) — the tail
+	// of 2 < k rows is merged into the second block rather than left
+	// unanonymizable.
+	tab := dataset.Uniform(rng, 52, 4, 3)
+	res, err := Anonymize(tab, 3, &Options{BlockRows: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != 2 {
+		t.Errorf("blocks = %d, want 2", res.Blocks)
+	}
+	if !res.Anonymized.IsKAnonymous(3) {
+		t.Error("output not 3-anonymous")
+	}
+}
+
+func TestSingleBlockMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := dataset.Zipf(rng, 40, 5, 6, 1.5)
+	direct, err := algo.GreedyBall(tab, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Anonymize(tab, 2, &Options{BlockRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Blocks != 1 {
+		t.Fatalf("blocks = %d, want 1", streamed.Blocks)
+	}
+	if streamed.Cost != direct.Cost {
+		t.Errorf("single-block cost %d != direct %d", streamed.Cost, direct.Cost)
+	}
+}
+
+// TestCostMonotoneInBlockSize: larger blocks give the greedy strictly
+// more options, so aggregate cost must not increase on a fixed corpus.
+func TestCostMonotoneInBlockSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tab := dataset.Census(rng, 300, 6)
+	prev := -1
+	for _, block := range []int{20, 60, 150, 300} {
+		res, err := Anonymize(tab, 3, &Options{BlockRows: block, Refine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && res.Cost > prev+prev/10 {
+			// Allow a small tolerance: greedy is not strictly monotone
+			// in its candidate pool, though it should be close.
+			t.Errorf("block %d cost %d well above smaller-block cost %d", block, res.Cost, prev)
+		}
+		prev = res.Cost
+	}
+}
+
+func TestRefineOptionHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab := dataset.Census(rng, 120, 6)
+	plain, err := Anonymize(tab, 3, &Options{BlockRows: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Anonymize(tab, 3, &Options{BlockRows: 40, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Cost > plain.Cost {
+		t.Errorf("refined %d > plain %d", refined.Cost, plain.Cost)
+	}
+}
+
+func TestCustomAlgo(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tab := dataset.Uniform(rng, 30, 4, 2)
+	calls := 0
+	res, err := Anonymize(tab, 2, &Options{
+		BlockRows: 10,
+		Algo: func(bt *relation.Table, k int) (*algo.Result, error) {
+			calls++
+			return algo.GreedyBall(bt, k, &algo.Options{SplitSorted: true})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Blocks || calls != 3 {
+		t.Errorf("custom algo called %d times, blocks %d", calls, res.Blocks)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := dataset.Uniform(rng, 5, 3, 2)
+	if _, err := Anonymize(tab, 0, nil); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := Anonymize(tab, 9, nil); err == nil {
+		t.Error("accepted n < k")
+	}
+	// Tiny block sizes are clamped to 2k, not rejected.
+	res, err := Anonymize(tab, 2, &Options{BlockRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Anonymized.IsKAnonymous(2) {
+		t.Error("clamped block output invalid")
+	}
+}
+
+func TestLargeInputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large input")
+	}
+	rng := rand.New(rand.NewSource(8))
+	tab := dataset.Census(rng, 20000, 8)
+	res, err := Anonymize(tab, 5, &Options{BlockRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != 20 {
+		t.Errorf("blocks = %d", res.Blocks)
+	}
+	if !res.Anonymized.IsKAnonymous(5) {
+		t.Error("20k-row output not 5-anonymous")
+	}
+}

@@ -1,0 +1,364 @@
+// Package kanon is a from-scratch reproduction of Meyerson & Williams,
+// "On the Complexity of Optimal K-Anonymity" (PODS 2004): optimal
+// k-anonymization of relations by entry suppression, its NP-hardness
+// apparatus, and the paper's greedy approximation algorithms.
+//
+// The package is the stable public facade. It accepts plain string
+// tables (a header plus rows), runs a selectable algorithm, and returns
+// the k-anonymized rows with suppressed entries replaced by "*":
+//
+//	res, err := kanon.Anonymize(header, rows, 3, nil)
+//
+// Algorithms:
+//
+//   - AlgoGreedyBall (default): the strongly polynomial 6k(1+ln m)
+//     approximation of Theorem 4.2. Scales to thousands of rows.
+//   - AlgoGreedyExhaustive: the 3k(1+ln k) approximation of Theorem 4.1.
+//     Enumerates all O(n^{2k−1}) candidate groups; small n only.
+//   - AlgoPattern: projection-pattern set cover (exact candidate costs;
+//     exponential in the number of columns, m ≤ 20).
+//   - AlgoExact: provably optimal via bitmask DP; n ≤ 24.
+//   - AlgoKMember, AlgoMondrian, AlgoSorted, AlgoRandom: baseline
+//     heuristics used by the benchmark suite.
+//
+// Everything below the facade lives in internal/ packages — the §2
+// problem definitions (internal/core), the greedy cover machinery
+// (internal/cover), exact solvers (internal/exact), the §3 hardness
+// reductions (internal/reduction, internal/hypergraph), baselines,
+// workload generators, and the generalization-hierarchy extension.
+// See DESIGN.md for the full inventory and EXPERIMENTS.md for the
+// reproduction results.
+package kanon
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kanon/internal/algo"
+	"kanon/internal/baseline"
+	"kanon/internal/core"
+	"kanon/internal/exact"
+	"kanon/internal/pattern"
+	"kanon/internal/refine"
+	"kanon/internal/relation"
+)
+
+// Star is the string that replaces suppressed entries in results.
+const Star = relation.StarString
+
+// Algorithm selects the anonymization strategy.
+type Algorithm int
+
+const (
+	// AlgoGreedyBall is Theorem 4.2's strongly polynomial greedy.
+	AlgoGreedyBall Algorithm = iota
+	// AlgoGreedyExhaustive is Theorem 4.1's greedy over all small subsets.
+	AlgoGreedyExhaustive
+	// AlgoPattern is the projection-pattern cover for low-degree tables.
+	AlgoPattern
+	// AlgoExact is the optimal bitmask DP (n ≤ 24).
+	AlgoExact
+	// AlgoKMember is the greedy clustering baseline.
+	AlgoKMember
+	// AlgoMondrian is the median-split partitioning baseline.
+	AlgoMondrian
+	// AlgoSorted is the lexicographic-chunks baseline.
+	AlgoSorted
+	// AlgoRandom is the shuffled-chunks baseline.
+	AlgoRandom
+)
+
+// String returns the algorithm's short name (as accepted by the CLI).
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoGreedyBall:
+		return "ball"
+	case AlgoGreedyExhaustive:
+		return "exhaustive"
+	case AlgoPattern:
+		return "pattern"
+	case AlgoExact:
+		return "exact"
+	case AlgoKMember:
+		return "kmember"
+	case AlgoMondrian:
+		return "mondrian"
+	case AlgoSorted:
+		return "sorted"
+	case AlgoRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a short name back to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range []Algorithm{
+		AlgoGreedyBall, AlgoGreedyExhaustive, AlgoPattern, AlgoExact,
+		AlgoKMember, AlgoMondrian, AlgoSorted, AlgoRandom,
+	} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("kanon: unknown algorithm %q", name)
+}
+
+// Options tunes Anonymize. The zero value selects AlgoGreedyBall with
+// paper-faithful settings.
+type Options struct {
+	// Algorithm selects the strategy; default AlgoGreedyBall.
+	Algorithm Algorithm
+	// Seed feeds AlgoRandom's shuffle (ignored elsewhere).
+	Seed int64
+	// SplitSorted uses the similarity-aware oversize-group split in the
+	// greedy algorithms instead of the paper's arbitrary split.
+	SplitSorted bool
+	// TrueDiameterWeights makes AlgoGreedyBall weight candidate balls
+	// by exact diameter instead of the 2·radius bound.
+	TrueDiameterWeights bool
+	// Refine post-optimizes the partition with cost-direct local search
+	// (relocate/swap/dissolve moves). Never increases cost and never
+	// breaks k-anonymity; any approximation guarantee of the base
+	// algorithm survives. Ignored by AlgoExact, whose output cannot
+	// improve.
+	Refine bool
+	// ColumnWeights prices each column's suppressed entries (nil means
+	// all 1, the paper's objective). Honored by AlgoGreedyBall (the
+	// weighted metric drives grouping) and AlgoExact (the DP minimizes
+	// the weighted objective); other algorithms ignore weights but the
+	// Result still reports the weighted cost.
+	ColumnWeights []int
+}
+
+// Result is an anonymization outcome.
+type Result struct {
+	// K is the anonymity parameter the output satisfies.
+	K int
+	// Header is the input header, unchanged.
+	Header []string
+	// Rows holds the anonymized table in input row order; suppressed
+	// entries are Star.
+	Rows [][]string
+	// Groups lists the k-groups as input row indices; rows in the same
+	// group are textually identical in Rows.
+	Groups [][]int
+	// Cost is the number of entries this call newly suppressed (the
+	// paper's objective). Entries already suppressed in the input do
+	// not count, so Cost(result.Rows) = result.Cost + Cost(input rows).
+	Cost int
+	// WeightedCost is Σ over newly suppressed entries of the column's
+	// weight; equals Cost when ColumnWeights is nil.
+	WeightedCost int
+	// Optimal is true only for AlgoExact.
+	Optimal bool
+}
+
+// Anonymize k-anonymizes the given table by entry suppression.
+// The header names the columns; every row must have the same length.
+func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	t, err := buildTable(header, rows)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		p       *core.Partition
+		optimal bool
+	)
+	weights := core.Weights(opts.ColumnWeights)
+	if err := weights.Validate(t.Degree()); err != nil {
+		return nil, fmt.Errorf("kanon: %w", err)
+	}
+	switch opts.Algorithm {
+	case AlgoGreedyBall:
+		if weights != nil {
+			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{SplitSorted: opts.SplitSorted})
+			if err != nil {
+				return nil, err
+			}
+			p = r.Partition
+			break
+		}
+		r, err := algo.GreedyBall(t, k, &algo.Options{
+			SplitSorted:         opts.SplitSorted,
+			TrueDiameterWeights: opts.TrueDiameterWeights,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p = r.Partition
+	case AlgoGreedyExhaustive:
+		r, err := algo.GreedyExhaustive(t, k, &algo.Options{SplitSorted: opts.SplitSorted})
+		if err != nil {
+			return nil, err
+		}
+		p = r.Partition
+	case AlgoPattern:
+		r, err := pattern.Anonymize(t, k)
+		if err != nil {
+			return nil, err
+		}
+		p = r.Partition
+	case AlgoExact:
+		var r *exact.Result
+		var err error
+		if weights != nil {
+			r, err = exact.SolveWeighted(t, k, weights)
+		} else {
+			r, err = exact.Solve(t, k, exact.Stars)
+		}
+		if err != nil {
+			return nil, err
+		}
+		p = r.Partition
+		optimal = true
+	case AlgoKMember:
+		r, err := baseline.KMember(t, k)
+		if err != nil {
+			return nil, err
+		}
+		p = r.Partition
+	case AlgoMondrian:
+		r, err := baseline.Mondrian(t, k)
+		if err != nil {
+			return nil, err
+		}
+		p = r.Partition
+	case AlgoSorted:
+		r, err := baseline.SortedChunks(t, k)
+		if err != nil {
+			return nil, err
+		}
+		p = r.Partition
+	case AlgoRandom:
+		r, err := baseline.RandomChunks(t, k, rand.New(rand.NewSource(opts.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		p = r.Partition
+	default:
+		return nil, fmt.Errorf("kanon: unknown algorithm %v", opts.Algorithm)
+	}
+
+	if opts.Refine && !optimal {
+		if _, err := refine.Partition(t, p, k, nil); err != nil {
+			return nil, fmt.Errorf("kanon: refining: %w", err)
+		}
+	}
+
+	sup := p.Suppressor(t)
+	anon := sup.Apply(t)
+	if !anon.IsKAnonymous(k) && k > 1 {
+		return nil, fmt.Errorf("kanon: internal: output not %d-anonymous", k)
+	}
+	out := make([][]string, anon.Len())
+	for i := range out {
+		out[i] = anon.Strings(i)
+	}
+	p.Normalize()
+	return &Result{
+		K:      k,
+		Header: append([]string(nil), header...),
+		Rows:   out,
+		Groups: p.Groups,
+		// Suppressing an already-starred entry is a no-op, so count
+		// the star delta, not the suppressor's mask bits.
+		Cost:         anon.TotalStars() - t.TotalStars(),
+		WeightedCost: weightedDelta(t, anon, weights),
+		Optimal:      optimal,
+	}, nil
+}
+
+// Verify reports whether the given (possibly starred) table is
+// k-anonymous: every row is textually identical to at least k−1 others.
+func Verify(header []string, rows [][]string, k int) (bool, error) {
+	t, err := buildTable(header, rows)
+	if err != nil {
+		return false, err
+	}
+	return t.IsKAnonymous(k), nil
+}
+
+// Cost counts the suppressed ("*") entries of a table — the paper's
+// objective value of a release.
+func Cost(rows [][]string) int {
+	n := 0
+	for _, r := range rows {
+		for _, c := range r {
+			if c == Star {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// OptimalCost computes the exact optimum OPT(V) for small tables
+// (n ≤ 24); useful for evaluating other tools' output.
+func OptimalCost(header []string, rows [][]string, k int) (int, error) {
+	t, err := buildTable(header, rows)
+	if err != nil {
+		return 0, err
+	}
+	return exact.OPT(t, k)
+}
+
+// Bound returns the algorithm's proven approximation guarantee for the
+// given k and degree m, or 0 if the algorithm carries none. The greedy
+// bounds are the paper's printed constants; see internal/core for the
+// conservative variants.
+func Bound(a Algorithm, k, m int) float64 {
+	switch a {
+	case AlgoGreedyExhaustive:
+		return core.Theorem41Bound(k)
+	case AlgoGreedyBall:
+		return core.Theorem42Bound(k, m)
+	case AlgoExact:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// weightedDelta prices the entries that anon starred but t did not.
+func weightedDelta(t, anon *relation.Table, w core.Weights) int {
+	total := 0
+	for i := 0; i < t.Len(); i++ {
+		orig, a := t.Row(i), anon.Row(i)
+		for j := range orig {
+			if a[j] == relation.Star && orig[j] != relation.Star {
+				if w == nil {
+					total++
+				} else {
+					total += w[j]
+				}
+			}
+		}
+	}
+	return total
+}
+
+// buildTable interns a header+rows table, treating "*" as a suppressed
+// entry.
+func buildTable(header []string, rows [][]string) (*relation.Table, error) {
+	if len(header) == 0 {
+		return nil, fmt.Errorf("kanon: empty header")
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("kanon: no rows")
+	}
+	t := relation.NewTable(relation.NewSchema(header...))
+	for i, r := range rows {
+		if len(r) != len(header) {
+			return nil, fmt.Errorf("kanon: row %d has %d fields, want %d", i, len(r), len(header))
+		}
+		if err := t.AppendStrings(r...); err != nil {
+			return nil, fmt.Errorf("kanon: row %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
