@@ -33,9 +33,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 0, "corpus seed (0 = the EXPERIMENTS.md default)")
 	runIDs := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := fs.Bool("list", false, "list experiments and exit")
-	format := fs.String("format", "text", "table format: text or md (markdown)")
+	format := fs.String("format", "text", "table format: text, md (markdown), or json (one object per line)")
+	jsonOut := fs.Bool("json", false, "shorthand for -format json (machine-readable bench results)")
+	workers := fs.Int("workers", 0, "worker goroutines for the algorithms under test (0 = all CPUs, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut {
+		*format = "json"
 	}
 
 	if *list {
@@ -50,11 +55,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "text":
 	case "md":
 		render = (*harness.Table).RenderMarkdown
+	case "json":
+		render = (*harness.Table).RenderJSON
 	default:
-		return fmt.Errorf("unknown format %q (want text or md)", *format)
+		return fmt.Errorf("unknown format %q (want text, md, or json)", *format)
 	}
 
-	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	ids := *runIDs
 	if ids == "" {
 		all := make([]string, 0, len(harness.All()))

@@ -43,6 +43,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	refine := fs.Bool("refine", false, "post-optimize with cost-direct local search (never worse)")
 	verify := fs.Bool("verify", false, "verify the input is already k-anonymous instead of anonymizing; exit 1 if not")
 	block := fs.Int("block", 0, "stream in blocks of this many rows (bounded memory; 0 = whole table at once)")
+	workers := fs.Int("workers", 0, "worker goroutines for the parallel hot paths (0 = all CPUs, 1 = sequential; output is identical)")
 	weightsArg := fs.String("weights", "", "comma-separated per-column suppression weights, e.g. 3,1,1,5 (ball and exact only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,10 +87,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 	var res *kanon.Result
 	if *block > 0 {
-		res, err = streamAnonymize(header, rows, *k, *block, *refine)
+		res, err = streamAnonymize(header, rows, *k, *block, *refine, *workers)
 	} else {
 		res, err = kanon.Anonymize(header, rows, *k, &kanon.Options{
 			Algorithm: alg, Seed: *seed, Refine: *refine, ColumnWeights: weights,
+			Workers: *workers,
 		})
 	}
 	if err != nil {
@@ -156,14 +158,14 @@ func parseWeights(arg string, m int) ([]int, error) {
 // streamAnonymize runs the bounded-memory block pipeline and adapts its
 // output to the facade's Result shape; groups are recovered from the
 // released table's textual equivalence classes.
-func streamAnonymize(header []string, rows [][]string, k, block int, doRefine bool) (*kanon.Result, error) {
+func streamAnonymize(header []string, rows [][]string, k, block int, doRefine bool, workers int) (*kanon.Result, error) {
 	t := relation.NewTable(relation.NewSchema(header...))
 	for _, r := range rows {
 		if err := t.AppendStrings(r...); err != nil {
 			return nil, err
 		}
 	}
-	sr, err := stream.Anonymize(t, k, &stream.Options{BlockRows: block, Refine: doRefine})
+	sr, err := stream.Anonymize(t, k, &stream.Options{BlockRows: block, Refine: doRefine, Workers: workers})
 	if err != nil {
 		return nil, err
 	}

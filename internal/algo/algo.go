@@ -37,6 +37,11 @@ type Options struct {
 	// MaxExhaustiveSets caps the enumerated family size of
 	// GreedyExhaustive (0 means the cover package default).
 	MaxExhaustiveSets int
+	// Workers bounds the parallelism of the distance-matrix fill and
+	// the ball-family construction: 0 (or negative) means all CPUs, 1
+	// forces the sequential path. Results are byte-identical for every
+	// worker count.
+	Workers int
 }
 
 // Stats records instrumentation for the experiments.
@@ -75,7 +80,7 @@ func GreedyExhaustive(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
-	mat := metric.NewMatrix(t)
+	mat := metric.NewMatrixWorkers(t, opt.Workers)
 	var st Stats
 
 	start := time.Now()
@@ -104,7 +109,7 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
-	mat := metric.NewMatrix(t)
+	mat := metric.NewMatrixWorkers(t, opt.Workers)
 	var st Stats
 
 	start := time.Now()
@@ -116,13 +121,13 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 			w = cover.WeightTrueDiameter
 		}
 		var family []cover.Set
-		family, err = cover.Balls(mat, k, w)
+		family, err = cover.BallsParallel(mat, k, w, opt.Workers)
 		if err == nil {
 			st.FamilySize = len(family)
 			chosen, err = cover.Greedy(t.Len(), family)
 		}
 	} else {
-		chosen, err = cover.GreedyBalls(mat, k)
+		chosen, err = cover.GreedyBallsParallel(mat, k, opt.Workers)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("algo: greedy ball cover: %w", err)

@@ -284,3 +284,38 @@ func TestExhaustiveVsBall(t *testing.T) {
 		t.Errorf("exhaustive family lost to ball family on %d/10 instances", worse)
 	}
 }
+
+// TestGreedyBallWorkersDeterministic: the Workers knob must not change
+// a single released cell — the anonymized table, partition, and cost
+// are byte-identical at every worker count.
+func TestGreedyBallWorkersDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 44} {
+		for _, n := range []int{40, 150} {
+			for _, k := range []int{2, 3, 5} {
+				rng := rand.New(rand.NewSource(seed))
+				tab := dataset.Census(rng, n, 6)
+				seq, err := GreedyBall(tab, k, &Options{Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{0, 2, 4} {
+					par, err := GreedyBall(tab, k, &Options{Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if par.Cost != seq.Cost {
+						t.Fatalf("seed=%d n=%d k=%d workers=%d: cost %d != %d", seed, n, k, workers, par.Cost, seq.Cost)
+					}
+					for i := 0; i < seq.Anonymized.Len(); i++ {
+						a, b := seq.Anonymized.Row(i), par.Anonymized.Row(i)
+						for j := range a {
+							if a[j] != b[j] {
+								t.Fatalf("seed=%d n=%d k=%d workers=%d: cell (%d,%d) differs", seed, n, k, workers, i, j)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -33,7 +33,7 @@ func GreedyBallWeighted(t *relation.Table, k int, w core.Weights, opt *Options) 
 	var st Stats
 
 	start := time.Now()
-	chosen, err := cover.GreedyBalls(mat, k)
+	chosen, err := cover.GreedyBallsParallel(mat, k, opt.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("algo: weighted greedy ball cover: %w", err)
 	}

@@ -22,6 +22,15 @@ import (
 // best ratio therefore yields the true global minimum once the popped
 // center's recomputed key is no worse than the next key in the queue.
 func GreedyBalls(mat *metric.Matrix, k int) ([]Set, error) {
+	return GreedyBallsParallel(mat, k, 0)
+}
+
+// GreedyBallsParallel is GreedyBalls with an explicit worker count (0
+// means all CPUs, 1 forces the sequential path). Only the neighbor-
+// order precomputation is sharded — the greedy selection loop is
+// inherently sequential — so the chosen cover is byte-identical for
+// every worker count.
+func GreedyBallsParallel(mat *metric.Matrix, k, workers int) ([]Set, error) {
 	n := mat.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("cover: k = %d < 1", k)
@@ -31,22 +40,18 @@ func GreedyBalls(mat *metric.Matrix, k int) ([]Set, error) {
 	}
 
 	// ord[c] holds the other rows sorted by distance from c (ties by
-	// index, matching Balls for reproducible cross-checks).
+	// index, matching Balls for reproducible cross-checks). Built by
+	// the counting-sort kernel, one center per worker: O(n + m) per
+	// center instead of the comparison sort's O(n log n).
 	ord := make([][]int32, n)
-	for c := 0; c < n; c++ {
+	forEachIndex(n, workers, func(c int) {
+		s := getScratch(n)
+		neighborOrder(mat, c, s)
 		o := make([]int32, n)
-		for v := range o {
-			o[v] = int32(v)
-		}
-		sort.Slice(o, func(a, b int) bool {
-			da, db := mat.Dist(c, int(o[a])), mat.Dist(c, int(o[b]))
-			if da != db {
-				return da < db
-			}
-			return o[a] < o[b]
-		})
+		copy(o, s.ord)
+		putScratch(s)
 		ord[c] = o
-	}
+	})
 
 	covered := make([]bool, n)
 	remaining := n

@@ -3,7 +3,6 @@ package cover
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"kanon/internal/metric"
 )
@@ -98,6 +97,15 @@ const (
 // moot — this constructor exists to substantiate that claim and for the
 // E10 ablation.
 func BallsWitness(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
+	return BallsWitnessParallel(mat, k, w, 0)
+}
+
+// BallsWitnessParallel is BallsWitness with an explicit worker count (0
+// means all CPUs, 1 forces the sequential path). Centers are
+// independent, so per-center results are computed concurrently and
+// concatenated in center order — the output is identical for every
+// worker count.
+func BallsWitnessParallel(mat *metric.Matrix, k int, w BallWeight, workers int) ([]Set, error) {
 	n := mat.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("cover: k = %d < 1", k)
@@ -105,8 +113,9 @@ func BallsWitness(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
 	if n < k {
 		return nil, fmt.Errorf("cover: n = %d < k = %d", n, k)
 	}
-	var sets []Set
-	for c := 0; c < n; c++ {
+	perCenter := make([][]Set, n)
+	forEachIndex(n, workers, func(c int) {
+		var out []Set
 		seen := map[int]bool{} // realized radii already emitted for c
 		for w2 := 0; w2 < n; w2++ {
 			r := mat.Dist(c, w2)
@@ -136,10 +145,26 @@ func BallsWitness(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
 			if w == WeightTrueDiameter {
 				weight = mat.Diameter(members)
 			}
-			sets = append(sets, Set{Members: members, Weight: weight})
+			out = append(out, Set{Members: members, Weight: weight})
 		}
+		perCenter[c] = out
+	})
+	return mergeCenters(perCenter), nil
+}
+
+// mergeCenters concatenates per-center set slices in center order — the
+// deterministic merge that makes the sharded builders emit exactly the
+// sequential order.
+func mergeCenters(perCenter [][]Set) []Set {
+	total := 0
+	for _, s := range perCenter {
+		total += len(s)
 	}
-	return sets, nil
+	sets := make([]Set, 0, total)
+	for _, s := range perCenter {
+		sets = append(sets, s...)
+	}
+	return sets
 }
 
 // Balls builds the paper's collection D: for every center c ∈ V, the
@@ -154,6 +179,15 @@ func BallsWitness(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
 // to "substitute whichever collection is smaller" is therefore moot
 // after deduplication — E10 confirms.
 func Balls(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
+	return BallsParallel(mat, k, w, 0)
+}
+
+// BallsParallel is Balls with an explicit worker count (0 means all
+// CPUs, 1 forces the sequential path). Each center's balls are built by
+// the counting-sort radius kernel (ballsForCenter) on one worker; the
+// per-center results are concatenated in center order, so the family is
+// byte-identical for every worker count.
+func BallsParallel(mat *metric.Matrix, k int, w BallWeight, workers int) ([]Set, error) {
 	n := mat.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("cover: k = %d < 1", k)
@@ -161,35 +195,11 @@ func Balls(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
 	if n < k {
 		return nil, fmt.Errorf("cover: n = %d < k = %d", n, k)
 	}
-	var sets []Set
-	type dv struct{ d, v int }
-	buf := make([]dv, n)
-	for c := 0; c < n; c++ {
-		for v := 0; v < n; v++ {
-			buf[v] = dv{mat.Dist(c, v), v}
-		}
-		sort.Slice(buf, func(a, b int) bool {
-			if buf[a].d != buf[b].d {
-				return buf[a].d < buf[b].d
-			}
-			return buf[a].v < buf[b].v
-		})
-		// Prefixes ending at a distance boundary are the distinct balls.
-		for end := k; end <= n; end++ {
-			if end < n && buf[end].d == buf[end-1].d {
-				continue // not a boundary: same ball as a longer prefix
-			}
-			members := make([]int, end)
-			for i := 0; i < end; i++ {
-				members[i] = buf[i].v
-			}
-			sort.Ints(members)
-			weight := 2 * buf[end-1].d
-			if w == WeightTrueDiameter {
-				weight = mat.Diameter(members)
-			}
-			sets = append(sets, Set{Members: members, Weight: weight})
-		}
-	}
-	return sets, nil
+	perCenter := make([][]Set, n)
+	forEachIndex(n, workers, func(c int) {
+		s := getScratch(n)
+		perCenter[c] = ballsForCenter(mat, k, w, c, s)
+		putScratch(s)
+	})
+	return mergeCenters(perCenter), nil
 }

@@ -1,0 +1,55 @@
+package cover
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// normWorkers resolves a Workers knob: 0 or negative means all CPUs,
+// and the count is clamped to the number of independent work items.
+func normWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachIndex runs fn(i) for every i in [0, n) across the given number
+// of workers. Work is handed out through an atomic counter so uneven
+// per-index costs balance without a queue; fn must write only to
+// per-index state (results indexed by i stay deterministic regardless
+// of scheduling). workers ≤ 1 degenerates to a plain sequential loop
+// with no goroutines, so the Workers: 1 path is exactly the sequential
+// code.
+func forEachIndex(n, workers int, fn func(i int)) {
+	workers = normWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

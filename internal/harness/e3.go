@@ -2,6 +2,7 @@ package harness
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 
 	"kanon/internal/algo"
@@ -54,7 +55,7 @@ func runE3(cfg Config) ([]*Table, error) {
 			rng := rand.New(rand.NewSource(cfg.seed() + int64(n*10+k)))
 			tab := dataset.Census(rng, n, 8)
 			start := time.Now()
-			r, err := algo.GreedyBall(tab, k, nil)
+			r, err := algo.GreedyBall(tab, k, &algo.Options{Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -74,12 +75,55 @@ func runE3(cfg Config) ([]*Table, error) {
 		rng := rand.New(rand.NewSource(cfg.seed() + int64(n)))
 		tab := dataset.Census(rng, n, 8)
 		start := time.Now()
-		sr, err := stream.Anonymize(tab, 3, &stream.Options{BlockRows: 1000})
+		sr, err := stream.Anonymize(tab, 3, &stream.Options{BlockRows: 1000, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		total := time.Since(start)
 		t.AddRow("stream(b=1000)", "3", itoa(n), "implicit", "-", dur(total), itoa(sr.Cost))
 	}
+
+	// Worker sweep: the same workload at 1, 2, 4, ... NumCPU workers,
+	// so the parallel layer's scaling is visible next to the sequential
+	// baseline (outputs are byte-identical by construction).
+	sweepN := 2000
+	if cfg.Quick {
+		sweepN = 500
+	}
+	for _, w := range workerSweep() {
+		rng := rand.New(rand.NewSource(cfg.seed() + int64(sweepN*10+3)))
+		tab := dataset.Census(rng, sweepN, 8)
+		start := time.Now()
+		r, err := algo.GreedyBall(tab, 3, &algo.Options{Workers: w})
+		if err != nil {
+			return nil, err
+		}
+		total := time.Since(start)
+		t.AddRow("ball(workers="+itoa(w)+")", "3", itoa(sweepN), "implicit",
+			dur(r.Stats.PhaseCover), dur(total), itoa(r.Cost))
+	}
+	for _, w := range workerSweep() {
+		rng := rand.New(rand.NewSource(cfg.seed() + int64(10*sweepN)))
+		tab := dataset.Census(rng, 10*sweepN, 8)
+		start := time.Now()
+		sr, err := stream.Anonymize(tab, 3, &stream.Options{BlockRows: 1000, Workers: w})
+		if err != nil {
+			return nil, err
+		}
+		total := time.Since(start)
+		t.AddRow("stream(b=1000,workers="+itoa(w)+")", "3", itoa(10*sweepN), "implicit",
+			"-", dur(total), itoa(sr.Cost))
+	}
 	return []*Table{t}, nil
+}
+
+// workerSweep returns 1, 2, 4, ... up to and including NumCPU (deduped
+// when NumCPU is itself a power of two or 1).
+func workerSweep() []int {
+	ncpu := runtime.NumCPU()
+	var ws []int
+	for w := 1; w < ncpu; w *= 2 {
+		ws = append(ws, w)
+	}
+	return append(ws, ncpu)
 }

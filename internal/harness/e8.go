@@ -39,14 +39,14 @@ func runE8(cfg Config) ([]*Table, error) {
 	}
 	runners := []runnerFn{
 		{"ball (Thm 4.2)", func(tab *relation.Table, k int) (int, error) {
-			r, err := algo.GreedyBall(tab, k, nil)
+			r, err := algo.GreedyBall(tab, k, &algo.Options{Workers: cfg.Workers})
 			if err != nil {
 				return 0, err
 			}
 			return r.Cost, nil
 		}},
 		{"ball+refine", func(tab *relation.Table, k int) (int, error) {
-			r, err := algo.GreedyBall(tab, k, nil)
+			r, err := algo.GreedyBall(tab, k, &algo.Options{Workers: cfg.Workers})
 			if err != nil {
 				return 0, err
 			}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -21,6 +22,10 @@ type Config struct {
 	// Seed drives all instance generation; experiments derive
 	// per-instance seeds from it deterministically.
 	Seed int64
+	// Workers bounds the parallelism of the algorithms under test
+	// (0 = all CPUs, 1 = sequential). E3 and E8 additionally sweep it
+	// where the comparison is the point of the experiment.
+	Workers int
 }
 
 // DefaultSeed is the corpus seed used for EXPERIMENTS.md.
@@ -109,6 +114,21 @@ func (t *Table) RenderMarkdown(w io.Writer) error {
 	b.WriteByte('\n')
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// RenderJSON writes the table as one JSON object on a single line —
+// the machine-readable form kanon-bench -json emits for trajectory
+// tooling (BENCH_*.json).
+func (t *Table) RenderJSON(w io.Writer) error {
+	obj := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}
+	enc := json.NewEncoder(w)
+	return enc.Encode(obj)
 }
 
 // Experiment is one reproducible experiment.

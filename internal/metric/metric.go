@@ -9,8 +9,11 @@
 package metric
 
 import (
+	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"kanon/internal/relation"
 )
@@ -63,25 +66,68 @@ func DiameterRows(rows []relation.Row) int {
 // table. Both approximation algorithms consult pairwise distances
 // heavily; precomputing them once turns the inner loops into table
 // lookups.
+//
+// Storage is int16 (narrow) while every distance fits, which is the
+// common Hamming case (d ≤ m and tables rarely have thousands of
+// columns); the matrix widens to int32 storage when a distance exceeds
+// math.MaxInt16 — tables with m > 32767 columns, or weighted metrics
+// whose column weights sum past int16 — instead of silently
+// overflowing. The widening is transparent to every reader.
 type Matrix struct {
-	n int
-	d []int16 // row-major n×n; distances fit easily in int16 (m ≤ 32767)
+	n    int
+	d    []int16 // narrow row-major n×n storage; nil once widened
+	wide []int32 // wide storage; nil unless a distance exceeded int16
+	maxD int     // largest distance stored (counting-sort bucket bound)
 }
+
+// maxNarrow is the largest distance the narrow int16 storage can hold.
+const maxNarrow = math.MaxInt16
 
 // NewMatrixFunc builds a matrix from an arbitrary symmetric distance
 // function over indices 0..n−1. Used by the generalization extension,
 // whose per-cell costs come from hierarchy trees rather than symbol
-// equality; any metric works with the cover machinery.
+// equality, and by the column-weighted metric; any metric works with
+// the cover machinery. Distances that overflow int16 widen the storage;
+// negative or int32-overflowing distances panic (they would corrupt
+// every downstream algorithm silently otherwise).
 func NewMatrixFunc(n int, dist func(i, j int) int) *Matrix {
 	m := &Matrix{n: n, d: make([]int16, n*n)}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			d := int16(dist(i, j))
-			m.d[i*n+j] = d
-			m.d[j*n+i] = d
+			m.set(i, j, dist(i, j))
 		}
 	}
 	return m
+}
+
+// set stores d(i, j) = d(j, i) = v, widening the backing array the
+// first time a value exceeds the narrow range.
+func (m *Matrix) set(i, j, v int) {
+	if v < 0 || v > math.MaxInt32 {
+		panic(fmt.Sprintf("metric: distance d(%d,%d) = %d outside [0, MaxInt32]", i, j, v))
+	}
+	if v > m.maxD {
+		m.maxD = v
+	}
+	if m.wide == nil && v > maxNarrow {
+		m.widen()
+	}
+	if m.wide != nil {
+		m.wide[i*m.n+j] = int32(v)
+		m.wide[j*m.n+i] = int32(v)
+		return
+	}
+	m.d[i*m.n+j] = int16(v)
+	m.d[j*m.n+i] = int16(v)
+}
+
+// widen migrates narrow storage to int32 in place.
+func (m *Matrix) widen() {
+	m.wide = make([]int32, len(m.d))
+	for i, v := range m.d {
+		m.wide[i] = int32(v)
+	}
+	m.d = nil
 }
 
 // parallelThreshold is the row count above which NewMatrix fans the
@@ -90,28 +136,62 @@ func NewMatrixFunc(n int, dist func(i, j int) int) *Matrix {
 const parallelThreshold = 256
 
 // NewMatrix computes the full pairwise distance matrix of t. Large
-// tables are computed in parallel; the result is identical either way
-// (each worker owns disjoint rows of the output).
+// tables are computed in parallel over all CPUs; the result is
+// identical either way (each worker owns disjoint rows of the output).
 func NewMatrix(t *relation.Table) *Matrix {
+	return NewMatrixWorkers(t, 0)
+}
+
+// NewMatrixWorkers is NewMatrix with an explicit worker count: 0 (or
+// negative) means runtime.NumCPU(), 1 forces the sequential fill. The
+// output is byte-identical for every worker count.
+func NewMatrixWorkers(t *relation.Table, workers int) *Matrix {
 	n := t.Len()
-	m := &Matrix{n: n, d: make([]int16, n*n)}
+	m := &Matrix{n: n}
+	// The Hamming distance is bounded by the degree; tables wider than
+	// int16 get wide storage up front instead of overflowing (the
+	// satellite guard for m > 32767 columns).
+	if t.Degree() > maxNarrow {
+		m.wide = make([]int32, n*n)
+	} else {
+		m.d = make([]int16, n*n)
+	}
+	var sharedMax atomic.Int64
 	fill := func(lo, hi int) {
+		localMax := 0
 		for i := lo; i < hi; i++ {
 			ri := t.Row(i)
 			for j := i + 1; j < n; j++ {
-				d := int16(Distance(ri, t.Row(j)))
-				m.d[i*n+j] = d
-				m.d[j*n+i] = d
+				d := Distance(ri, t.Row(j))
+				if d > localMax {
+					localMax = d
+				}
+				if m.wide != nil {
+					m.wide[i*n+j] = int32(d)
+					m.wide[j*n+i] = int32(d)
+				} else {
+					m.d[i*n+j] = int16(d)
+					m.d[j*n+i] = int16(d)
+				}
+			}
+		}
+		for {
+			cur := sharedMax.Load()
+			if int64(localMax) <= cur || sharedMax.CompareAndSwap(cur, int64(localMax)) {
+				return
 			}
 		}
 	}
-	if n < parallelThreshold {
-		fill(0, n)
-		return m
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
-	workers := runtime.NumCPU()
 	if workers > n {
 		workers = n
+	}
+	if workers <= 1 || n < parallelThreshold {
+		fill(0, n)
+		m.maxD = int(sharedMax.Load())
+		return m
 	}
 	var wg sync.WaitGroup
 	// Row i costs ~(n−i) pairs; interleave rows across workers so the
@@ -126,6 +206,7 @@ func NewMatrix(t *relation.Table) *Matrix {
 		}(w)
 	}
 	wg.Wait()
+	m.maxD = int(sharedMax.Load())
 	return m
 }
 
@@ -133,7 +214,20 @@ func NewMatrix(t *relation.Table) *Matrix {
 func (m *Matrix) Len() int { return m.n }
 
 // Dist returns d(row i, row j).
-func (m *Matrix) Dist(i, j int) int { return int(m.d[i*m.n+j]) }
+func (m *Matrix) Dist(i, j int) int {
+	if m.wide != nil {
+		return int(m.wide[i*m.n+j])
+	}
+	return int(m.d[i*m.n+j])
+}
+
+// MaxDist returns the largest distance stored anywhere in the matrix.
+// The counting-sort kernels use it to bound bucket counts.
+func (m *Matrix) MaxDist() int { return m.maxD }
+
+// Wide reports whether the matrix needed int32 storage (some distance
+// exceeded math.MaxInt16).
+func (m *Matrix) Wide() bool { return m.wide != nil }
 
 // Diameter returns the diameter of the index set using precomputed
 // distances.

@@ -1,6 +1,7 @@
 package metric
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -242,6 +243,124 @@ func TestMatrixParallelMatchesSerial(t *testing.T) {
 		i, j := rng.Intn(tab.Len()), rng.Intn(tab.Len())
 		if want := Distance(tab.Row(i), tab.Row(j)); m.Dist(i, j) != want {
 			t.Fatalf("Dist(%d,%d) = %d, want %d", i, j, m.Dist(i, j), want)
+		}
+	}
+}
+
+func TestMatrixFuncWidensPastInt16(t *testing.T) {
+	// A metric whose distances exceed math.MaxInt16 (e.g. heavily
+	// weighted columns) must widen to int32 storage, not silently
+	// truncate.
+	n := 6
+	dist := func(i, j int) int {
+		if i == j {
+			return 0
+		}
+		return 40000 + (i+j)*1000
+	}
+	m := NewMatrixFunc(n, dist)
+	if !m.Wide() {
+		t.Fatal("matrix with distances > MaxInt16 did not widen")
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0
+			if i != j {
+				lo, hi := i, j
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				want = dist(lo, hi)
+			}
+			if m.Dist(i, j) != want {
+				t.Fatalf("Dist(%d,%d) = %d, want %d", i, j, m.Dist(i, j), want)
+			}
+		}
+	}
+	if m.MaxDist() != 40000+(4+5)*1000 {
+		t.Fatalf("MaxDist = %d", m.MaxDist())
+	}
+}
+
+func TestMatrixFuncNarrowStaysNarrow(t *testing.T) {
+	m := NewMatrixFunc(4, func(i, j int) int { return i + j })
+	if m.Wide() {
+		t.Fatal("small distances should keep int16 storage")
+	}
+	if m.MaxDist() != 5 {
+		t.Fatalf("MaxDist = %d, want 5", m.MaxDist())
+	}
+}
+
+func TestMatrixFuncNegativeDistancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative distance did not panic")
+		}
+	}()
+	NewMatrixFunc(3, func(i, j int) int { return -1 })
+}
+
+func TestMatrixWideTableGuard(t *testing.T) {
+	// A table wider than 32767 columns used to overflow the int16
+	// distance storage; it must now get int32 storage up front and
+	// report exact Hamming distances.
+	if testing.Short() {
+		t.Skip("builds a 40000-column schema")
+	}
+	m := 40000
+	names := make([]string, m)
+	for j := range names {
+		names[j] = "c" + string(rune('a'+j%26)) + fmt.Sprint(j)
+	}
+	tab := relation.NewTable(relation.NewSchema(names...))
+	rowA := make([]string, m)
+	rowB := make([]string, m)
+	rowC := make([]string, m)
+	for j := 0; j < m; j++ {
+		rowA[j] = "a"
+		rowB[j] = "b"
+		rowC[j] = "a"
+	}
+	// rowC differs from rowA on exactly the first 33000 columns.
+	for j := 0; j < 33000; j++ {
+		rowC[j] = "c"
+	}
+	for _, r := range [][]string{rowA, rowB, rowC} {
+		if err := tab.AppendStrings(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mat := NewMatrix(tab)
+	if !mat.Wide() {
+		t.Fatal("matrix over a 40000-column table did not use wide storage")
+	}
+	if got := mat.Dist(0, 1); got != m {
+		t.Fatalf("Dist(0,1) = %d, want %d", got, m)
+	}
+	if got := mat.Dist(0, 2); got != 33000 {
+		t.Fatalf("Dist(0,2) = %d, want 33000 (int16 would have overflowed)", got)
+	}
+	if mat.MaxDist() != m {
+		t.Fatalf("MaxDist = %d, want %d", mat.MaxDist(), m)
+	}
+}
+
+func TestNewMatrixWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := randomTable(rng, parallelThreshold+20, 6, 4)
+	ref := NewMatrixWorkers(tab, 1)
+	for _, workers := range []int{0, 2, 3, 8} {
+		m := NewMatrixWorkers(tab, workers)
+		for i := 0; i < tab.Len(); i++ {
+			for j := 0; j < tab.Len(); j++ {
+				if m.Dist(i, j) != ref.Dist(i, j) {
+					t.Fatalf("workers=%d: Dist(%d,%d) = %d, want %d", workers, i, j, m.Dist(i, j), ref.Dist(i, j))
+				}
+			}
+		}
+		if m.MaxDist() != ref.MaxDist() {
+			t.Fatalf("workers=%d: MaxDist = %d, want %d", workers, m.MaxDist(), ref.MaxDist())
 		}
 	}
 }

@@ -6,6 +6,10 @@
 // only offer the greedy more grouping options — which the tests verify
 // on fixed corpora, making block size a pure memory/quality dial.
 //
+// Blocks are independent, so they are anonymized concurrently through a
+// bounded worker pool and reassembled in input order; the released
+// table is byte-identical for every worker count.
+//
 // This is a systems extension, not part of the paper; it is what makes
 // the Theorem 4.2 algorithm deployable on inputs where even the O(n²)
 // distance matrix is unaffordable.
@@ -13,6 +17,9 @@ package stream
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"kanon/internal/algo"
 	"kanon/internal/refine"
@@ -26,8 +33,27 @@ type Options struct {
 	BlockRows int
 	// Refine applies cost-direct local search inside each block.
 	Refine bool
-	// Algo runs per block; nil means algo.GreedyBall with defaults.
+	// Workers bounds how many blocks are anonymized concurrently: 0 (or
+	// negative) means runtime.NumCPU(), 1 forces the sequential path.
+	// Output and errors are identical for every worker count.
+	Workers int
+	// Algo runs per block; nil means algo.GreedyBall with defaults. A
+	// custom Algo must be safe for concurrent calls when Workers != 1
+	// (the default GreedyBall is).
 	Algo func(t *relation.Table, k int) (*algo.Result, error)
+}
+
+// BlockStat records one block's outcome for observability: its row
+// range in the input, its suppression cost, and — when Options.Refine
+// is set — what the local search bought.
+type BlockStat struct {
+	// Lo and Hi delimit the block's input rows [Lo, Hi).
+	Lo, Hi int
+	// Cost is the stars the block contributed to the release.
+	Cost int
+	// Refine holds the block's local-search statistics (rounds, moves,
+	// cost before/after); nil unless Options.Refine was set.
+	Refine *refine.Stats
 }
 
 // Result aggregates the streamed anonymization.
@@ -39,6 +65,15 @@ type Result struct {
 	Cost int
 	// Blocks is how many blocks were processed.
 	Blocks int
+	// BlockStats has one entry per block, in input order.
+	BlockStats []BlockStat
+}
+
+// blockResult is one worker's output for a block, held until ordered
+// reassembly.
+type blockResult struct {
+	anon *relation.Table
+	stat BlockStat
 }
 
 // Anonymize processes t in blocks and returns the concatenated
@@ -68,8 +103,96 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 		}
 	}
 
+	bounds := blockBounds(n, k, block)
+	results := make([]blockResult, len(bounds))
+	errs := make([]error, len(bounds))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(bounds) {
+		workers = len(bounds)
+	}
+	process := func(bi int) {
+		lo, hi := bounds[bi][0], bounds[bi][1]
+		indices := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			indices = append(indices, i)
+		}
+		sub := t.SubTable(indices)
+		r, err := run(sub, k)
+		if err != nil {
+			errs[bi] = fmt.Errorf("stream: block [%d,%d): %w", lo, hi, err)
+			return
+		}
+		stat := BlockStat{Lo: lo, Hi: hi}
+		if opt.Refine {
+			st, err := refine.Partition(sub, r.Partition, k, nil)
+			if err != nil {
+				errs[bi] = fmt.Errorf("stream: refining block [%d,%d): %w", lo, hi, err)
+				return
+			}
+			stat.Refine = st
+		}
+		sup := r.Partition.Suppressor(sub)
+		anon := sup.Apply(sub)
+		stat.Cost = sup.Stars()
+		results[bi] = blockResult{anon: anon, stat: stat}
+	}
+	if workers <= 1 {
+		for bi := range bounds {
+			process(bi)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					bi := int(next.Add(1)) - 1
+					if bi >= len(bounds) {
+						return
+					}
+					process(bi)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Deterministic error propagation: the lowest-index failing block
+	// wins, matching what the sequential loop would have reported.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	out := relation.NewTable(t.Schema())
-	res := &Result{}
+	res := &Result{BlockStats: make([]BlockStat, 0, len(bounds))}
+	for _, br := range results {
+		for i := 0; i < br.anon.Len(); i++ {
+			if err := out.AppendRow(br.anon.Row(i).Clone()); err != nil {
+				return nil, fmt.Errorf("stream: %w", err)
+			}
+		}
+		res.Cost += br.stat.Cost
+		res.Blocks++
+		res.BlockStats = append(res.BlockStats, br.stat)
+	}
+	if !out.IsKAnonymous(k) && k > 1 {
+		return nil, fmt.Errorf("stream: internal: output not %d-anonymous", k)
+	}
+	res.Anonymized = out
+	return res, nil
+}
+
+// blockBounds computes the [lo, hi) row ranges the table is cut into:
+// blocks of the given size, with a short tail (< k rows) absorbed into
+// the final block so every block can be k-anonymized.
+func blockBounds(n, k, block int) [][2]int {
+	var bounds [][2]int
 	for lo := 0; lo < n; lo += block {
 		hi := lo + block
 		if hi > n {
@@ -80,36 +203,10 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 		if n-hi > 0 && n-hi < k {
 			hi = n
 		}
-		indices := make([]int, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			indices = append(indices, i)
-		}
-		sub := t.SubTable(indices)
-		r, err := run(sub, k)
-		if err != nil {
-			return nil, fmt.Errorf("stream: block [%d,%d): %w", lo, hi, err)
-		}
-		if opt.Refine {
-			if _, err := refine.Partition(sub, r.Partition, k, nil); err != nil {
-				return nil, fmt.Errorf("stream: refining block [%d,%d): %w", lo, hi, err)
-			}
-		}
-		sup := r.Partition.Suppressor(sub)
-		anon := sup.Apply(sub)
-		for i := 0; i < anon.Len(); i++ {
-			if err := out.AppendRow(anon.Row(i).Clone()); err != nil {
-				return nil, fmt.Errorf("stream: %w", err)
-			}
-		}
-		res.Cost += sup.Stars()
-		res.Blocks++
+		bounds = append(bounds, [2]int{lo, hi})
 		if hi == n {
 			break
 		}
 	}
-	if !out.IsKAnonymous(k) && k > 1 {
-		return nil, fmt.Errorf("stream: internal: output not %d-anonymous", k)
-	}
-	res.Anonymized = out
-	return res, nil
+	return bounds
 }

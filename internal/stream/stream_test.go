@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -118,6 +119,8 @@ func TestCustomAlgo(t *testing.T) {
 	calls := 0
 	res, err := Anonymize(tab, 2, &Options{
 		BlockRows: 10,
+		// Workers: 1 so the unsynchronized call counter is safe.
+		Workers: 1,
 		Algo: func(bt *relation.Table, k int) (*algo.Result, error) {
 			calls++
 			return algo.GreedyBall(bt, k, &algo.Options{SplitSorted: true})
@@ -165,5 +168,127 @@ func TestLargeInputScales(t *testing.T) {
 	}
 	if !res.Anonymized.IsKAnonymous(5) {
 		t.Error("20k-row output not 5-anonymous")
+	}
+}
+
+// TestParallelMatchesSequential is the determinism property test: the
+// concurrent block pipeline must release a byte-identical table (and
+// identical stats) to the Workers: 1 path across seeds, block sizes,
+// and k.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{1, 9, 77} {
+		for _, block := range []int{30, 64, 100} {
+			for _, k := range []int{2, 3} {
+				rng := rand.New(rand.NewSource(seed))
+				tab := dataset.Census(rng, 250, 6)
+				seq, err := Anonymize(tab, k, &Options{BlockRows: block, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{0, 2, 5} {
+					par, err := Anonymize(tab, k, &Options{BlockRows: block, Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if par.Cost != seq.Cost || par.Blocks != seq.Blocks {
+						t.Fatalf("seed=%d block=%d k=%d workers=%d: cost/blocks %d/%d, want %d/%d",
+							seed, block, k, workers, par.Cost, par.Blocks, seq.Cost, seq.Blocks)
+					}
+					for i := 0; i < seq.Anonymized.Len(); i++ {
+						a, b := seq.Anonymized.Strings(i), par.Anonymized.Strings(i)
+						for j := range a {
+							if a[j] != b[j] {
+								t.Fatalf("seed=%d block=%d k=%d workers=%d: cell (%d,%d) %q != %q",
+									seed, block, k, workers, i, j, b[j], a[j])
+							}
+						}
+					}
+					if len(par.BlockStats) != len(seq.BlockStats) {
+						t.Fatalf("block stats length %d != %d", len(par.BlockStats), len(seq.BlockStats))
+					}
+					for bi := range seq.BlockStats {
+						if par.BlockStats[bi] != seq.BlockStats[bi] {
+							t.Fatalf("block %d stats differ: %+v vs %+v", bi, par.BlockStats[bi], seq.BlockStats[bi])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockStats verifies the per-block observability contract: ranges
+// tile the input, per-block costs sum to the total, and refine stats
+// appear exactly when requested and never increase cost.
+func TestBlockStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tab := dataset.Census(rng, 200, 6)
+	res, err := Anonymize(tab, 3, &Options{BlockRows: 50, Refine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BlockStats) != res.Blocks {
+		t.Fatalf("BlockStats has %d entries for %d blocks", len(res.BlockStats), res.Blocks)
+	}
+	wantLo, costSum := 0, 0
+	for bi, bs := range res.BlockStats {
+		if bs.Lo != wantLo {
+			t.Fatalf("block %d starts at %d, want %d", bi, bs.Lo, wantLo)
+		}
+		if bs.Hi <= bs.Lo {
+			t.Fatalf("block %d empty range [%d,%d)", bi, bs.Lo, bs.Hi)
+		}
+		wantLo = bs.Hi
+		costSum += bs.Cost
+		if bs.Refine == nil {
+			t.Fatalf("block %d missing refine stats with Refine: true", bi)
+		}
+		if bs.Refine.CostAfter > bs.Refine.CostBefore {
+			t.Fatalf("block %d refine increased cost %d → %d", bi, bs.Refine.CostBefore, bs.Refine.CostAfter)
+		}
+	}
+	if wantLo != tab.Len() {
+		t.Fatalf("blocks cover [0,%d), want [0,%d)", wantLo, tab.Len())
+	}
+	if costSum != res.Cost {
+		t.Fatalf("per-block costs sum to %d, total is %d", costSum, res.Cost)
+	}
+	plain, err := Anonymize(tab, 3, &Options{BlockRows: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, bs := range plain.BlockStats {
+		if bs.Refine != nil {
+			t.Fatalf("block %d has refine stats without Refine: true", bi)
+		}
+	}
+}
+
+// TestErrorPropagationDeterministic checks that when several blocks
+// fail, every worker count reports the same (lowest-index) block's
+// error — matching what the sequential loop would have said.
+func TestErrorPropagationDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tab := dataset.Uniform(rng, 120, 4, 3)
+	failing := func(bt *relation.Table, k int) (*algo.Result, error) {
+		if bt.Len() < 100 { // every block of 30 fails; a whole-table run would not
+			return nil, errors.New("boom")
+		}
+		return algo.GreedyBall(bt, k, nil)
+	}
+	var want string
+	for _, workers := range []int{1, 0, 2, 4} {
+		_, err := Anonymize(tab, 2, &Options{BlockRows: 30, Workers: workers, Algo: failing})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if want == "" {
+			want = err.Error()
+		} else if err.Error() != want {
+			t.Fatalf("workers=%d: error %q, want %q", workers, err.Error(), want)
+		}
+	}
+	if want != `stream: block [0,30): boom` {
+		t.Fatalf("unexpected first-block error %q", want)
 	}
 }

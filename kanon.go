@@ -130,6 +130,11 @@ type Options struct {
 	// the weighted objective); other algorithms ignore weights but the
 	// Result still reports the weighted cost.
 	ColumnWeights []int
+	// Workers bounds the parallelism of the greedy algorithms' hot
+	// paths (distance matrix fill, ball-family construction): 0 means
+	// all CPUs, 1 forces the sequential path. Output is identical for
+	// every worker count; other algorithms ignore it.
+	Workers int
 }
 
 // Result is an anonymization outcome.
@@ -176,7 +181,7 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 	switch opts.Algorithm {
 	case AlgoGreedyBall:
 		if weights != nil {
-			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{SplitSorted: opts.SplitSorted})
+			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -186,13 +191,14 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 		r, err := algo.GreedyBall(t, k, &algo.Options{
 			SplitSorted:         opts.SplitSorted,
 			TrueDiameterWeights: opts.TrueDiameterWeights,
+			Workers:             opts.Workers,
 		})
 		if err != nil {
 			return nil, err
 		}
 		p = r.Partition
 	case AlgoGreedyExhaustive:
-		r, err := algo.GreedyExhaustive(t, k, &algo.Options{SplitSorted: opts.SplitSorted})
+		r, err := algo.GreedyExhaustive(t, k, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers})
 		if err != nil {
 			return nil, err
 		}
