@@ -1,0 +1,151 @@
+// Command benchdiff compares two regression bench reports (the output
+// of kanon-bench -regress) and fails when the current run regresses
+// against the baseline. It is the CI benchmark gate.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_BASELINE.json -current bench.json
+//
+// Costs must match exactly — the solvers are deterministic for a fixed
+// seed, so any cost drift is a behavior change, not noise. Wall times
+// may drift up to -wall-tol (relative) plus -wall-slack-ms (absolute,
+// so sub-millisecond cases don't trip on scheduler noise). With
+// -calibrate, the wall limit is additionally scaled by the ratio of the
+// two reports' calibration timings, compensating for baseline and
+// current runs executing on machines of different speeds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"kanon/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	basePath := fs.String("baseline", "BENCH_BASELINE.json", "baseline report (kanon-bench -regress output)")
+	curPath := fs.String("current", "", "current report to compare against the baseline")
+	wallTol := fs.Float64("wall-tol", 0.25, "allowed relative wall-time growth per case (0.25 = +25%)")
+	slackMS := fs.Float64("wall-slack-ms", 5, "absolute wall-time slack per case, in milliseconds")
+	calibrate := fs.Bool("calibrate", false, "scale the wall limit by the reports' calibration ratio (cross-machine runs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *curPath == "" {
+		return fmt.Errorf("-current is required")
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		return err
+	}
+	if base.Schema != cur.Schema {
+		return fmt.Errorf("schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema)
+	}
+	if base.Seed != cur.Seed || base.Quick != cur.Quick || base.Workers != cur.Workers {
+		return fmt.Errorf("configuration mismatch: baseline (seed=%d quick=%v workers=%d) vs current (seed=%d quick=%v workers=%d); regenerate the baseline",
+			base.Seed, base.Quick, base.Workers, cur.Seed, cur.Quick, cur.Workers)
+	}
+
+	calScale := 1.0
+	if *calibrate && base.CalibrationNS > 0 {
+		calScale = float64(cur.CalibrationNS) / float64(base.CalibrationNS)
+		if calScale < 1 {
+			// A faster current machine never loosens the gate.
+			calScale = 1
+		}
+		fmt.Fprintf(stdout, "calibration: baseline %s, current %s (wall limit ×%.2f)\n",
+			dur(base.CalibrationNS), dur(cur.CalibrationNS), calScale)
+	}
+
+	baseBy := map[string]harness.BenchCase{}
+	for _, c := range base.Cases {
+		baseBy[c.Name] = c
+	}
+	curBy := map[string]harness.BenchCase{}
+	for _, c := range cur.Cases {
+		curBy[c.Name] = c
+	}
+
+	fmt.Fprintf(stdout, "%-16s %12s %12s %7s  %8s %8s  %s\n",
+		"case", "base wall", "cur wall", "ratio", "base $", "cur $", "status")
+	failures := 0
+	for _, bc := range base.Cases {
+		cc, ok := curBy[bc.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-16s %12s %12s %7s  %8d %8s  MISSING\n",
+				bc.Name, dur(bc.WallNS), "-", "-", bc.Cost, "-")
+			failures++
+			continue
+		}
+		ratio := float64(cc.WallNS) / float64(bc.WallNS)
+		limit := float64(bc.WallNS)*(1+*wallTol)*calScale + *slackMS*1e6
+		status := "ok"
+		switch {
+		case cc.Cost != bc.Cost:
+			status = "COST CHANGED"
+			failures++
+		case float64(cc.WallNS) > limit:
+			status = fmt.Sprintf("SLOW (limit %s)", dur(int64(limit)))
+			failures++
+		}
+		fmt.Fprintf(stdout, "%-16s %12s %12s %6.2fx  %8d %8d  %s\n",
+			bc.Name, dur(bc.WallNS), dur(cc.WallNS), ratio, bc.Cost, cc.Cost, status)
+	}
+	for _, cc := range cur.Cases {
+		if _, ok := baseBy[cc.Name]; !ok {
+			fmt.Fprintf(stdout, "%-16s %12s %12s %7s  %8s %8d  NEW (regenerate baseline)\n",
+				cc.Name, "-", dur(cc.WallNS), "-", "-", cc.Cost)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d case(s) regressed or diverged from the baseline", failures)
+	}
+	fmt.Fprintf(stdout, "all %d cases within tolerance\n", len(base.Cases))
+	return nil
+}
+
+func load(path string) (*harness.BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep harness.BenchReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema == "" {
+		return nil, fmt.Errorf("%s: not a bench report (missing schema)", path)
+	}
+	return &rep, nil
+}
+
+func dur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kanon/internal/harness"
+)
+
+func report(t *testing.T) *harness.BenchReport {
+	t.Helper()
+	return &harness.BenchReport{
+		Schema:        harness.BenchSchema,
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		GOMAXPROCS:    8,
+		Seed:          harness.DefaultSeed,
+		Workers:       1,
+		CalibrationNS: 10_000_000,
+		Cases: []harness.BenchCase{
+			{Name: "ball_planted", N: 1200, M: 8, K: 3, Cost: 100, WallNS: 50_000_000},
+			{Name: "exact_dp", N: 18, M: 5, K: 3, Cost: 12, WallNS: 4_000_000},
+		},
+	}
+}
+
+func write(t *testing.T, rep *harness.BenchReport) string {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rep.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func diff(t *testing.T, base, cur *harness.BenchReport, extra ...string) (string, error) {
+	t.Helper()
+	args := append([]string{"-baseline", write(t, base), "-current", write(t, cur)}, extra...)
+	var out, errOut bytes.Buffer
+	err := run(args, &out, &errOut)
+	return out.String(), err
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	out, err := diff(t, report(t), report(t))
+	if err != nil {
+		t.Fatalf("identical reports should pass: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "all 2 cases within tolerance") {
+		t.Errorf("missing pass summary:\n%s", out)
+	}
+}
+
+func TestSlowdownFails(t *testing.T) {
+	cur := report(t)
+	for i := range cur.Cases {
+		cur.Cases[i].WallNS *= 2
+	}
+	out, err := diff(t, report(t), cur)
+	if err == nil {
+		t.Fatalf("2x slowdown should fail:\n%s", out)
+	}
+	if !strings.Contains(out, "SLOW") {
+		t.Errorf("expected SLOW status:\n%s", out)
+	}
+}
+
+func TestSlowdownWithinTolerancePasses(t *testing.T) {
+	cur := report(t)
+	for i := range cur.Cases {
+		cur.Cases[i].WallNS = cur.Cases[i].WallNS * 11 / 10 // +10% < 25% tol
+	}
+	if out, err := diff(t, report(t), cur); err != nil {
+		t.Fatalf("+10%% should pass under the default 25%% tolerance: %v\n%s", err, out)
+	}
+}
+
+func TestCostChangeFailsEvenWhenFast(t *testing.T) {
+	cur := report(t)
+	cur.Cases[0].Cost++
+	cur.Cases[0].WallNS /= 2
+	out, err := diff(t, report(t), cur)
+	if err == nil {
+		t.Fatalf("cost drift should fail regardless of speed:\n%s", out)
+	}
+	if !strings.Contains(out, "COST CHANGED") {
+		t.Errorf("expected COST CHANGED status:\n%s", out)
+	}
+}
+
+func TestMissingAndNewCasesFail(t *testing.T) {
+	cur := report(t)
+	cur.Cases[1].Name = "renamed"
+	out, err := diff(t, report(t), cur)
+	if err == nil {
+		t.Fatalf("renamed case should fail both directions:\n%s", out)
+	}
+	if !strings.Contains(out, "MISSING") || !strings.Contains(out, "NEW") {
+		t.Errorf("expected MISSING and NEW statuses:\n%s", out)
+	}
+}
+
+func TestConfigMismatchFails(t *testing.T) {
+	cur := report(t)
+	cur.Seed = 1
+	if _, err := diff(t, report(t), cur); err == nil {
+		t.Fatal("seed mismatch should fail")
+	}
+}
+
+func TestCalibrationScalesLimit(t *testing.T) {
+	// Current machine is 2x slower (calibration 2x larger); walls 1.8x
+	// larger. Without -calibrate this fails; with it, it passes.
+	cur := report(t)
+	cur.CalibrationNS *= 2
+	for i := range cur.Cases {
+		cur.Cases[i].WallNS = cur.Cases[i].WallNS * 18 / 10
+	}
+	if _, err := diff(t, report(t), cur); err == nil {
+		t.Fatal("1.8x slowdown should fail without -calibrate")
+	}
+	if out, err := diff(t, report(t), cur, "-calibrate"); err != nil {
+		t.Fatalf("1.8x slowdown on a 2x slower machine should pass with -calibrate: %v\n%s", err, out)
+	}
+}
+
+func TestFasterCalibrationNeverLoosens(t *testing.T) {
+	// Current machine 2x faster but walls 1.5x slower: a genuine
+	// regression that a naive calibration scale (0.5) would flag even
+	// harder — but the scale must clamp at 1, not drop below it.
+	cur := report(t)
+	cur.CalibrationNS /= 2
+	for i := range cur.Cases {
+		cur.Cases[i].WallNS = cur.Cases[i].WallNS * 15 / 10
+	}
+	if _, err := diff(t, report(t), cur, "-calibrate"); err == nil {
+		t.Fatal("1.5x slowdown should fail even with a faster calibration")
+	}
+}

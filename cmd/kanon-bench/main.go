@@ -10,13 +10,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"kanon/internal/harness"
+	"kanon/internal/obs"
 )
 
 func main() {
@@ -36,6 +39,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	format := fs.String("format", "text", "table format: text, md (markdown), or json (one object per line)")
 	jsonOut := fs.Bool("json", false, "shorthand for -format json (machine-readable bench results)")
 	workers := fs.Int("workers", 0, "worker goroutines for the algorithms under test (0 = all CPUs, 1 = sequential)")
+	regress := fs.Bool("regress", false, "run the pinned regression bench suite and emit one BenchReport JSON object (compare with benchdiff)")
+	slowdown := fs.Float64("slowdown", 1, "multiply the regression suite's recorded wall times (CI gate self-test only)")
+	trace := fs.Bool("trace", false, "print a per-experiment phase-timing tree to stderr")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/obs on this address for the duration of the run (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +57,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	var tr *obs.Tracer
+	var root *obs.Span
+	if *trace || *debugAddr != "" {
+		tr = obs.New()
+		root = tr.Start("kanon-bench")
+	}
+	if *debugAddr != "" {
+		if _, err := obs.StartDebugServer(*debugAddr, func() *obs.Snapshot { return tr.Snapshot() }); err != nil {
+			return err
+		}
+	}
+
+	if *regress {
+		rep, err := harness.RunBenchSuite(harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}, *slowdown)
+		if err != nil {
+			return err
+		}
+		return json.NewEncoder(stdout).Encode(rep)
+	}
+
 	render := (*harness.Table).Render
 	switch *format {
 	case "text":
@@ -62,6 +89,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	if *format == "json" {
+		// A self-describing meta line precedes the experiment objects so
+		// consumers know exactly what produced the stream. The struct's
+		// field order is the serialization order — stable by construction.
+		meta := struct {
+			Schema     string `json:"schema"`
+			GoVersion  string `json:"go_version"`
+			GOOS       string `json:"goos"`
+			GOARCH     string `json:"goarch"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			Seed       int64  `json:"seed"`
+			Workers    int    `json:"workers"`
+			Quick      bool   `json:"quick"`
+		}{
+			Schema:     "kanon-bench/1",
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Seed:       cfg.EffectiveSeed(),
+			Workers:    *workers,
+			Quick:      *quick,
+		}
+		if err := json.NewEncoder(stdout).Encode(meta); err != nil {
+			return err
+		}
+	}
 	ids := *runIDs
 	if ids == "" {
 		all := make([]string, 0, len(harness.All()))
@@ -76,7 +130,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (try -list)", id)
 		}
+		es := root.Start(e.ID)
 		tables, err := e.Run(cfg)
+		es.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
@@ -84,6 +140,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if err := render(t, stdout); err != nil {
 				return err
 			}
+		}
+	}
+	if *trace {
+		root.End()
+		if err := tr.Snapshot().WriteTree(stderr); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 
 	"kanon"
 	"kanon/internal/core"
+	"kanon/internal/obs"
 	"kanon/internal/quality"
 	"kanon/internal/relation"
 	"kanon/internal/stream"
@@ -45,6 +47,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	block := fs.Int("block", 0, "stream in blocks of this many rows (bounded memory; 0 = whole table at once)")
 	workers := fs.Int("workers", 0, "worker goroutines for the parallel hot paths (0 = all CPUs, 1 = sequential; output is identical)")
 	weightsArg := fs.String("weights", "", "comma-separated per-column suppression weights, e.g. 3,1,1,5 (ball and exact only)")
+	trace := fs.Bool("trace", false, "print the phase-timing tree and counters to stderr")
+	traceJSON := fs.Bool("trace-json", false, "print the trace as one JSON object to stderr")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/obs on this address for the duration of the run (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +57,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	alg, err := kanon.ParseAlgorithm(*algoName)
 	if err != nil {
 		return err
+	}
+
+	// The whole run is traced under one root span so the printed tree
+	// accounts for (nearly) all of the process wall time: CSV load,
+	// the anonymization itself (the facade's phase tree is grafted in),
+	// and CSV write. Everything is a no-op when tracing is off.
+	tracing := *trace || *traceJSON || *debugAddr != ""
+	var tr *obs.Tracer
+	var root *obs.Span
+	if tracing {
+		tr = obs.New()
+		root = tr.Start("kanon")
+	}
+	if *debugAddr != "" {
+		if _, err := obs.StartDebugServer(*debugAddr, func() *obs.Snapshot { return tr.Snapshot() }); err != nil {
+			return err
+		}
 	}
 
 	in := stdin
@@ -63,7 +85,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		defer f.Close()
 		in = f
 	}
+	ls := root.Start("load-csv")
 	header, rows, err := readCSV(in)
+	ls.End()
 	if err != nil {
 		return err
 	}
@@ -86,14 +110,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	var res *kanon.Result
+	as := root.Start("anonymize")
 	if *block > 0 {
-		res, err = streamAnonymize(header, rows, *k, *block, *refine, *workers)
+		// The block path threads the span straight into the stream
+		// pipeline, so its per-block spans land under "anonymize".
+		res, err = streamAnonymize(header, rows, *k, *block, *refine, *workers, as)
 	} else {
 		res, err = kanon.Anonymize(header, rows, *k, &kanon.Options{
 			Algorithm: alg, Seed: *seed, Refine: *refine, ColumnWeights: weights,
-			Workers: *workers,
+			Workers: *workers, Trace: tracing,
 		})
+		if err == nil && res.Stats != nil {
+			// Graft the facade's phase tree under this span; counters
+			// are merged into the final snapshot below.
+			for _, s := range res.Stats.Spans {
+				as.Attach(s.Children...)
+			}
+		}
 	}
+	as.End()
 	if err != nil {
 		return err
 	}
@@ -107,8 +142,25 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		defer f.Close()
 		out = f
 	}
-	if err := writeCSV(out, res.Header, res.Rows); err != nil {
+	ws := root.Start("write-csv")
+	err = writeCSV(out, res.Header, res.Rows)
+	ws.End()
+	if err != nil {
 		return err
+	}
+
+	if tracing {
+		root.End()
+		snap := tr.Snapshot()
+		snap.Merge(res.Stats)
+		if *trace {
+			snap.WriteTree(stderr)
+		}
+		if *traceJSON {
+			if err := json.NewEncoder(stderr).Encode(snap); err != nil {
+				return err
+			}
+		}
 	}
 
 	if *stats {
@@ -158,14 +210,14 @@ func parseWeights(arg string, m int) ([]int, error) {
 // streamAnonymize runs the bounded-memory block pipeline and adapts its
 // output to the facade's Result shape; groups are recovered from the
 // released table's textual equivalence classes.
-func streamAnonymize(header []string, rows [][]string, k, block int, doRefine bool, workers int) (*kanon.Result, error) {
+func streamAnonymize(header []string, rows [][]string, k, block int, doRefine bool, workers int, sp *obs.Span) (*kanon.Result, error) {
 	t := relation.NewTable(relation.NewSchema(header...))
 	for _, r := range rows {
 		if err := t.AppendStrings(r...); err != nil {
 			return nil, err
 		}
 	}
-	sr, err := stream.Anonymize(t, k, &stream.Options{BlockRows: block, Refine: doRefine, Workers: workers})
+	sr, err := stream.Anonymize(t, k, &stream.Options{BlockRows: block, Refine: doRefine, Workers: workers, Trace: sp})
 	if err != nil {
 		return nil, err
 	}

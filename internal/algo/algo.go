@@ -18,6 +18,7 @@ import (
 	"kanon/internal/core"
 	"kanon/internal/cover"
 	"kanon/internal/metric"
+	"kanon/internal/obs"
 	"kanon/internal/relation"
 )
 
@@ -42,6 +43,10 @@ type Options struct {
 	// forces the sequential path. Results are byte-identical for every
 	// worker count.
 	Workers int
+	// Trace is the parent span phase spans and counters attach under;
+	// nil (the default) disables instrumentation at the cost of a nil
+	// check per span. Tracing never changes results.
+	Trace *obs.Span
 }
 
 // Stats records instrumentation for the experiments.
@@ -80,16 +85,21 @@ func GreedyExhaustive(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
+	ms := opt.Trace.Start("algo.distance-matrix")
 	mat := metric.NewMatrixWorkers(t, opt.Workers)
+	ms.End()
 	var st Stats
 
 	start := time.Now()
-	family, err := cover.Exhaustive(mat, k, opt.MaxExhaustiveSets)
+	cs := opt.Trace.Start("algo.cover")
+	family, err := cover.ExhaustiveTraced(mat, k, opt.MaxExhaustiveSets, cs)
 	if err != nil {
+		cs.End()
 		return nil, fmt.Errorf("algo: building exhaustive family: %w", err)
 	}
 	st.FamilySize = len(family)
-	chosen, err := cover.Greedy(t.Len(), family)
+	chosen, err := cover.GreedyTraced(t.Len(), family, cs)
+	cs.End()
 	if err != nil {
 		return nil, fmt.Errorf("algo: greedy cover: %w", err)
 	}
@@ -109,10 +119,13 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
+	ms := opt.Trace.Start("algo.distance-matrix")
 	mat := metric.NewMatrixWorkers(t, opt.Workers)
+	ms.End()
 	var st Stats
 
 	start := time.Now()
+	cs := opt.Trace.Start("algo.cover")
 	var chosen []cover.Set
 	var err error
 	if opt.MaterializeBalls || opt.TrueDiameterWeights {
@@ -121,14 +134,15 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 			w = cover.WeightTrueDiameter
 		}
 		var family []cover.Set
-		family, err = cover.BallsParallel(mat, k, w, opt.Workers)
+		family, err = cover.BallsParallelTraced(mat, k, w, opt.Workers, cs)
 		if err == nil {
 			st.FamilySize = len(family)
-			chosen, err = cover.Greedy(t.Len(), family)
+			chosen, err = cover.GreedyTraced(t.Len(), family, cs)
 		}
 	} else {
-		chosen, err = cover.GreedyBallsParallel(mat, k, opt.Workers)
+		chosen, err = cover.GreedyBallsParallelTraced(mat, k, opt.Workers, cs)
 	}
+	cs.End()
 	if err != nil {
 		return nil, fmt.Errorf("algo: greedy ball cover: %w", err)
 	}
@@ -144,8 +158,10 @@ func finish(t *relation.Table, mat *metric.Matrix, k int, chosen []cover.Set, op
 	st.CoverWeight = cover.WeightSum(chosen)
 
 	start := time.Now()
-	p, err := cover.Reduce(t.Len(), chosen, k)
+	rs := opt.Trace.Start("algo.reduce")
+	p, err := cover.ReduceTraced(t.Len(), chosen, k, rs)
 	if err != nil {
+		rs.End()
 		return nil, fmt.Errorf("algo: reduce: %w", err)
 	}
 	if opt.SplitSorted {
@@ -154,15 +170,21 @@ func finish(t *relation.Table, mat *metric.Matrix, k int, chosen []cover.Set, op
 		p.SplitOversize(k)
 	}
 	if err := p.Validate(t.Len(), k, 2*k-1); err != nil {
+		rs.End()
 		return nil, fmt.Errorf("algo: internal: invalid partition after reduce: %w", err)
 	}
+	rs.End()
 	st.PhaseReduce = time.Since(start)
 	st.DiameterSum = p.DiameterSum(mat)
 
 	start = time.Now()
+	ss := opt.Trace.Start("algo.suppress")
 	sup := p.Suppressor(t)
 	anon := sup.Apply(t)
+	ss.End()
 	st.PhaseSupress = time.Since(start)
+	opt.Trace.Counter("algo.entries_suppressed").Add(int64(sup.Stars()))
+	opt.Trace.Counter("algo.groups").Add(int64(len(p.Groups)))
 
 	if !anon.IsKAnonymous(k) {
 		return nil, fmt.Errorf("algo: internal: output is not %d-anonymous", k)

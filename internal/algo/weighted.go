@@ -29,11 +29,15 @@ func GreedyBallWeighted(t *relation.Table, k int, w core.Weights, opt *Options) 
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
+	ms := opt.Trace.Start("algo.distance-matrix")
 	mat := core.WeightedMatrix(t, w)
+	ms.End()
 	var st Stats
 
 	start := time.Now()
-	chosen, err := cover.GreedyBallsParallel(mat, k, opt.Workers)
+	cs := opt.Trace.Start("algo.cover")
+	chosen, err := cover.GreedyBallsParallelTraced(mat, k, opt.Workers, cs)
+	cs.End()
 	if err != nil {
 		return nil, fmt.Errorf("algo: weighted greedy ball cover: %w", err)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"kanon/internal/metric"
+	"kanon/internal/obs"
 )
 
 // GreedyBalls runs the greedy cover over the ball family without
@@ -31,6 +32,16 @@ func GreedyBalls(mat *metric.Matrix, k int) ([]Set, error) {
 // inherently sequential — so the chosen cover is byte-identical for
 // every worker count.
 func GreedyBallsParallel(mat *metric.Matrix, k, workers int) ([]Set, error) {
+	return GreedyBallsParallelTraced(mat, k, workers, nil)
+}
+
+// GreedyBallsParallelTraced is GreedyBallsParallel with instrumentation
+// under the given parent span: child spans for the two phases
+// ("cover.neighbor-order" precompute, "cover.greedy" selection loop)
+// and counters for greedy rounds run (cover.greedy_rounds), center
+// re-evaluations (cover.balls_considered), and sets picked
+// (cover.sets_picked). Tracing never changes the chosen cover.
+func GreedyBallsParallelTraced(mat *metric.Matrix, k, workers int, sp *obs.Span) ([]Set, error) {
 	n := mat.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("cover: k = %d < 1", k)
@@ -43,6 +54,7 @@ func GreedyBallsParallel(mat *metric.Matrix, k, workers int) ([]Set, error) {
 	// index, matching Balls for reproducible cross-checks). Built by
 	// the counting-sort kernel, one center per worker: O(n + m) per
 	// center instead of the comparison sort's O(n log n).
+	ns := sp.Start("cover.neighbor-order")
 	ord := make([][]int32, n)
 	forEachIndex(n, workers, func(c int) {
 		s := getScratch(n)
@@ -52,6 +64,17 @@ func GreedyBallsParallel(mat *metric.Matrix, k, workers int) ([]Set, error) {
 		putScratch(s)
 		ord[c] = o
 	})
+	ns.End()
+
+	gs := sp.Start("cover.greedy")
+	defer gs.End()
+	rounds, considered := 0, 0
+	var chosen []Set
+	defer func() {
+		sp.Counter("cover.greedy_rounds").Add(int64(rounds))
+		sp.Counter("cover.balls_considered").Add(int64(considered))
+		sp.Counter("cover.sets_picked").Add(int64(len(chosen)))
+	}()
 
 	covered := make([]bool, n)
 	remaining := n
@@ -60,6 +83,7 @@ func GreedyBallsParallel(mat *metric.Matrix, k, workers int) ([]Set, error) {
 	// current covered set: its (weight, uncovered, prefix length), or
 	// ok=false if no ball of c contains an uncovered element.
 	bestBall := func(c int) (w, unc, end int, ok bool) {
+		considered++
 		o := ord[c]
 		uncCount := 0
 		bw, bu, be := 0, 0, 0
@@ -90,11 +114,11 @@ func GreedyBallsParallel(mat *metric.Matrix, k, workers int) ([]Set, error) {
 	}
 	heap.Init(&pq)
 
-	var chosen []Set
 	for remaining > 0 {
 		if len(pq) == 0 {
 			return nil, fmt.Errorf("cover: ball family cannot cover %d remaining elements", remaining)
 		}
+		rounds++
 		top := heap.Pop(&pq).(centerEntry)
 		w, unc, end, ok := bestBall(top.center)
 		if !ok {

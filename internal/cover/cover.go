@@ -22,6 +22,7 @@ import (
 
 	"kanon/internal/core"
 	"kanon/internal/metric"
+	"kanon/internal/obs"
 )
 
 // Set is one candidate group offered to the greedy cover: its member
@@ -42,6 +43,25 @@ type Set struct {
 // the popped set is exact, not heuristic (ablation E10 cross-checks
 // this against the naive full scan).
 func Greedy(n int, sets []Set) ([]Set, error) {
+	return GreedyTraced(n, sets, nil)
+}
+
+// GreedyTraced is Greedy with instrumentation attached under the given
+// parent span (nil disables it, at the cost of a nil check): a
+// "cover.greedy" span around the selection loop, and counters for
+// rounds run (cover.greedy_rounds) and sets picked (cover.sets_picked).
+// Tracing never changes the selection — the chosen cover is identical
+// with and without a span.
+func GreedyTraced(n int, sets []Set, sp *obs.Span) ([]Set, error) {
+	gs := sp.Start("cover.greedy")
+	defer gs.End()
+	rounds := 0
+	var chosen []Set
+	defer func() {
+		sp.Counter("cover.greedy_rounds").Add(int64(rounds))
+		sp.Counter("cover.sets_picked").Add(int64(len(chosen)))
+	}()
+
 	covered := make([]bool, n)
 	remaining := n
 	pq := make(ratioHeap, 0, len(sets))
@@ -54,11 +74,11 @@ func Greedy(n int, sets []Set) ([]Set, error) {
 	}
 	heap.Init(&pq)
 
-	var chosen []Set
 	for remaining > 0 {
 		if len(pq) == 0 {
 			return nil, fmt.Errorf("cover: family cannot cover %d remaining elements", remaining)
 		}
+		rounds++
 		top := heap.Pop(&pq).(ratioEntry)
 		// Re-evaluate the popped set's uncovered count.
 		unc := 0
@@ -184,6 +204,22 @@ func GreedyNaive(n int, sets []Set) ([]Set, error) {
 // needing a (k, 2k−1)-partition should follow with SplitOversize, which
 // is the paper's §4.1 wlog.
 func Reduce(n int, chosen []Set, k int) (*core.Partition, error) {
+	return ReduceTraced(n, chosen, k, nil)
+}
+
+// ReduceTraced is Reduce with instrumentation under the given parent
+// span: a "cover.reduce" span plus counters for the two §4.2.2 repair
+// moves — element removals from oversize sets (cover.reduce_trims) and
+// set merges (cover.reduce_merges).
+func ReduceTraced(n int, chosen []Set, k int, sp *obs.Span) (*core.Partition, error) {
+	rs := sp.Start("cover.reduce")
+	defer rs.End()
+	trims, merges := 0, 0
+	defer func() {
+		sp.Counter("cover.reduce_trims").Add(int64(trims))
+		sp.Counter("cover.reduce_merges").Add(int64(merges))
+	}()
+
 	alive := make([]map[int]bool, len(chosen))
 	for i, s := range chosen {
 		m := make(map[int]bool, len(s.Members))
@@ -230,6 +266,7 @@ func Reduce(n int, chosen []Set, k int) (*core.Partition, error) {
 			}
 			if len(alive[si]) > k {
 				delete(alive[si], v)
+				trims++
 			} else {
 				// Both have size exactly k (sizes never drop below k:
 				// removal only happens above k). Merge into si.
@@ -240,6 +277,7 @@ func Reduce(n int, chosen []Set, k int) (*core.Partition, error) {
 					}
 				}
 				dead[sj] = true
+				merges++
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"kanon/internal/metric"
+	"kanon/internal/obs"
 )
 
 // Exhaustive builds the paper's collection C: every subset of {0..n−1}
@@ -14,6 +15,15 @@ import (
 // ball family when this errors — that trade-off is exactly the paper's
 // §4.3.
 func Exhaustive(mat *metric.Matrix, k, maxSets int) ([]Set, error) {
+	return ExhaustiveTraced(mat, k, maxSets, nil)
+}
+
+// ExhaustiveTraced is Exhaustive with instrumentation under the given
+// parent span: a "cover.family.exhaustive" span around the enumeration
+// and a cover.sets_generated counter for the candidate sets emitted.
+func ExhaustiveTraced(mat *metric.Matrix, k, maxSets int, sp *obs.Span) ([]Set, error) {
+	fs := sp.Start("cover.family.exhaustive")
+	defer fs.End()
 	n := mat.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("cover: k = %d < 1", k)
@@ -53,6 +63,7 @@ func Exhaustive(mat *metric.Matrix, k, maxSets int) ([]Set, error) {
 		}
 	}
 	rec(0, 0)
+	sp.Counter("cover.sets_generated").Add(int64(len(sets)))
 	return sets, nil
 }
 
@@ -188,6 +199,17 @@ func Balls(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
 // per-center results are concatenated in center order, so the family is
 // byte-identical for every worker count.
 func BallsParallel(mat *metric.Matrix, k int, w BallWeight, workers int) ([]Set, error) {
+	return BallsParallelTraced(mat, k, w, workers, nil)
+}
+
+// BallsParallelTraced is BallsParallel with instrumentation under the
+// given parent span: a "cover.family.balls" span around the per-center
+// construction and a cover.sets_generated counter for the Lemma 4.2
+// candidate balls emitted. The family is identical with and without a
+// span.
+func BallsParallelTraced(mat *metric.Matrix, k int, w BallWeight, workers int, sp *obs.Span) ([]Set, error) {
+	fs := sp.Start("cover.family.balls")
+	defer fs.End()
 	n := mat.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("cover: k = %d < 1", k)
@@ -201,5 +223,7 @@ func BallsParallel(mat *metric.Matrix, k int, w BallWeight, workers int) ([]Set,
 		perCenter[c] = ballsForCenter(mat, k, w, c, s)
 		putScratch(s)
 	})
-	return mergeCenters(perCenter), nil
+	sets := mergeCenters(perCenter)
+	sp.Counter("cover.sets_generated").Add(int64(len(sets)))
+	return sets, nil
 }

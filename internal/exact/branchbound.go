@@ -7,6 +7,7 @@ import (
 
 	"kanon/internal/core"
 	"kanon/internal/metric"
+	"kanon/internal/obs"
 	"kanon/internal/relation"
 )
 
@@ -24,6 +25,15 @@ import (
 // possibly already-assigned ones — hence the global, not residual,
 // (k−1)-NN distance is used).
 func BranchBound(t *relation.Table, k int, maxNodes int64) (*Result, error) {
+	return BranchBoundTraced(t, k, maxNodes, nil)
+}
+
+// BranchBoundTraced is BranchBound with instrumentation under the given
+// parent span: an "exact.branch-bound" span and an exact.nodes counter
+// for search nodes expanded (the same quantity Result.Nodes reports).
+func BranchBoundTraced(t *relation.Table, k int, maxNodes int64, sp *obs.Span) (*Result, error) {
+	bs := sp.Start("exact.branch-bound")
+	defer bs.End()
 	n := t.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("exact: k = %d < 1", k)
@@ -132,6 +142,7 @@ func BranchBound(t *relation.Table, k int, maxNodes int64) (*Result, error) {
 		assigned[first] = false
 	}
 	rec(0)
+	bs.Counter("exact.nodes").Add(nodes)
 
 	p := &core.Partition{Groups: incumbent}
 	p.Normalize()

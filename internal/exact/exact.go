@@ -19,6 +19,7 @@ import (
 
 	"kanon/internal/core"
 	"kanon/internal/metric"
+	"kanon/internal/obs"
 	"kanon/internal/relation"
 )
 
@@ -51,6 +52,14 @@ type Result struct {
 // dynamic programming over subsets. It errors if n > MaxDPRows or the
 // instance is infeasible (n < k).
 func Solve(t *relation.Table, k int, obj Objective) (*Result, error) {
+	return SolveTraced(t, k, obj, nil)
+}
+
+// SolveTraced is Solve with instrumentation under the given parent
+// span: an "exact.dp" span around the DP plus counters for candidate
+// groups costed (exact.groups_costed) and DP states expanded
+// (exact.dp_masks). Tracing never changes the computed optimum.
+func SolveTraced(t *relation.Table, k int, obj Objective, sp *obs.Span) (*Result, error) {
 	n := t.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("exact: k = %d < 1", k)
@@ -62,13 +71,15 @@ func Solve(t *relation.Table, k int, obj Objective) (*Result, error) {
 		return nil, fmt.Errorf("exact: n = %d exceeds DP limit %d", n, MaxDPRows)
 	}
 	mat := metric.NewMatrix(t)
-	return solveCost(t, k, groupCostFunc(t, mat, obj))
+	return solveCost(t, k, groupCostFunc(t, mat, obj), sp)
 }
 
 // solveCost is the DP core shared by Solve and SolveWeighted; the
 // caller has validated (t, k) against MaxDPRows already or delegates
 // here directly for the weighted path.
-func solveCost(t *relation.Table, k int, groupCost func([]int) int) (*Result, error) {
+func solveCost(t *relation.Table, k int, groupCost func([]int) int, sp *obs.Span) (*Result, error) {
+	ds := sp.Start("exact.dp")
+	defer ds.End()
 	n := t.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("exact: k = %d < 1", k)
@@ -86,12 +97,14 @@ func solveCost(t *relation.Table, k int, groupCost func([]int) int) (*Result, er
 	// in [k, 2k−1]); there are only Σ_s C(n, s) of them, so this is the
 	// cheap part and keeps the DP inner loop free of cost evaluation.
 	cost := make([]int32, size)
+	groupsCosted := 0
 	{
 		members := make([]int, 0, maxSize)
 		var gen func(next int)
 		gen = func(next int) {
 			if len(members) >= k {
 				cost[subsetMask(members)] = int32(groupCost(members))
+				groupsCosted++
 			}
 			if len(members) == maxSize {
 				return
@@ -117,10 +130,12 @@ func solveCost(t *relation.Table, k int, groupCost func([]int) int) (*Result, er
 	// mask's lowest set bit; the enumeration below walks all such
 	// groups using integer operations only.
 	var scratch [32]int
+	masksExpanded := 0
 	for mask := 1; mask < size; mask++ {
 		if bits.OnesCount(uint(mask)) < k {
 			continue
 		}
+		masksExpanded++
 		low := bits.TrailingZeros(uint(mask))
 		lowBit := 1 << uint(low)
 		rest := mask ^ lowBit
@@ -159,6 +174,9 @@ func solveCost(t *relation.Table, k int, groupCost func([]int) int) (*Result, er
 		dp[mask] = best
 		choice[mask] = bestSub
 	}
+
+	sp.Counter("exact.groups_costed").Add(int64(groupsCosted))
+	sp.Counter("exact.dp_masks").Add(int64(masksExpanded))
 
 	full := size - 1
 	if dp[full] == inf {
@@ -218,8 +236,14 @@ func OPT(t *relation.Table, k int) (int, error) {
 // Σ over non-uniform columns j of |S|·w_j (core.AnonWeighted). A nil
 // weight vector reduces to Solve(t, k, Stars).
 func SolveWeighted(t *relation.Table, k int, w core.Weights) (*Result, error) {
+	return SolveWeightedTraced(t, k, w, nil)
+}
+
+// SolveWeightedTraced is SolveWeighted with instrumentation under the
+// given parent span (see SolveTraced).
+func SolveWeightedTraced(t *relation.Table, k int, w core.Weights, sp *obs.Span) (*Result, error) {
 	if err := w.Validate(t.Degree()); err != nil {
 		return nil, fmt.Errorf("exact: %w", err)
 	}
-	return solveCost(t, k, func(g []int) int { return core.AnonWeighted(t, g, w) })
+	return solveCost(t, k, func(g []int) int { return core.AnonWeighted(t, g, w) }, sp)
 }

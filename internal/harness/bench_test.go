@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchSuiteDeterministicCosts runs the quick suite twice and
+// checks that every case reproduces its cost — the property the CI
+// gate's exact cost comparison relies on.
+func TestBenchSuiteDeterministicCosts(t *testing.T) {
+	cfg := Config{Quick: true, Workers: 1}
+	a, err := RunBenchSuite(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBenchSuite(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cases) != len(b.Cases) {
+		t.Fatalf("case count drifted: %d vs %d", len(a.Cases), len(b.Cases))
+	}
+	for i := range a.Cases {
+		if a.Cases[i].Name != b.Cases[i].Name || a.Cases[i].Cost != b.Cases[i].Cost {
+			t.Errorf("case %d: (%s, cost %d) vs (%s, cost %d)",
+				i, a.Cases[i].Name, a.Cases[i].Cost, b.Cases[i].Name, b.Cases[i].Cost)
+		}
+	}
+}
+
+// TestBenchReportSelfDescribing checks the report carries the metadata
+// benchdiff joins and validates on, and that JSON round-trips.
+func TestBenchReportSelfDescribing(t *testing.T) {
+	rep, err := RunBenchSuite(Config{Quick: true, Workers: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, BenchSchema)
+	}
+	if rep.Seed != DefaultSeed {
+		t.Errorf("seed = %d, want default %d", rep.Seed, DefaultSeed)
+	}
+	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.GOMAXPROCS < 1 {
+		t.Errorf("environment fields incomplete: %+v", rep)
+	}
+	if rep.CalibrationNS <= 0 {
+		t.Errorf("calibration_ns = %d, want > 0", rep.CalibrationNS)
+	}
+	for _, c := range rep.Cases {
+		if c.WallNS <= 0 {
+			t.Errorf("case %s: wall_ns = %d, want > 0", c.Name, c.WallNS)
+		}
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != rep.Schema || len(back.Cases) != len(rep.Cases) {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+}
+
+// TestBenchSlowdownInflatesWalls verifies the CI self-test hook: a
+// slowdown factor scales recorded walls without touching costs.
+func TestBenchSlowdownInflatesWalls(t *testing.T) {
+	cfg := Config{Quick: true, Workers: 1}
+	a, err := RunBenchSuite(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBenchSuite(cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cases {
+		if b.Cases[i].Cost != a.Cases[i].Cost {
+			t.Errorf("case %s: slowdown changed cost %d -> %d",
+				a.Cases[i].Name, a.Cases[i].Cost, b.Cases[i].Cost)
+		}
+		// 100x inflation dwarfs run-to-run noise; 10x is a safe floor.
+		if b.Cases[i].WallNS < 10*a.Cases[i].WallNS {
+			t.Errorf("case %s: wall %d not inflated vs %d",
+				a.Cases[i].Name, b.Cases[i].WallNS, a.Cases[i].WallNS)
+		}
+	}
+}

@@ -38,6 +38,11 @@ func (c Config) seed() int64 {
 	return c.Seed
 }
 
+// EffectiveSeed resolves the zero-value default to the seed the
+// experiments actually use; bench tooling records it so runs are
+// self-describing.
+func (c Config) EffectiveSeed() int64 { return c.seed() }
+
 // Table is a rendered experiment result.
 type Table struct {
 	ID     string

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the process-global expvar registration: expvar
+// panics on duplicate names, and tests may start several servers.
+var publishOnce sync.Once
+
+// StartDebugServer serves the opt-in diagnostics endpoints on addr:
+//
+//	/debug/pprof/...  – net/http/pprof profiles (CPU, heap, goroutine, trace)
+//	/debug/vars       – expvar (memstats, cmdline, kanon_obs)
+//	/debug/obs        – the live tracer snapshot as JSON
+//
+// snap is polled on each request, so long-running bench sweeps can be
+// inspected mid-run; it must be safe for concurrent calls (a Tracer's
+// Snapshot method is). The server runs on its own mux — importing this
+// package never touches http.DefaultServeMux — and is bound by the
+// caller's -debug-addr flag only, never by default. The returned
+// server's Addr field holds the resolved listen address; shut it down
+// with Close.
+func StartDebugServer(addr string, snap func() *Snapshot) (*http.Server, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("kanon_obs", expvar.Func(func() any { return snap() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s := snap()
+		if s == nil {
+			s = &Snapshot{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Addr:              ln.Addr().String(),
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

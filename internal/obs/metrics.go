@@ -1,0 +1,79 @@
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically accumulating atomic int64. A nil *Counter
+// is disabled: Add and Inc are nil-check no-ops and Load reports 0.
+// Safe for concurrent use without external locking.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add accumulates d (negative deltas are permitted but unconventional).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a disabled counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value that also tracks its high-water
+// mark — queue depths, in-flight block counts. A nil *Gauge is disabled.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores v and raises the high-water mark if needed.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.raise(v)
+}
+
+// Add moves the gauge by d and raises the high-water mark if needed.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.raise(g.v.Add(d))
+}
+
+// Load returns the current value (0 on a disabled gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the high-water mark (0 on a disabled gauge).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// raise lifts the high-water mark to at least v.
+func (g *Gauge) raise(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package obs is the repository's zero-dependency observability layer:
+// span timers over the monotonic clock, atomic counters and gauges, and
+// a registry snapshot that serializes to JSON. The hot paths of the
+// greedy algorithms (internal/algo, internal/cover), the streaming
+// pipeline (internal/stream), and the exact/pattern solvers thread
+// their instrumentation through this package; the public facade exposes
+// the result as kanon.Result.Stats and the CLIs render it with -trace.
+//
+// Everything is nil-safe by construction: a nil *Tracer is the disabled
+// tracer, a nil *Span or *Counter is a disabled instrument, and every
+// method on them is a nil-check no-op. Instrumented code therefore
+// never branches on "is tracing on" — it calls the same methods either
+// way, and the disabled path costs one nil check per call (the obs test
+// suite pins this to zero allocations). Crucially, disabled spans take
+// no clock readings, so Workers>1 determinism and benchmark numbers are
+// unchanged when tracing is off.
+//
+// Span durations come from time.Since on time.Time values that carry
+// Go's monotonic clock reading, so wall-clock adjustments (NTP steps)
+// cannot corrupt phase timings.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer owns one run's span forest and metric registry. Create one per
+// traced operation with New, start a root span, and pass spans down the
+// call tree. All methods are safe for concurrent use; a nil *Tracer
+// disables everything downstream of it.
+type Tracer struct {
+	mu       sync.Mutex
+	roots    []*Span
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// New returns an enabled tracer with an empty registry.
+func New() *Tracer { return &Tracer{} }
+
+// Start opens a root span. On a nil tracer it returns a nil (disabled)
+// span without reading the clock.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Counter returns the named counter, creating it on first use. Distinct
+// names are distinct counters; the same name always returns the same
+// counter, so concurrent holders share one atomic cell. Returns nil
+// (a disabled counter) on a nil tracer.
+//
+// Lookup takes the registry lock — hot loops should hoist the *Counter
+// out and call Add on it directly.
+func (t *Tracer) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.counters == nil {
+		t.counters = make(map[string]*Counter)
+	}
+	c := t.counters[name]
+	if c == nil {
+		c = &Counter{}
+		t.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use; nil on a nil
+// tracer. Same hoisting advice as Counter.
+func (t *Tracer) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gauges == nil {
+		t.gauges = make(map[string]*Gauge)
+	}
+	g := t.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		t.gauges[name] = g
+	}
+	return g
+}
+
+// Span is one timed region of a run. Spans form a tree: children are
+// opened with Start and may be created concurrently (the stream workers
+// open block spans under one parent). A nil *Span is disabled — Start
+// returns nil, End does nothing, and no clock is read.
+type Span struct {
+	tr       *Tracer
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	children []*Span
+	attached []SpanSnapshot
+}
+
+// Start opens a child span under s.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End freezes the span's duration. The first End wins; later calls are
+// no-ops, so `defer sp.End()` composes with early explicit Ends.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = d
+	}
+	s.tr.mu.Unlock()
+}
+
+// Attach grafts pre-measured span snapshots under s as extra children —
+// how the CLI splices the facade's Result.Stats subtree into its own
+// whole-run tree. Attached snapshots keep their recorded durations.
+func (s *Span) Attach(children ...SpanSnapshot) {
+	if s == nil || len(children) == 0 {
+		return
+	}
+	s.tr.mu.Lock()
+	s.attached = append(s.attached, children...)
+	s.tr.mu.Unlock()
+}
+
+// Counter is shorthand for s.Tracer().Counter(name); nil-safe.
+func (s *Span) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.tr.Counter(name)
+}
+
+// Gauge is shorthand for s.Tracer().Gauge(name); nil-safe.
+func (s *Span) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.tr.Gauge(name)
+}
+
+// Tracer returns the owning tracer (nil for a disabled span).
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}

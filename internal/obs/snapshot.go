@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a tracer's state frozen into plain serializable data: the
+// span tree plus the counter and gauge registries. It is the type the
+// public facade returns (kanon.Result.Stats) and what the CLIs render
+// as a phase tree or emit as JSON. encoding/json sorts map keys, so the
+// serialized form is deterministic for a given run.
+type Snapshot struct {
+	Spans    []SpanSnapshot       `json:"spans,omitempty"`
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]GaugeStat `json:"gauges,omitempty"`
+}
+
+// SpanSnapshot is one frozen span. StartNS is the offset from the
+// parent span's start (0 for roots), DurNS the measured duration; both
+// are integer nanoseconds so JSON round-trips exactly.
+type SpanSnapshot struct {
+	Name     string         `json:"name"`
+	StartNS  int64          `json:"start_ns"`
+	DurNS    int64          `json:"dur_ns"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// GaugeStat is a frozen gauge: its final value and high-water mark.
+type GaugeStat struct {
+	Last int64 `json:"last"`
+	Max  int64 `json:"max"`
+}
+
+// Snapshot freezes the tracer's current state. Unfinished spans are
+// reported with their duration so far; the tracer remains usable (the
+// debug endpoints poll it mid-run). Returns nil on a nil tracer.
+func (t *Tracer) Snapshot() *Snapshot {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := &Snapshot{}
+	for _, r := range t.roots {
+		snap.Spans = append(snap.Spans, snapSpan(r, r.start, now))
+	}
+	if len(t.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(t.counters))
+		for name, c := range t.counters {
+			snap.Counters[name] = c.Load()
+		}
+	}
+	if len(t.gauges) > 0 {
+		snap.Gauges = make(map[string]GaugeStat, len(t.gauges))
+		for name, g := range t.gauges {
+			snap.Gauges[name] = GaugeStat{Last: g.Load(), Max: g.Max()}
+		}
+	}
+	return snap
+}
+
+// snapSpan freezes s relative to parentStart; caller holds t.mu (child
+// lists and attachments are only mutated under it).
+func snapSpan(s *Span, parentStart, now time.Time) SpanSnapshot {
+	d := s.dur
+	if !s.ended {
+		d = now.Sub(s.start)
+	}
+	out := SpanSnapshot{
+		Name:    s.name,
+		StartNS: s.start.Sub(parentStart).Nanoseconds(),
+		DurNS:   d.Nanoseconds(),
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, snapSpan(c, s.start, now))
+	}
+	out.Children = append(out.Children, s.attached...)
+	sort.SliceStable(out.Children, func(a, b int) bool {
+		return out.Children[a].StartNS < out.Children[b].StartNS
+	})
+	return out
+}
+
+// Merge folds other's counters and gauges into s (span trees are left
+// alone — graft those with Span.Attach before snapshotting). Counters
+// sum; gauges keep the larger max and other's last value. Used by the
+// CLI to combine its own whole-run tracer with the facade's Stats.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if s == nil || other == nil {
+		return
+	}
+	if len(other.Counters) > 0 && s.Counters == nil {
+		s.Counters = make(map[string]int64, len(other.Counters))
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	if len(other.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = make(map[string]GaugeStat, len(other.Gauges))
+	}
+	for name, g := range other.Gauges {
+		cur, ok := s.Gauges[name]
+		if !ok {
+			s.Gauges[name] = g
+			continue
+		}
+		if g.Max > cur.Max {
+			cur.Max = g.Max
+		}
+		cur.Last = g.Last
+		s.Gauges[name] = cur
+	}
+}
+
+// SpanTotalNS sums the durations of the root spans — "how much time the
+// trace accounts for", the quantity the CI acceptance check compares
+// against wall time.
+func (s *Snapshot) SpanTotalNS() int64 {
+	if s == nil {
+		return 0
+	}
+	var total int64
+	for _, r := range s.Spans {
+		total += r.DurNS
+	}
+	return total
+}
+
+// WriteTree renders the snapshot as a human-readable phase tree —
+// span durations with percent-of-root — followed by the counter and
+// gauge registries in sorted order.
+func (s *Snapshot) WriteTree(w io.Writer) error {
+	if s == nil {
+		_, err := io.WriteString(w, "(no trace)\n")
+		return err
+	}
+	var b strings.Builder
+	for _, root := range s.Spans {
+		rootNS := root.DurNS
+		if rootNS <= 0 {
+			rootNS = 1 // avoid division by zero on empty spans
+		}
+		writeSpan(&b, root, "", "", rootNS)
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-36s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			g := s.Gauges[name]
+			fmt.Fprintf(&b, "  %-36s %d (max %d)\n", name, g.Last, g.Max)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSpan renders one span line and recurses with box-drawing
+// prefixes; pct is relative to rootNS.
+func writeSpan(b *strings.Builder, sp SpanSnapshot, prefix, childPrefix string, rootNS int64) {
+	pct := 100 * float64(sp.DurNS) / float64(rootNS)
+	label := prefix + sp.Name
+	fmt.Fprintf(b, "%-44s %10s %6.1f%%\n", label, fmtDur(time.Duration(sp.DurNS)), pct)
+	for i, c := range sp.Children {
+		last := i == len(sp.Children)-1
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		writeSpan(b, c, childPrefix+branch, childPrefix+cont, rootNS)
+	}
+}
+
+// fmtDur formats a duration for the tree at a stable width.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -30,6 +30,7 @@ import (
 
 	"kanon/internal/core"
 	"kanon/internal/cover"
+	"kanon/internal/obs"
 	"kanon/internal/relation"
 )
 
@@ -57,6 +58,15 @@ type Result struct {
 // the diameter-weighted greedy, the weight here is the group's exact
 // final cost.
 func Anonymize(t *relation.Table, k int) (*Result, error) {
+	return AnonymizeTraced(t, k, nil)
+}
+
+// AnonymizeTraced is Anonymize with instrumentation under the given
+// parent span: a "pattern.family" span around the 2^m enumeration, a
+// "pattern.suppress" span around the final suppression, cover spans via
+// the cover package, and counters for patterns enumerated and candidate
+// sets generated. Tracing never changes the result.
+func AnonymizeTraced(t *relation.Table, k int, sp *obs.Span) (*Result, error) {
 	n, m := t.Len(), t.Degree()
 	if k < 1 {
 		return nil, fmt.Errorf("pattern: k = %d < 1", k)
@@ -68,6 +78,7 @@ func Anonymize(t *relation.Table, k int) (*Result, error) {
 		return nil, fmt.Errorf("pattern: m = %d exceeds limit %d", m, MaxColumns)
 	}
 
+	fs := sp.Start("pattern.family")
 	var family []cover.Set
 	for pat := 0; pat < 1<<uint(m); pat++ {
 		starCols := m - bits.OnesCount(uint(pat))
@@ -90,19 +101,25 @@ func Anonymize(t *relation.Table, k int) (*Result, error) {
 		}
 	}
 
-	chosen, err := cover.Greedy(n, family)
+	fs.End()
+	sp.Counter("pattern.patterns_enumerated").Add(int64(1) << uint(m))
+	sp.Counter("pattern.sets_generated").Add(int64(len(family)))
+
+	chosen, err := cover.GreedyTraced(n, family, sp)
 	if err != nil {
 		return nil, fmt.Errorf("pattern: %w", err)
 	}
-	p, err := cover.Reduce(n, chosen, k)
+	p, err := cover.ReduceTraced(n, chosen, k, sp)
 	if err != nil {
 		return nil, fmt.Errorf("pattern: %w", err)
 	}
 	if err := p.Validate(n, k, 0); err != nil {
 		return nil, fmt.Errorf("pattern: internal: %w", err)
 	}
+	ss := sp.Start("pattern.suppress")
 	sup := p.Suppressor(t)
 	anon := sup.Apply(t)
+	ss.End()
 	if !anon.IsKAnonymous(k) {
 		return nil, fmt.Errorf("pattern: internal: output not %d-anonymous", k)
 	}

@@ -20,8 +20,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kanon/internal/algo"
+	"kanon/internal/obs"
 	"kanon/internal/refine"
 	"kanon/internal/relation"
 )
@@ -41,6 +43,11 @@ type Options struct {
 	// custom Algo must be safe for concurrent calls when Workers != 1
 	// (the default GreedyBall is).
 	Algo func(t *relation.Table, k int) (*algo.Result, error)
+	// Trace is the parent span instrumentation attaches under: a
+	// "stream" child span holding one span per block, a queue-depth
+	// gauge, and worker-utilization counters. Nil disables it; the
+	// release is byte-identical either way.
+	Trace *obs.Span
 }
 
 // BlockStat records one block's outcome for observability: its row
@@ -96,13 +103,6 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if block < 2*k {
 		block = 2 * k
 	}
-	run := opt.Algo
-	if run == nil {
-		run = func(bt *relation.Table, bk int) (*algo.Result, error) {
-			return algo.GreedyBall(bt, bk, nil)
-		}
-	}
-
 	bounds := blockBounds(n, k, block)
 	results := make([]blockResult, len(bounds))
 	errs := make([]error, len(bounds))
@@ -113,21 +113,62 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if workers > len(bounds) {
 		workers = len(bounds)
 	}
+
+	// Instrumentation: a "stream" span over the whole pass, one child
+	// span per block (opened by whichever worker claims it), a gauge for
+	// blocks not yet finished, and busy-time counters from which worker
+	// utilization falls out as busy_ns / (workers · wall_ns). All of it
+	// is nil-safe no-ops when opt.Trace is nil, and none of it touches
+	// the block results, so the release stays byte-identical.
+	sp := opt.Trace.Start("stream")
+	defer sp.End()
+	queue := sp.Gauge("stream.queue_depth")
+	busy := sp.Counter("stream.worker_busy_ns")
+	blocksDone := sp.Counter("stream.blocks_done")
+	queue.Set(int64(len(bounds)))
+	sp.Gauge("stream.workers").Set(int64(workers))
+	passStart := time.Time{}
+	if sp != nil {
+		passStart = time.Now()
+		defer func() {
+			sp.Counter("stream.wall_ns").Add(int64(time.Since(passStart)))
+		}()
+	}
+
 	process := func(bi int) {
 		lo, hi := bounds[bi][0], bounds[bi][1]
+		var bs *obs.Span
+		if sp != nil {
+			bs = sp.Start(fmt.Sprintf("stream.block[%d,%d)", lo, hi))
+			blockStart := time.Now()
+			defer func() {
+				busy.Add(int64(time.Since(blockStart)))
+				queue.Add(-1)
+				blocksDone.Inc()
+				bs.End()
+			}()
+		}
 		indices := make([]int, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			indices = append(indices, i)
 		}
 		sub := t.SubTable(indices)
-		r, err := run(sub, k)
+		var r *algo.Result
+		var err error
+		if opt.Algo != nil {
+			r, err = opt.Algo(sub, k)
+		} else {
+			r, err = algo.GreedyBall(sub, k, &algo.Options{Trace: bs})
+		}
 		if err != nil {
 			errs[bi] = fmt.Errorf("stream: block [%d,%d): %w", lo, hi, err)
 			return
 		}
 		stat := BlockStat{Lo: lo, Hi: hi}
 		if opt.Refine {
+			rs := bs.Start("refine")
 			st, err := refine.Partition(sub, r.Partition, k, nil)
+			rs.End()
 			if err != nil {
 				errs[bi] = fmt.Errorf("stream: refining block [%d,%d): %w", lo, hi, err)
 				return

@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kanon/internal/dataset"
+	"kanon/internal/obs"
+	"kanon/internal/relation"
+)
+
+func traceCorpus(n int) *relation.Table {
+	return dataset.Planted(rand.New(rand.NewSource(11)), n, 6, 5, 3, 1)
+}
+
+// TestTraceDoesNotChangeRelease re-runs the same streamed instance
+// with and without a span, across worker counts, and requires the
+// byte-identical release the Options.Trace contract promises.
+func TestTraceDoesNotChangeRelease(t *testing.T) {
+	tab := traceCorpus(900)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			base, err := Anonymize(tab, 3, &Options{BlockRows: 128, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := obs.New()
+			root := tr.Start("test")
+			traced, err := Anonymize(tab, 3, &Options{BlockRows: 128, Workers: workers, Trace: root})
+			root.End()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Cost != traced.Cost {
+				t.Errorf("cost changed under tracing: %d vs %d", base.Cost, traced.Cost)
+			}
+			if base.Anonymized.String() != traced.Anonymized.String() {
+				t.Error("release changed under tracing")
+			}
+
+			snap := tr.Snapshot()
+			if got := snap.Counters["stream.blocks_done"]; got != int64(traced.Blocks) {
+				t.Errorf("stream.blocks_done = %d, want %d", got, traced.Blocks)
+			}
+			q := snap.Gauges["stream.queue_depth"]
+			if q.Last != 0 {
+				t.Errorf("queue depth ended at %d, want 0", q.Last)
+			}
+			if q.Max != int64(traced.Blocks) {
+				t.Errorf("queue depth max = %d, want %d", q.Max, traced.Blocks)
+			}
+			if snap.Counters["stream.worker_busy_ns"] <= 0 {
+				t.Error("no worker busy time recorded")
+			}
+			if snap.Counters["stream.wall_ns"] <= 0 {
+				t.Error("no pass wall time recorded")
+			}
+			if got := snap.Gauges["stream.workers"].Last; got != int64(workers) {
+				t.Errorf("workers gauge = %d, want %d", got, workers)
+			}
+		})
+	}
+}
+
+// TestTraceBlockSpans checks that every block shows up as its own span
+// under "stream", even when opened concurrently.
+func TestTraceBlockSpans(t *testing.T) {
+	tab := traceCorpus(640)
+	tr := obs.New()
+	root := tr.Start("test")
+	res, err := Anonymize(tab, 3, &Options{BlockRows: 64, Workers: 8, Trace: root})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(snap.Spans))
+	}
+	var streamSpan *obs.SpanSnapshot
+	for i := range snap.Spans[0].Children {
+		if snap.Spans[0].Children[i].Name == "stream" {
+			streamSpan = &snap.Spans[0].Children[i]
+		}
+	}
+	if streamSpan == nil {
+		t.Fatal("no \"stream\" span recorded")
+	}
+	blocks := 0
+	for _, c := range streamSpan.Children {
+		if strings.HasPrefix(c.Name, "stream.block[") {
+			blocks++
+			if c.DurNS <= 0 {
+				t.Errorf("block span %s has no duration", c.Name)
+			}
+		}
+	}
+	if blocks != res.Blocks {
+		t.Errorf("recorded %d block spans, want %d", blocks, res.Blocks)
+	}
+}

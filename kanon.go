@@ -38,10 +38,19 @@ import (
 	"kanon/internal/baseline"
 	"kanon/internal/core"
 	"kanon/internal/exact"
+	"kanon/internal/obs"
 	"kanon/internal/pattern"
 	"kanon/internal/refine"
 	"kanon/internal/relation"
 )
+
+// Stats is a structured trace of one Anonymize call: a tree of phase
+// spans (wall time per phase, monotonic clock) plus named counters and
+// gauges from the instrumented hot paths. It serializes to stable JSON
+// via encoding/json and renders as a phase tree via WriteTree. Collected
+// only when Options.Trace is set; collection never changes the
+// anonymization result.
+type Stats = obs.Snapshot
 
 // Star is the string that replaces suppressed entries in results.
 const Star = relation.StarString
@@ -135,6 +144,11 @@ type Options struct {
 	// all CPUs, 1 forces the sequential path. Output is identical for
 	// every worker count; other algorithms ignore it.
 	Workers int
+	// Trace collects phase timings and counters into Result.Stats.
+	// Off (the default) the instrumentation costs one nil check per
+	// phase; on, the anonymized output is byte-identical — tracing
+	// observes the run, it never steers it.
+	Trace bool
 }
 
 // Result is an anonymization outcome.
@@ -158,6 +172,9 @@ type Result struct {
 	WeightedCost int
 	// Optimal is true only for AlgoExact.
 	Optimal bool
+	// Stats holds the phase-span tree and counters of this call; nil
+	// unless Options.Trace was set.
+	Stats *Stats
 }
 
 // Anonymize k-anonymizes the given table by entry suppression.
@@ -174,6 +191,14 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 		p       *core.Partition
 		optimal bool
 	)
+	// A nil tracer (and thus nil root span) disables every instrument
+	// below at the cost of one nil check per use.
+	var tr *obs.Tracer
+	var root *obs.Span
+	if opts.Trace {
+		tr = obs.New()
+		root = tr.Start("anonymize")
+	}
 	weights := core.Weights(opts.ColumnWeights)
 	if err := weights.Validate(t.Degree()); err != nil {
 		return nil, fmt.Errorf("kanon: %w", err)
@@ -181,7 +206,7 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 	switch opts.Algorithm {
 	case AlgoGreedyBall:
 		if weights != nil {
-			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers})
+			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root})
 			if err != nil {
 				return nil, err
 			}
@@ -192,19 +217,20 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 			SplitSorted:         opts.SplitSorted,
 			TrueDiameterWeights: opts.TrueDiameterWeights,
 			Workers:             opts.Workers,
+			Trace:               root,
 		})
 		if err != nil {
 			return nil, err
 		}
 		p = r.Partition
 	case AlgoGreedyExhaustive:
-		r, err := algo.GreedyExhaustive(t, k, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers})
+		r, err := algo.GreedyExhaustive(t, k, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root})
 		if err != nil {
 			return nil, err
 		}
 		p = r.Partition
 	case AlgoPattern:
-		r, err := pattern.Anonymize(t, k)
+		r, err := pattern.AnonymizeTraced(t, k, root)
 		if err != nil {
 			return nil, err
 		}
@@ -213,9 +239,9 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 		var r *exact.Result
 		var err error
 		if weights != nil {
-			r, err = exact.SolveWeighted(t, k, weights)
+			r, err = exact.SolveWeightedTraced(t, k, weights, root)
 		} else {
-			r, err = exact.Solve(t, k, exact.Stars)
+			r, err = exact.SolveTraced(t, k, exact.Stars, root)
 		}
 		if err != nil {
 			return nil, err
@@ -223,25 +249,33 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 		p = r.Partition
 		optimal = true
 	case AlgoKMember:
+		bs := root.Start("baseline.kmember")
 		r, err := baseline.KMember(t, k)
+		bs.End()
 		if err != nil {
 			return nil, err
 		}
 		p = r.Partition
 	case AlgoMondrian:
+		bs := root.Start("baseline.mondrian")
 		r, err := baseline.Mondrian(t, k)
+		bs.End()
 		if err != nil {
 			return nil, err
 		}
 		p = r.Partition
 	case AlgoSorted:
+		bs := root.Start("baseline.sorted")
 		r, err := baseline.SortedChunks(t, k)
+		bs.End()
 		if err != nil {
 			return nil, err
 		}
 		p = r.Partition
 	case AlgoRandom:
+		bs := root.Start("baseline.random")
 		r, err := baseline.RandomChunks(t, k, rand.New(rand.NewSource(opts.Seed)))
+		bs.End()
 		if err != nil {
 			return nil, err
 		}
@@ -251,13 +285,18 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 	}
 
 	if opts.Refine && !optimal {
-		if _, err := refine.Partition(t, p, k, nil); err != nil {
+		rs := root.Start("kanon.refine")
+		_, err := refine.Partition(t, p, k, nil)
+		rs.End()
+		if err != nil {
 			return nil, fmt.Errorf("kanon: refining: %w", err)
 		}
 	}
 
+	ss := root.Start("kanon.suppress")
 	sup := p.Suppressor(t)
 	anon := sup.Apply(t)
+	ss.End()
 	if !anon.IsKAnonymous(k) && k > 1 {
 		return nil, fmt.Errorf("kanon: internal: output not %d-anonymous", k)
 	}
@@ -266,6 +305,14 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 		out[i] = anon.Strings(i)
 	}
 	p.Normalize()
+	cost := anon.TotalStars() - t.TotalStars()
+	var stats *Stats
+	if tr != nil {
+		root.Counter("kanon.entries_suppressed").Add(int64(cost))
+		root.Counter("kanon.groups").Add(int64(len(p.Groups)))
+		root.End()
+		stats = tr.Snapshot()
+	}
 	return &Result{
 		K:      k,
 		Header: append([]string(nil), header...),
@@ -273,9 +320,10 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 		Groups: p.Groups,
 		// Suppressing an already-starred entry is a no-op, so count
 		// the star delta, not the suppressor's mask bits.
-		Cost:         anon.TotalStars() - t.TotalStars(),
+		Cost:         cost,
 		WeightedCost: weightedDelta(t, anon, weights),
 		Optimal:      optimal,
+		Stats:        stats,
 	}, nil
 }
 
