@@ -5,6 +5,7 @@
 // Usage:
 //
 //	benchdiff -baseline BENCH_BASELINE.json -current bench.json
+//	benchdiff -manifest -baseline base-manifest.json -current run-manifest.json
 //
 // Costs must match exactly — the solvers are deterministic for a fixed
 // seed, so any cost drift is a behavior change, not noise. Wall times
@@ -13,6 +14,13 @@
 // -calibrate, the wall limit is additionally scaled by the ratio of the
 // two reports' calibration timings, compensating for baseline and
 // current runs executing on machines of different speeds.
+//
+// With -manifest, both inputs are provenance manifests (kanon-bench
+// -manifest output): an experiment whose verdict regresses from ok to
+// error, or that disappears entirely, fails the gate; wall-time drift
+// and build-provenance changes are reported but informational. When
+// both manifests embed a bench report, those reports are compared under
+// the usual rules as well.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"kanon/internal/harness"
+	"kanon/internal/obs"
 )
 
 func main() {
@@ -41,11 +50,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	wallTol := fs.Float64("wall-tol", 0.25, "allowed relative wall-time growth per case (0.25 = +25%)")
 	slackMS := fs.Float64("wall-slack-ms", 5, "absolute wall-time slack per case, in milliseconds")
 	calibrate := fs.Bool("calibrate", false, "scale the wall limit by the reports' calibration ratio (cross-machine runs)")
+	manifest := fs.Bool("manifest", false, "compare provenance manifests (kanon-bench -manifest output) instead of bench reports")
+	version := fs.Bool("version", false, "print build provenance and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *version {
+		fmt.Fprintln(stdout, obs.ReadBuild().String())
+		return nil
+	}
 	if *curPath == "" {
 		return fmt.Errorf("-current is required")
+	}
+	if *manifest {
+		return diffManifests(stdout, *basePath, *curPath, *wallTol, *slackMS, *calibrate)
 	}
 	base, err := load(*basePath)
 	if err != nil {
@@ -55,6 +73,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return diffReports(stdout, base, cur, *wallTol, *slackMS, *calibrate)
+}
+
+// diffReports applies the bench gate to two BenchReports; shared by the
+// report and manifest modes.
+func diffReports(stdout io.Writer, base, cur *harness.BenchReport, wallTol, slackMS float64, calibrate bool) error {
 	if base.Schema != cur.Schema {
 		return fmt.Errorf("schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema)
 	}
@@ -64,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	calScale := 1.0
-	if *calibrate && base.CalibrationNS > 0 {
+	if calibrate && base.CalibrationNS > 0 {
 		calScale = float64(cur.CalibrationNS) / float64(base.CalibrationNS)
 		if calScale < 1 {
 			// A faster current machine never loosens the gate.
@@ -95,7 +119,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			continue
 		}
 		ratio := float64(cc.WallNS) / float64(bc.WallNS)
-		limit := float64(bc.WallNS)*(1+*wallTol)*calScale + *slackMS*1e6
+		limit := float64(bc.WallNS)*(1+wallTol)*calScale + slackMS*1e6
 		status := "ok"
 		switch {
 		case cc.Cost != bc.Cost:
@@ -119,6 +143,74 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%d case(s) regressed or diverged from the baseline", failures)
 	}
 	fmt.Fprintf(stdout, "all %d cases within tolerance\n", len(base.Cases))
+	return nil
+}
+
+// diffManifests compares two provenance manifests. Verdict regressions
+// (ok → error) and experiments missing from the current run fail the
+// gate; wall-time drift and provenance changes print informationally.
+// Embedded bench reports, when present in both, go through diffReports.
+func diffManifests(stdout io.Writer, basePath, curPath string, wallTol, slackMS float64, calibrate bool) error {
+	base, err := harness.ReadManifest(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := harness.ReadManifest(curPath)
+	if err != nil {
+		return err
+	}
+	if base.Seed != cur.Seed || base.Quick != cur.Quick || base.Workers != cur.Workers {
+		return fmt.Errorf("configuration mismatch: baseline (seed=%d quick=%v workers=%d) vs current (seed=%d quick=%v workers=%d); regenerate the baseline",
+			base.Seed, base.Quick, base.Workers, cur.Seed, cur.Quick, cur.Workers)
+	}
+	if base.Build.VCSRevision != cur.Build.VCSRevision || base.Build.GoVersion != cur.Build.GoVersion {
+		fmt.Fprintf(stdout, "provenance: baseline %s vs current %s\n", base.Build.String(), cur.Build.String())
+	}
+
+	curBy := map[string]harness.ManifestExperiment{}
+	for _, e := range cur.Experiments {
+		curBy[e.ID] = e
+	}
+	fmt.Fprintf(stdout, "%-4s %-10s %-10s %12s %12s  %s\n",
+		"exp", "base", "cur", "base wall", "cur wall", "status")
+	failures := 0
+	for _, be := range base.Experiments {
+		ce, ok := curBy[be.ID]
+		if !ok {
+			fmt.Fprintf(stdout, "%-4s %-10s %-10s %12s %12s  MISSING\n",
+				be.ID, be.Verdict, "-", dur(be.WallNS), "-")
+			failures++
+			continue
+		}
+		status := "ok"
+		if be.Verdict == harness.VerdictOK && ce.Verdict != harness.VerdictOK {
+			status = fmt.Sprintf("VERDICT REGRESSED (%s)", ce.Error)
+			failures++
+		}
+		fmt.Fprintf(stdout, "%-4s %-10s %-10s %12s %12s  %s\n",
+			be.ID, be.Verdict, ce.Verdict, dur(be.WallNS), dur(ce.WallNS), status)
+	}
+	for _, ce := range cur.Experiments {
+		found := false
+		for _, be := range base.Experiments {
+			if be.ID == ce.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(stdout, "%-4s %-10s %-10s %12s %12s  NEW\n",
+				ce.ID, "-", ce.Verdict, "-", dur(ce.WallNS))
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) regressed or went missing", failures)
+	}
+	if base.Bench != nil && cur.Bench != nil {
+		fmt.Fprintln(stdout, "embedded bench reports:")
+		return diffReports(stdout, base.Bench, cur.Bench, wallTol, slackMS, calibrate)
+	}
+	fmt.Fprintf(stdout, "all %d experiments accounted for\n", len(base.Experiments))
 	return nil
 }
 

@@ -133,6 +133,123 @@ func TestCalibrationScalesLimit(t *testing.T) {
 	}
 }
 
+// manifest builds a healthy two-experiment manifest for the -manifest
+// mode tests.
+func manifest(t *testing.T) *harness.RunManifest {
+	t.Helper()
+	return &harness.RunManifest{
+		Schema:     harness.ManifestSchema,
+		GOOS:       "linux",
+		GOARCH:     "amd64",
+		GOMAXPROCS: 8,
+		Seed:       harness.DefaultSeed,
+		Workers:    1,
+		Experiments: []harness.ManifestExperiment{
+			{ID: "E1", Title: "planted", WallNS: 40_000_000, Verdict: harness.VerdictOK, Tables: 1},
+			{ID: "E2", Title: "census", WallNS: 90_000_000, Verdict: harness.VerdictOK, Tables: 2},
+		},
+	}
+}
+
+func diffManifest(t *testing.T, base, cur *harness.RunManifest, extra ...string) (string, error) {
+	t.Helper()
+	dir := t.TempDir()
+	bp := filepath.Join(dir, "base.json")
+	cp := filepath.Join(dir, "cur.json")
+	if err := base.Write(bp); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Write(cp); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-manifest", "-baseline", bp, "-current", cp}, extra...)
+	var out, errOut bytes.Buffer
+	err := run(args, &out, &errOut)
+	return out.String(), err
+}
+
+func TestManifestIdenticalPass(t *testing.T) {
+	out, err := diffManifest(t, manifest(t), manifest(t))
+	if err != nil {
+		t.Fatalf("identical manifests should pass: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "all 2 experiments accounted for") {
+		t.Errorf("missing pass summary:\n%s", out)
+	}
+}
+
+func TestManifestVerdictRegressionFails(t *testing.T) {
+	cur := manifest(t)
+	cur.Experiments[1].Verdict = harness.VerdictError
+	cur.Experiments[1].Error = "ratio bound violated"
+	out, err := diffManifest(t, manifest(t), cur)
+	if err == nil {
+		t.Fatalf("ok→error verdict should fail:\n%s", out)
+	}
+	if !strings.Contains(out, "VERDICT REGRESSED") || !strings.Contains(out, "ratio bound violated") {
+		t.Errorf("expected VERDICT REGRESSED with the error message:\n%s", out)
+	}
+}
+
+func TestManifestMissingExperimentFails(t *testing.T) {
+	cur := manifest(t)
+	cur.Experiments = cur.Experiments[:1]
+	out, err := diffManifest(t, manifest(t), cur)
+	if err == nil {
+		t.Fatalf("missing experiment should fail:\n%s", out)
+	}
+	if !strings.Contains(out, "MISSING") {
+		t.Errorf("expected MISSING status:\n%s", out)
+	}
+}
+
+func TestManifestNewExperimentInformational(t *testing.T) {
+	cur := manifest(t)
+	cur.Experiments = append(cur.Experiments, harness.ManifestExperiment{
+		ID: "E3", Title: "new", WallNS: 1_000_000, Verdict: harness.VerdictOK, Tables: 1,
+	})
+	out, err := diffManifest(t, manifest(t), cur)
+	if err != nil {
+		t.Fatalf("a new experiment alone should not fail: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "NEW") {
+		t.Errorf("expected NEW status line:\n%s", out)
+	}
+}
+
+func TestManifestConfigMismatchFails(t *testing.T) {
+	cur := manifest(t)
+	cur.Seed = 1
+	if _, err := diffManifest(t, manifest(t), cur); err == nil {
+		t.Fatal("seed mismatch should fail")
+	}
+}
+
+func TestManifestEmbeddedBenchCompared(t *testing.T) {
+	base, cur := manifest(t), manifest(t)
+	base.Bench = report(t)
+	curRep := report(t)
+	curRep.Cases[0].Cost++
+	cur.Bench = curRep
+	out, err := diffManifest(t, base, cur)
+	if err == nil {
+		t.Fatalf("embedded bench cost drift should fail:\n%s", out)
+	}
+	if !strings.Contains(out, "COST CHANGED") {
+		t.Errorf("expected the embedded reports to go through the bench gate:\n%s", out)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kanon") {
+		t.Errorf("version output = %q", out.String())
+	}
+}
+
 func TestFasterCalibrationNeverLoosens(t *testing.T) {
 	// Current machine 2x faster but walls 1.5x slower: a genuine
 	// regression that a naive calibration scale (0.5) would flag even

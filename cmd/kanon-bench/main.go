@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"kanon/internal/harness"
 	"kanon/internal/obs"
@@ -43,8 +44,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	slowdown := fs.Float64("slowdown", 1, "multiply the regression suite's recorded wall times (CI gate self-test only)")
 	trace := fs.Bool("trace", false, "print a per-experiment phase-timing tree to stderr")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/obs on this address for the duration of the run (e.g. localhost:6060)")
+	metricsOut := fs.String("metrics-out", "", "write the final metrics in Prometheus text format to this file")
+	manifestOut := fs.String("manifest", "", "write a provenance manifest (build info, config, per-experiment verdicts) as JSON to this file")
+	version := fs.Bool("version", false, "print build provenance and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.ReadBuild().String())
+		return nil
 	}
 	if *jsonOut {
 		*format = "json"
@@ -57,9 +65,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
+	tracing := *trace || *debugAddr != "" || *metricsOut != ""
 	var tr *obs.Tracer
 	var root *obs.Span
-	if *trace || *debugAddr != "" {
+	if tracing {
 		tr = obs.New()
 		root = tr.Start("kanon-bench")
 	}
@@ -69,10 +78,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	var man *harness.RunManifest
+	if *manifestOut != "" {
+		man = harness.NewManifest(cfg)
+	}
+
 	if *regress {
-		rep, err := harness.RunBenchSuite(harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}, *slowdown)
+		rep, err := harness.RunBenchSuite(cfg, *slowdown)
 		if err != nil {
 			return err
+		}
+		if man != nil {
+			man.Bench = rep
+			man.Finish()
+			if err := man.Write(*manifestOut); err != nil {
+				return err
+			}
 		}
 		return json.NewEncoder(stdout).Encode(rep)
 	}
@@ -88,29 +110,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown format %q (want text, md, or json)", *format)
 	}
 
-	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *format == "json" {
 		// A self-describing meta line precedes the experiment objects so
 		// consumers know exactly what produced the stream. The struct's
 		// field order is the serialization order — stable by construction.
+		build := obs.ReadBuild()
 		meta := struct {
-			Schema     string `json:"schema"`
-			GoVersion  string `json:"go_version"`
-			GOOS       string `json:"goos"`
-			GOARCH     string `json:"goarch"`
-			GOMAXPROCS int    `json:"gomaxprocs"`
-			Seed       int64  `json:"seed"`
-			Workers    int    `json:"workers"`
-			Quick      bool   `json:"quick"`
+			Schema      string `json:"schema"`
+			GoVersion   string `json:"go_version"`
+			Version     string `json:"version,omitempty"`
+			VCSRevision string `json:"vcs_revision,omitempty"`
+			VCSModified bool   `json:"vcs_modified,omitempty"`
+			GOOS        string `json:"goos"`
+			GOARCH      string `json:"goarch"`
+			GOMAXPROCS  int    `json:"gomaxprocs"`
+			Seed        int64  `json:"seed"`
+			Workers     int    `json:"workers"`
+			Quick       bool   `json:"quick"`
 		}{
-			Schema:     "kanon-bench/1",
-			GoVersion:  runtime.Version(),
-			GOOS:       runtime.GOOS,
-			GOARCH:     runtime.GOARCH,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Seed:       cfg.EffectiveSeed(),
-			Workers:    *workers,
-			Quick:      *quick,
+			Schema:      "kanon-bench/1",
+			GoVersion:   runtime.Version(),
+			Version:     build.Version,
+			VCSRevision: build.VCSRevision,
+			VCSModified: build.VCSModified,
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Seed:        cfg.EffectiveSeed(),
+			Workers:     *workers,
+			Quick:       *quick,
 		}
 		if err := json.NewEncoder(stdout).Encode(meta); err != nil {
 			return err
@@ -131,9 +159,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("unknown experiment %q (try -list)", id)
 		}
 		es := root.Start(e.ID)
+		var expStart time.Time
+		if man != nil {
+			expStart = time.Now()
+		}
 		tables, err := e.Run(cfg)
 		es.End()
+		if man != nil {
+			man.AddExperiment(e.ID, e.Title, time.Since(expStart), len(tables), err)
+		}
 		if err != nil {
+			// Best effort: a manifest that records the failing experiment
+			// is more useful than no manifest at all.
+			writeManifest(man, *manifestOut)
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		for _, t := range tables {
@@ -142,11 +180,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
-	if *trace {
+	if err := writeManifest(man, *manifestOut); err != nil {
+		return err
+	}
+	if tracing {
 		root.End()
-		if err := tr.Snapshot().WriteTree(stderr); err != nil {
-			return err
+		if *trace {
+			if err := tr.Snapshot().WriteTree(stderr); err != nil {
+				return err
+			}
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := tr.Snapshot().WritePrometheus(f, "kanon"); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// writeManifest finalizes and writes the manifest; a nil manifest (no
+// -manifest flag) is a no-op.
+func writeManifest(m *harness.RunManifest, path string) error {
+	if m == nil {
+		return nil
+	}
+	m.Finish()
+	return m.Write(path)
 }

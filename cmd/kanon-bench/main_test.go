@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"kanon/internal/harness"
+	"kanon/internal/obs"
 )
 
 func runBench(t *testing.T, args ...string) (string, string, error) {
@@ -71,6 +76,73 @@ func itoa(n int) string {
 		return string(rune('0' + n))
 	}
 	return "1" + string(rune('0'+n-10))
+}
+
+func TestVersionFlag(t *testing.T) {
+	out, _, err := runBench(t, "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "kanon") || !strings.Contains(out, "go1") {
+		t.Errorf("version output = %q", out)
+	}
+}
+
+func TestManifestAndMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	manPath := filepath.Join(dir, "run-manifest.json")
+	promPath := filepath.Join(dir, "metrics.prom")
+	if _, _, err := runBench(t, "-quick", "-run", "E9", "-manifest", manPath, "-metrics-out", promPath); err != nil {
+		t.Fatal(err)
+	}
+	man, err := harness.ReadManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Experiments) != 1 {
+		t.Fatalf("experiments = %+v, want just E9", man.Experiments)
+	}
+	e := man.Experiments[0]
+	if e.ID != "E9" || e.Verdict != harness.VerdictOK || e.WallNS <= 0 || e.Tables < 1 {
+		t.Errorf("E9 record = %+v", e)
+	}
+	if man.Build.GoVersion == "" || man.GOMAXPROCS < 1 || man.WallNS <= 0 {
+		t.Errorf("provenance not stamped: %+v", man)
+	}
+	if man.Bench != nil {
+		t.Error("Bench set without -regress")
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintPrometheus(prom); err != nil {
+		t.Fatalf("metrics file lint: %v\n%s", err, prom)
+	}
+	if !strings.Contains(string(prom), `kanon_span_seconds{span="E9"}`) {
+		t.Errorf("metrics missing the E9 span:\n%s", prom)
+	}
+}
+
+func TestRegressManifestEmbedsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite in -short mode")
+	}
+	manPath := filepath.Join(t.TempDir(), "run-manifest.json")
+	out, _, err := runBench(t, "-regress", "-quick", "-manifest", manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, harness.BenchSchema) {
+		t.Errorf("stdout is not a bench report:\n%s", out)
+	}
+	man, err := harness.ReadManifest(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Bench == nil || len(man.Bench.Cases) == 0 {
+		t.Errorf("manifest did not embed the bench report: %+v", man.Bench)
+	}
 }
 
 func TestMarkdownFormat(t *testing.T) {

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"kanon"
 	"kanon/internal/core"
@@ -49,9 +51,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	weightsArg := fs.String("weights", "", "comma-separated per-column suppression weights, e.g. 3,1,1,5 (ball and exact only)")
 	trace := fs.Bool("trace", false, "print the phase-timing tree and counters to stderr")
 	traceJSON := fs.Bool("trace-json", false, "print the trace as one JSON object to stderr")
-	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /debug/obs on this address for the duration of the run (e.g. localhost:6060)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof, expvar, /debug/obs, and /metrics on this address for the duration of the run (e.g. localhost:6060)")
+	progress := fs.Bool("progress", false, "render a live progress/ETA line to stderr during the run")
+	metricsOut := fs.String("metrics-out", "", "write the final metrics in Prometheus text format to this file")
+	logEvents := fs.Bool("log", false, "emit structured JSON run events (log/slog) to stderr")
+	version := fs.Bool("version", false, "print build provenance and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.ReadBuild().String())
+		return nil
 	}
 
 	alg, err := kanon.ParseAlgorithm(*algoName)
@@ -60,10 +70,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	// The whole run is traced under one root span so the printed tree
-	// accounts for (nearly) all of the process wall time: CSV load,
-	// the anonymization itself (the facade's phase tree is grafted in),
-	// and CSV write. Everything is a no-op when tracing is off.
-	tracing := *trace || *traceJSON || *debugAddr != ""
+	// accounts for (nearly) all of the process wall time: CSV load, the
+	// anonymization itself (the facade attaches its phase tree under the
+	// span it is handed), and CSV write. Everything is a no-op when
+	// tracing is off; -progress, -metrics-out, and -debug-addr need the
+	// live tracer, so they imply it.
+	tracing := *trace || *traceJSON || *debugAddr != "" || *progress || *metricsOut != ""
 	var tr *obs.Tracer
 	var root *obs.Span
 	if tracing {
@@ -75,6 +87,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	var logger *slog.Logger
+	if *logEvents {
+		logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = startProgressTicker(stderr, tr)
+	}
+	defer stopProgress()
 
 	in := stdin
 	if *inPath != "" {
@@ -114,21 +135,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *block > 0 {
 		// The block path threads the span straight into the stream
 		// pipeline, so its per-block spans land under "anonymize".
-		res, err = streamAnonymize(header, rows, *k, *block, *refine, *workers, as)
+		res, err = streamAnonymize(header, rows, *k, *block, *refine, *workers, as, obs.NewEvents(logger, obs.NewRunID()))
 	} else {
+		// The facade attaches its phase tree under this span directly,
+		// so the debug server and the progress ticker observe the run
+		// live rather than after the fact.
 		res, err = kanon.Anonymize(header, rows, *k, &kanon.Options{
 			Algorithm: alg, Seed: *seed, Refine: *refine, ColumnWeights: weights,
-			Workers: *workers, Trace: tracing,
+			Workers: *workers, Span: as, Log: logger,
 		})
-		if err == nil && res.Stats != nil {
-			// Graft the facade's phase tree under this span; counters
-			// are merged into the final snapshot below.
-			for _, s := range res.Stats.Spans {
-				as.Attach(s.Children...)
-			}
-		}
 	}
 	as.End()
+	stopProgress() // idempotent; the deferred call covers error paths
 	if err != nil {
 		return err
 	}
@@ -152,12 +170,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if tracing {
 		root.End()
 		snap := tr.Snapshot()
-		snap.Merge(res.Stats)
 		if *trace {
 			snap.WriteTree(stderr)
 		}
 		if *traceJSON {
 			if err := json.NewEncoder(stderr).Encode(snap); err != nil {
+				return err
+			}
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := snap.WritePrometheus(f, "kanon"); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
 				return err
 			}
 		}
@@ -187,6 +217,50 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// startProgressTicker renders the tracer's progress instruments as a
+// carriage-return status line on w every 200ms. The returned stop
+// function blanks the line and waits for the goroutine to exit; it is
+// safe to call more than once.
+func startProgressTicker(w io.Writer, tr *obs.Tracer) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		width := 0
+		for {
+			select {
+			case <-stop:
+				if width > 0 {
+					fmt.Fprintf(w, "\r%*s\r", width, "")
+				}
+				return
+			case <-tick.C:
+				line := tr.Snapshot().ProgressLine()
+				if line == "" {
+					continue
+				}
+				// Pad to the widest line seen so shrinking text doesn't
+				// leave stale characters behind.
+				fmt.Fprintf(w, "\r%-*s", width, line)
+				if len(line) > width {
+					width = len(line)
+				}
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(stop)
+		<-done
+	}
+}
+
 // parseWeights parses the -weights flag into one integer per column.
 func parseWeights(arg string, m int) ([]int, error) {
 	if arg == "" {
@@ -210,14 +284,14 @@ func parseWeights(arg string, m int) ([]int, error) {
 // streamAnonymize runs the bounded-memory block pipeline and adapts its
 // output to the facade's Result shape; groups are recovered from the
 // released table's textual equivalence classes.
-func streamAnonymize(header []string, rows [][]string, k, block int, doRefine bool, workers int, sp *obs.Span) (*kanon.Result, error) {
+func streamAnonymize(header []string, rows [][]string, k, block int, doRefine bool, workers int, sp *obs.Span, ev *obs.Events) (*kanon.Result, error) {
 	t := relation.NewTable(relation.NewSchema(header...))
 	for _, r := range rows {
 		if err := t.AppendStrings(r...); err != nil {
 			return nil, err
 		}
 	}
-	sr, err := stream.Anonymize(t, k, &stream.Options{BlockRows: block, Refine: doRefine, Workers: workers, Trace: sp})
+	sr, err := stream.Anonymize(t, k, &stream.Options{BlockRows: block, Refine: doRefine, Workers: workers, Trace: sp, Log: ev})
 	if err != nil {
 		return nil, err
 	}

@@ -47,6 +47,10 @@ type Options struct {
 	// nil (the default) disables instrumentation at the cost of a nil
 	// check per span. Tracing never changes results.
 	Trace *obs.Span
+	// Log receives structured events: phase boundaries and anomalies
+	// (matrix widening, oversize-group splits). Nil (the default) is
+	// silent; logging never changes results.
+	Log *obs.Events
 }
 
 // Stats records instrumentation for the experiments.
@@ -85,11 +89,10 @@ func GreedyExhaustive(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
-	ms := opt.Trace.Start("algo.distance-matrix")
-	mat := metric.NewMatrixWorkers(t, opt.Workers)
-	ms.End()
+	mat := buildMatrix(t, opt)
 	var st Stats
 
+	opt.Log.PhaseStart("cover")
 	start := time.Now()
 	cs := opt.Trace.Start("algo.cover")
 	family, err := cover.ExhaustiveTraced(mat, k, opt.MaxExhaustiveSets, cs)
@@ -104,6 +107,7 @@ func GreedyExhaustive(t *relation.Table, k int, opt *Options) (*Result, error) {
 		return nil, fmt.Errorf("algo: greedy cover: %w", err)
 	}
 	st.PhaseCover = time.Since(start)
+	opt.Log.PhaseDone("cover", st.PhaseCover)
 
 	return finish(t, mat, k, chosen, opt, st)
 }
@@ -119,11 +123,10 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
-	ms := opt.Trace.Start("algo.distance-matrix")
-	mat := metric.NewMatrixWorkers(t, opt.Workers)
-	ms.End()
+	mat := buildMatrix(t, opt)
 	var st Stats
 
+	opt.Log.PhaseStart("cover")
 	start := time.Now()
 	cs := opt.Trace.Start("algo.cover")
 	var chosen []cover.Set
@@ -147,8 +150,29 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 		return nil, fmt.Errorf("algo: greedy ball cover: %w", err)
 	}
 	st.PhaseCover = time.Since(start)
+	opt.Log.PhaseDone("cover", st.PhaseCover)
 
 	return finish(t, mat, k, chosen, opt, st)
+}
+
+// buildMatrix fills the distance matrix under its phase span, reporting
+// the int16→int32 widening fallback as an anomaly event when it fires.
+func buildMatrix(t *relation.Table, opt *Options) *metric.Matrix {
+	opt.Log.PhaseStart("matrix")
+	var start time.Time
+	if opt.Log.Enabled() {
+		start = time.Now()
+	}
+	ms := opt.Trace.Start("algo.distance-matrix")
+	mat := metric.NewMatrixWorkers(t, opt.Workers)
+	ms.End()
+	if mat.Wide() {
+		opt.Log.Anomaly("matrix_widened", int64(t.Len()))
+	}
+	if opt.Log.Enabled() {
+		opt.Log.PhaseDone("matrix", time.Since(start))
+	}
+	return mat
 }
 
 // finish runs Phase 2 and the suppression step shared by both
@@ -157,12 +181,24 @@ func finish(t *relation.Table, mat *metric.Matrix, k int, chosen []cover.Set, op
 	st.CoverSets = len(chosen)
 	st.CoverWeight = cover.WeightSum(chosen)
 
+	opt.Log.PhaseStart("reduce")
 	start := time.Now()
 	rs := opt.Trace.Start("algo.reduce")
 	p, err := cover.ReduceTraced(t.Len(), chosen, k, rs)
 	if err != nil {
 		rs.End()
 		return nil, fmt.Errorf("algo: reduce: %w", err)
+	}
+	if opt.Log.Enabled() {
+		oversize := 0
+		for _, g := range p.Groups {
+			if len(g) > 2*k-1 {
+				oversize++
+			}
+		}
+		if oversize > 0 {
+			opt.Log.Anomaly("split_oversize", int64(oversize))
+		}
 	}
 	if opt.SplitSorted {
 		p.SplitOversizeSorted(k, mat)
@@ -175,16 +211,24 @@ func finish(t *relation.Table, mat *metric.Matrix, k int, chosen []cover.Set, op
 	}
 	rs.End()
 	st.PhaseReduce = time.Since(start)
+	opt.Log.PhaseDone("reduce", st.PhaseReduce)
 	st.DiameterSum = p.DiameterSum(mat)
 
+	opt.Log.PhaseStart("suppress")
 	start = time.Now()
 	ss := opt.Trace.Start("algo.suppress")
 	sup := p.Suppressor(t)
 	anon := sup.Apply(t)
 	ss.End()
 	st.PhaseSupress = time.Since(start)
+	opt.Log.PhaseDone("suppress", st.PhaseSupress)
 	opt.Trace.Counter("algo.entries_suppressed").Add(int64(sup.Stars()))
 	opt.Trace.Counter("algo.groups").Add(int64(len(p.Groups)))
+	if gh := opt.Trace.Histogram("algo.group_size"); gh != nil {
+		for _, g := range p.Groups {
+			gh.Observe(int64(len(g)))
+		}
+	}
 
 	if !anon.IsKAnonymous(k) {
 		return nil, fmt.Errorf("algo: internal: output is not %d-anonymous", k)

@@ -75,6 +75,11 @@ func GreedyBallsParallelTraced(mat *metric.Matrix, k, workers int, sp *obs.Span)
 		sp.Counter("cover.balls_considered").Add(int64(considered))
 		sp.Counter("cover.sets_picked").Add(int64(len(chosen)))
 	}()
+	ballRadius := sp.Histogram("cover.ball_radius")
+	ballSize := sp.Histogram("cover.ball_size")
+	roundSize := sp.Histogram("cover.round_size")
+	progress := sp.Progress("cover.covered")
+	progress.SetTotal(int64(n))
 
 	covered := make([]bool, n)
 	remaining := n
@@ -140,6 +145,10 @@ func GreedyBallsParallelTraced(mat *metric.Matrix, k, workers int, sp *obs.Span)
 		}
 		sort.Ints(members)
 		chosen = append(chosen, Set{Members: members, Weight: w})
+		ballRadius.Observe(int64(w / 2))
+		ballSize.Observe(int64(end))
+		roundSize.Observe(int64(unc))
+		progress.Add(int64(unc))
 		if remaining > 0 {
 			if w2, unc2, end2, ok2 := bestBall(top.center); ok2 {
 				heap.Push(&pq, centerEntry{center: top.center, weight: w2, unc: unc2, end: end2})

@@ -61,6 +61,9 @@ func GreedyTraced(n int, sets []Set, sp *obs.Span) ([]Set, error) {
 		sp.Counter("cover.greedy_rounds").Add(int64(rounds))
 		sp.Counter("cover.sets_picked").Add(int64(len(chosen)))
 	}()
+	roundSize := sp.Histogram("cover.round_size")
+	progress := sp.Progress("cover.covered")
+	progress.SetTotal(int64(n))
 
 	covered := make([]bool, n)
 	remaining := n
@@ -108,6 +111,8 @@ func GreedyTraced(n int, sets []Set, sp *obs.Span) ([]Set, error) {
 				remaining--
 			}
 		}
+		roundSize.Observe(int64(unc))
+		progress.Add(int64(unc))
 	}
 	return chosen, nil
 }

@@ -225,5 +225,15 @@ func BallsParallelTraced(mat *metric.Matrix, k int, w BallWeight, workers int, s
 	})
 	sets := mergeCenters(perCenter)
 	sp.Counter("cover.sets_generated").Add(int64(len(sets)))
+	if sp != nil {
+		ballSize := sp.Histogram("cover.ball_size")
+		ballRadius := sp.Histogram("cover.ball_radius")
+		for _, s := range sets {
+			ballSize.Observe(int64(len(s.Members)))
+			if w == WeightRadiusBound {
+				ballRadius.Observe(int64(s.Weight / 2))
+			}
+		}
+	}
 	return sets, nil
 }

@@ -63,12 +63,14 @@ func BranchBoundTraced(t *relation.Table, k int, maxNodes int64, sp *obs.Span) (
 		totalLB += v
 	}
 
+	depthH := bs.Histogram("exact.node_depth")
 	var rec func(costSoFar int)
 	rec = func(costSoFar int) {
 		if budgetHit {
 			return
 		}
 		nodes++
+		depthH.Observe(int64(len(cur)))
 		if nodes > maxNodes {
 			budgetHit = true
 			return

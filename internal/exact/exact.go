@@ -98,6 +98,7 @@ func solveCost(t *relation.Table, k int, groupCost func([]int) int, sp *obs.Span
 	// cheap part and keeps the DP inner loop free of cost evaluation.
 	cost := make([]int32, size)
 	groupsCosted := 0
+	sizeH := sp.Histogram("exact.group_size")
 	{
 		members := make([]int, 0, maxSize)
 		var gen func(next int)
@@ -105,6 +106,7 @@ func solveCost(t *relation.Table, k int, groupCost func([]int) int, sp *obs.Span
 			if len(members) >= k {
 				cost[subsetMask(members)] = int32(groupCost(members))
 				groupsCosted++
+				sizeH.Observe(int64(len(members)))
 			}
 			if len(members) == maxSize {
 				return

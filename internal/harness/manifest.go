@@ -1,0 +1,146 @@
+package harness
+
+// Experiment provenance manifests. A RunManifest is one kanon-bench
+// invocation's self-describing record: the exact binary that ran (build
+// info with VCS revision and dirty flag), the machine shape, the
+// configuration, and a per-experiment verdict with wall time. CI
+// uploads the manifest next to the coverage artifact so every recorded
+// experiment run names the code, seed, and environment that produced
+// it; cmd/benchdiff -manifest diffs two manifests the way the bench
+// gate diffs two BenchReports.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"kanon/internal/obs"
+)
+
+// ManifestSchema versions the manifest format; readers refuse to
+// compare manifests with different schemas.
+const ManifestSchema = "kanon-manifest/1"
+
+// Verdicts recorded per experiment.
+const (
+	VerdictOK    = "ok"
+	VerdictError = "error"
+)
+
+// ManifestExperiment is one experiment's outcome inside a manifest.
+type ManifestExperiment struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	WallNS int64  `json:"wall_ns"`
+	// Verdict is VerdictOK or VerdictError.
+	Verdict string `json:"verdict"`
+	// Error holds the failure message when Verdict is VerdictError.
+	Error string `json:"error,omitempty"`
+	// Tables is how many result tables the experiment emitted.
+	Tables int `json:"tables"`
+}
+
+// RunManifest is the provenance record of one experiment run.
+type RunManifest struct {
+	Schema     string        `json:"schema"`
+	Build      obs.BuildInfo `json:"build"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	Workers    int           `json:"workers"`
+	Quick      bool          `json:"quick"`
+	// StartUnixNS is the run's wall-clock start (Unix nanoseconds).
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// WallNS is the whole run's duration, set by Finish.
+	WallNS      int64                `json:"wall_ns"`
+	Experiments []ManifestExperiment `json:"experiments,omitempty"`
+	// Bench embeds the regression suite's report when the run included
+	// it (kanon-bench -regress -manifest).
+	Bench *BenchReport `json:"bench,omitempty"`
+
+	start time.Time
+}
+
+// NewManifest starts a manifest for the given configuration, stamping
+// build provenance and machine shape.
+func NewManifest(cfg Config) *RunManifest {
+	now := time.Now()
+	return &RunManifest{
+		Schema:      ManifestSchema,
+		Build:       obs.ReadBuild(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Seed:        cfg.EffectiveSeed(),
+		Workers:     cfg.Workers,
+		Quick:       cfg.Quick,
+		StartUnixNS: now.UnixNano(),
+		start:       now,
+	}
+}
+
+// AddExperiment records one experiment's outcome. A nil *RunManifest is
+// disabled (the no-manifest path), matching the obs instrument
+// convention.
+func (m *RunManifest) AddExperiment(id, title string, wall time.Duration, tables int, err error) {
+	if m == nil {
+		return
+	}
+	e := ManifestExperiment{
+		ID:      id,
+		Title:   title,
+		WallNS:  wall.Nanoseconds(),
+		Verdict: VerdictOK,
+		Tables:  tables,
+	}
+	if err != nil {
+		e.Verdict = VerdictError
+		e.Error = err.Error()
+	}
+	m.Experiments = append(m.Experiments, e)
+}
+
+// Finish stamps the total wall time; call once, before Write.
+func (m *RunManifest) Finish() {
+	if m == nil {
+		return
+	}
+	m.WallNS = time.Since(m.start).Nanoseconds()
+}
+
+// Write serializes the manifest as indented JSON to path.
+func (m *RunManifest) Write(path string) error {
+	if m == nil {
+		return fmt.Errorf("harness: nil manifest")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest loads and validates a manifest written by Write.
+func ReadManifest(path string) (*RunManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}

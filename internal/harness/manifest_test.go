@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var errTest = errors.New("boom")
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest(Config{Quick: true, Workers: 2})
+	if m.Schema != ManifestSchema {
+		t.Fatalf("schema = %q", m.Schema)
+	}
+	if m.Seed != DefaultSeed {
+		t.Errorf("seed = %d, want resolved default %d", m.Seed, DefaultSeed)
+	}
+	if m.GOMAXPROCS < 1 || m.GOOS == "" || m.GOARCH == "" {
+		t.Errorf("machine shape not stamped: %+v", m)
+	}
+	if m.Build.GoVersion == "" {
+		t.Error("build info not stamped")
+	}
+	m.AddExperiment("E1", "planted", 3*time.Millisecond, 1, nil)
+	m.AddExperiment("E2", "census", 5*time.Millisecond, 2, errTest)
+	m.Finish()
+	if m.WallNS < 0 {
+		t.Errorf("WallNS = %d", m.WallNS)
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Experiments) != 2 {
+		t.Fatalf("experiments = %d, want 2", len(got.Experiments))
+	}
+	e1, e2 := got.Experiments[0], got.Experiments[1]
+	if e1.ID != "E1" || e1.Verdict != VerdictOK || e1.Error != "" || e1.WallNS != 3e6 {
+		t.Errorf("E1 = %+v", e1)
+	}
+	if e2.Verdict != VerdictError || e2.Error != "boom" || e2.Tables != 2 {
+		t.Errorf("E2 = %+v", e2)
+	}
+	if got.Quick != true || got.Workers != 2 || got.Seed != DefaultSeed {
+		t.Errorf("config fields lost: %+v", got)
+	}
+}
+
+func TestReadManifestRejects(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, `{"schema":"other/9"}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong-schema manifest accepted: %v", err)
+	}
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := writeFile(garbled, `{nope`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(garbled); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestNilManifestIsDisabled(t *testing.T) {
+	var m *RunManifest
+	m.AddExperiment("E1", "t", time.Second, 1, nil) // must not panic
+	m.Finish()
+	if err := m.Write(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Error("nil manifest Write succeeded")
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the provenance stamp of the running binary: module
+// version and VCS state from debug.ReadBuildInfo plus the toolchain.
+// The CLIs print it for -version, embed it in the kanon-bench -json
+// meta line, and record it in every RunManifest, so an experiment
+// artifact always names the exact code that produced it.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Module is the main module path ("kanon").
+	Module string `json:"module,omitempty"`
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version,omitempty"`
+	// VCSRevision is the vcs.revision build setting (empty outside a
+	// checkout or when buildvcs is off).
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	// VCSModified is true when the working tree was dirty at build time.
+	VCSModified bool `json:"vcs_modified,omitempty"`
+}
+
+// ReadBuild collects the binary's build provenance. Every field
+// degrades gracefully: a test binary or GOFLAGS=-buildvcs=false build
+// simply reports fewer fields.
+func ReadBuild() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	bi.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.VCSRevision = s.Value
+		case "vcs.modified":
+			bi.VCSModified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// String renders a one-line -version stamp: module, version, VCS
+// revision (with a +dirty marker), and toolchain.
+func (b BuildInfo) String() string {
+	out := b.Module
+	if out == "" {
+		out = "kanon"
+	}
+	if b.Version != "" {
+		out += " " + b.Version
+	}
+	if b.VCSRevision != "" {
+		rev := b.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if b.VCSModified {
+			rev += "+dirty"
+		}
+		out += " " + rev
+	}
+	return fmt.Sprintf("%s (%s)", out, b.GoVersion)
+}

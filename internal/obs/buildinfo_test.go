@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestReadBuild(t *testing.T) {
+	bi := ReadBuild()
+	if bi.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", bi.GoVersion, runtime.Version())
+	}
+	// Test binaries carry build info with the module path.
+	if bi.Module == "" {
+		t.Error("module path empty in test binary")
+	}
+	data, err := json.Marshal(bi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"go_version"`) {
+		t.Errorf("JSON missing go_version: %s", data)
+	}
+}
+
+func TestBuildInfoString(t *testing.T) {
+	bi := BuildInfo{
+		GoVersion:   "go1.24.0",
+		Module:      "kanon",
+		Version:     "(devel)",
+		VCSRevision: "0123456789abcdef0123",
+		VCSModified: true,
+	}
+	got := bi.String()
+	want := "kanon (devel) 0123456789ab+dirty (go1.24.0)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	// Degraded: no module, no VCS.
+	bare := BuildInfo{GoVersion: "go1.24.0"}
+	if got := bare.String(); got != "kanon (go1.24.0)" {
+		t.Errorf("bare String() = %q", got)
+	}
+}

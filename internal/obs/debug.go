@@ -14,23 +14,21 @@ import (
 // panics on duplicate names, and tests may start several servers.
 var publishOnce sync.Once
 
-// StartDebugServer serves the opt-in diagnostics endpoints on addr:
+// DebugMux builds the diagnostics handler tree served by
+// StartDebugServer:
 //
 //	/debug/pprof/...  – net/http/pprof profiles (CPU, heap, goroutine, trace)
 //	/debug/vars       – expvar (memstats, cmdline, kanon_obs)
-//	/debug/obs        – the live tracer snapshot as JSON
+//	/debug/obs        – the live tracer snapshot as JSON (spans, counters,
+//	                    gauges, histograms, progress)
+//	/metrics          – the snapshot in Prometheus text exposition format
 //
 // snap is polled on each request, so long-running bench sweeps can be
-// inspected mid-run; it must be safe for concurrent calls (a Tracer's
-// Snapshot method is). The server runs on its own mux — importing this
-// package never touches http.DefaultServeMux — and is bound by the
-// caller's -debug-addr flag only, never by default. The returned
-// server's Addr field holds the resolved listen address; shut it down
-// with Close.
-func StartDebugServer(addr string, snap func() *Snapshot) (*http.Server, error) {
-	publishOnce.Do(func() {
-		expvar.Publish("kanon_obs", expvar.Func(func() any { return snap() }))
-	})
+// inspected (or scraped) mid-run; it must be safe for concurrent calls
+// (a Tracer's Snapshot method is). Exposed separately from the server
+// so handler tests can drive it through httptest without binding a
+// port.
+func DebugMux(snap func() *Snapshot) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -48,13 +46,29 @@ func StartDebugServer(addr string, snap func() *Snapshot) (*http.Server, error) 
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(s)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = snap().WritePrometheus(w, "kanon")
+	})
+	return mux
+}
+
+// StartDebugServer serves the DebugMux endpoints on addr. The server
+// runs on its own mux — importing this package never touches
+// http.DefaultServeMux — and is bound by the caller's -debug-addr flag
+// only, never by default. The returned server's Addr field holds the
+// resolved listen address; shut it down with Close.
+func StartDebugServer(addr string, snap func() *Snapshot) (*http.Server, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("kanon_obs", expvar.Func(func() any { return snap() }))
+	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{
 		Addr:              ln.Addr().String(),
-		Handler:           mux,
+		Handler:           DebugMux(snap),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDebugMuxHandlers drives every diagnostics endpoint through
+// httptest, no real port needed.
+func TestDebugMuxHandlers(t *testing.T) {
+	tr := New()
+	root := tr.Start("run")
+	root.Counter("hits").Add(7)
+	root.Gauge("depth").Set(2)
+	root.Histogram("lat").Observe(100)
+	pr := root.Progress("work")
+	pr.SetTotal(4)
+	pr.Add(1)
+	root.End()
+	srv := httptest.NewServer(DebugMux(tr.Snapshot))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/debug/obs")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/debug/obs content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/obs not JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["hits"] != 7 || snap.Histograms["lat"].Count != 1 || snap.Progress["work"].Total != 4 {
+		t.Errorf("/debug/obs snapshot incomplete: %s", body)
+	}
+
+	resp, body = get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("/metrics content type = %q, want %q", ct, PromContentType)
+	}
+	if err := LintPrometheus([]byte(body)); err != nil {
+		t.Errorf("/metrics lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{"kanon_hits_total 7", "kanon_depth 2", "kanon_lat_bucket", `kanon_progress_done{task="work"} 1`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	_, body = get("/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing goroutine profile:\n%.200s", body)
+	}
+	_, body = get("/debug/pprof/cmdline")
+	if body == "" {
+		t.Error("pprof cmdline empty")
+	}
+	_, body = get("/debug/vars")
+	if !strings.Contains(body, "memstats") {
+		t.Errorf("expvar missing memstats:\n%.200s", body)
+	}
+}
+
+// TestDebugMuxNilSnapshot: the handlers must not panic when the
+// snapshot callback yields nil (tracer disabled).
+func TestDebugMuxNilSnapshot(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(func() *Snapshot { return nil }))
+	defer srv.Close()
+	for _, path := range []string{"/debug/obs", "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+		if path == "/debug/obs" && !strings.Contains(string(body), "{") {
+			t.Errorf("nil snapshot /debug/obs body = %q", body)
+		}
+	}
+}

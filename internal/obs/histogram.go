@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count of every Histogram: bucket i
+// holds the observations whose value has bit length i, i.e. values in
+// [2^(i−1), 2^i − 1] (bucket 0 holds values ≤ 0). The log-2 scale
+// spans the full nonnegative int64 range with no configuration, so
+// histograms recorded by different workers — or different runs — are
+// always mergeable bucket-for-bucket.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket log-scaled distribution instrument:
+// nanosecond latencies, ball radii, cover sizes, search depths. All
+// cells are atomic, so one histogram may be fed by many workers without
+// locking, and two histograms (or their snapshots) merge by addition.
+// A nil *Histogram is disabled: Observe is a nil-check no-op and the
+// stat accessors report zeros, pinning the same zero-allocation
+// contract as Counter and Gauge.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to zero (the
+// instruments record counts, sizes, and durations, all nonnegative).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// ObserveDuration records a duration in integer nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
+
+// Count returns the number of observations (0 on a disabled histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a disabled histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// stat freezes the histogram into its serializable form, keeping only
+// occupied buckets.
+func (h *Histogram) stat() HistogramStat {
+	st := HistogramStat{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		st.Buckets = append(st.Buckets, HistogramBucket{Le: bucketBound(i), Count: c})
+	}
+	return st
+}
+
+// bucketBound returns bucket i's inclusive upper bound: 2^i − 1 (0 for
+// bucket 0, MaxInt64 for the top bucket).
+func bucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// HistogramBucket is one occupied bucket of a frozen histogram: the
+// inclusive upper bound and the count of observations that landed in
+// this bucket (per-bucket, not cumulative; the Prometheus writer
+// accumulates).
+type HistogramBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramStat is a frozen histogram. Buckets are sorted by upper
+// bound and omit empty buckets, so the JSON form is compact and
+// deterministic for a given state.
+type HistogramStat struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistogramStat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile of the recorded
+// distribution: the upper bound of the bucket containing the ⌈q·count⌉-th
+// observation. q outside (0, 1] clamps; returns 0 when empty.
+func (s HistogramStat) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// Merge adds other's observations into s (bucket-wise; both sides use
+// the same fixed bucket bounds by construction).
+func (s *HistogramStat) Merge(other HistogramStat) {
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if len(other.Buckets) == 0 {
+		return
+	}
+	merged := make([]HistogramBucket, 0, len(s.Buckets)+len(other.Buckets))
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(other.Buckets) {
+		switch {
+		case j == len(other.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Le < other.Buckets[j].Le):
+			merged = append(merged, s.Buckets[i])
+			i++
+		case i == len(s.Buckets) || other.Buckets[j].Le < s.Buckets[i].Le:
+			merged = append(merged, other.Buckets[j])
+			j++
+		default:
+			merged = append(merged, HistogramBucket{Le: s.Buckets[i].Le, Count: s.Buckets[i].Count + other.Buckets[j].Count})
+			i++
+			j++
+		}
+	}
+	s.Buckets = merged
+}
+
+// Histogram returns the named histogram, creating it on first use; nil
+// (a disabled histogram) on a nil tracer. Same hoisting advice as
+// Counter: look up once, Observe in the loop.
+func (t *Tracer) Histogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.histograms == nil {
+		t.histograms = make(map[string]*Histogram)
+	}
+	h := t.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		t.histograms[name] = h
+	}
+	return h
+}
+
+// Histogram is shorthand for s.Tracer().Histogram(name); nil-safe.
+func (s *Span) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.tr.Histogram(name)
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	tr := New()
+	h := tr.Histogram("lat")
+	vals := []int64{0, 1, 2, 3, 4, 100, 1 << 40, math.MaxInt64, -7}
+	var wantSum int64 // runtime sum so the MaxInt64 overflow wraps like the instrument's
+	for _, v := range vals {
+		h.Observe(v)
+		if v > 0 {
+			wantSum += v
+		}
+	}
+	st := h.stat()
+	if st.Count != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", st.Count, len(vals))
+	}
+	if st.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", st.Sum, wantSum)
+	}
+	// Bucket membership: value v lands in the bucket whose inclusive
+	// upper bound is the smallest 2^i − 1 ≥ v.
+	byLe := map[int64]int64{}
+	for _, b := range st.Buckets {
+		byLe[b.Le] = b.Count
+	}
+	for le, want := range map[int64]int64{
+		0:             2, // 0 and the clamped −7
+		1:             1,
+		3:             2, // 2, 3
+		7:             1, // 4
+		127:           1, // 100
+		1<<41 - 1:     1, // 2^40
+		math.MaxInt64: 1,
+	} {
+		if byLe[le] != want {
+			t.Errorf("bucket le=%d count = %d, want %d (buckets %+v)", le, byLe[le], want, st.Buckets)
+		}
+	}
+	// Buckets are sorted and non-empty only.
+	for i, b := range st.Buckets {
+		if b.Count == 0 {
+			t.Errorf("empty bucket emitted: %+v", b)
+		}
+		if i > 0 && st.Buckets[i-1].Le >= b.Le {
+			t.Errorf("buckets not sorted: %+v", st.Buckets)
+		}
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(10) // bucket le=15
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket le=1023
+	}
+	st := h.stat()
+	if got := st.Quantile(0.5); got != 15 {
+		t.Errorf("p50 = %d, want 15", got)
+	}
+	if got := st.Quantile(0.99); got != 1023 {
+		t.Errorf("p99 = %d, want 1023", got)
+	}
+	if got := st.Quantile(2); got != 1023 {
+		t.Errorf("clamped q=2 = %d, want 1023", got)
+	}
+	wantMean := (90*10.0 + 10*1000.0) / 100
+	if got := st.Mean(); math.Abs(got-wantMean) > 1e-9 {
+		t.Errorf("mean = %f, want %f", got, wantMean)
+	}
+	if (HistogramStat{}).Quantile(0.5) != 0 || (HistogramStat{}).Mean() != 0 {
+		t.Error("empty stat quantile/mean nonzero")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// under -race this is the data-race proof for the mergeable-across-
+// workers claim.
+func TestHistogramConcurrent(t *testing.T) {
+	tr := New()
+	h := tr.Histogram("h")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Errorf("count = %d, want %d", got, workers*per)
+	}
+	total := int64(0)
+	for _, b := range h.stat().Buckets {
+		total += b.Count
+	}
+	if total != workers*per {
+		t.Errorf("bucket total = %d, want %d", total, workers*per)
+	}
+	if tr.Histogram("h") != h {
+		t.Error("Histogram(name) not idempotent")
+	}
+}
+
+func TestHistogramStatMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(1)
+	a.Observe(100)
+	b.Observe(100)
+	b.Observe(1 << 20)
+	sa, sb := a.stat(), b.stat()
+	sa.Merge(sb)
+	if sa.Count != 4 || sa.Sum != 1+100+100+(1<<20) {
+		t.Errorf("merged count/sum = %d/%d", sa.Count, sa.Sum)
+	}
+	byLe := map[int64]int64{}
+	for _, bk := range sa.Buckets {
+		byLe[bk.Le] = bk.Count
+	}
+	if byLe[1] != 1 || byLe[127] != 2 || byLe[1<<21-1] != 1 {
+		t.Errorf("merged buckets = %+v", sa.Buckets)
+	}
+	// Merge into the zero value adopts other's buckets.
+	var zero HistogramStat
+	zero.Merge(sb)
+	if !reflect.DeepEqual(zero, sb) {
+		t.Errorf("merge into zero = %+v, want %+v", zero, sb)
+	}
+}
+
+func TestProgressStat(t *testing.T) {
+	tr := New()
+	p := tr.Progress("blocks")
+	p.SetTotal(10)
+	p.Add(1)
+	time.Sleep(2 * time.Millisecond)
+	p.Add(3)
+	snap := tr.Snapshot()
+	ps, ok := snap.Progress["blocks"]
+	if !ok {
+		t.Fatal("progress missing from snapshot")
+	}
+	if ps.Done != 4 || ps.Total != 10 {
+		t.Errorf("progress = %d/%d, want 4/10", ps.Done, ps.Total)
+	}
+	if ps.ElapsedNS < int64(2*time.Millisecond) {
+		t.Errorf("elapsed = %d, want ≥ 2ms", ps.ElapsedNS)
+	}
+	if f := ps.Fraction(); f != 0.4 {
+		t.Errorf("fraction = %f, want 0.4", f)
+	}
+	if ps.ETA() <= 0 {
+		t.Error("ETA not positive mid-run")
+	}
+	fin := ProgressStat{Done: 10, Total: 10, ElapsedNS: 100}
+	if fin.ETA() != 0 {
+		t.Error("ETA nonzero when complete")
+	}
+	over := ProgressStat{Done: 20, Total: 10}
+	if over.Fraction() != 1 {
+		t.Error("fraction not clamped to 1")
+	}
+	if tr.Progress("blocks") != p {
+		t.Error("Progress(name) not idempotent")
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	snap := &Snapshot{Progress: map[string]ProgressStat{
+		"stream.blocks": {Done: 3, Total: 12, ElapsedNS: int64(3 * time.Second)},
+		"cover.covered": {Done: 50, Total: 100, ElapsedNS: int64(time.Second)},
+		"untotaled":     {Done: 5},
+	}}
+	line := snap.ProgressLine()
+	for _, want := range []string{"cover.covered 50/100 50%", "stream.blocks 3/12 25%", "eta"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line missing %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "untotaled") {
+		t.Errorf("progress line includes total-less entry: %s", line)
+	}
+	if (*Snapshot)(nil).ProgressLine() != "" || (&Snapshot{}).ProgressLine() != "" {
+		t.Error("empty snapshot produced progress line")
+	}
+}
+
+// TestSnapshotRoundTripWithNewInstruments extends the JSON round-trip
+// proof to histograms and progress.
+func TestSnapshotRoundTripWithNewInstruments(t *testing.T) {
+	tr := New()
+	root := tr.Start("root")
+	root.Histogram("h").Observe(42)
+	root.Progress("p").SetTotal(3)
+	root.Progress("p").Add(2)
+	root.End()
+	snap := tr.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*snap, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, *snap)
+	}
+}
+
+// TestMergeNewInstruments covers Snapshot.Merge for histograms and
+// progress.
+func TestMergeNewInstruments(t *testing.T) {
+	a := &Snapshot{
+		Histograms: map[string]HistogramStat{"h": {Count: 1, Sum: 2, Buckets: []HistogramBucket{{Le: 3, Count: 1}}}},
+		Progress:   map[string]ProgressStat{"p": {Done: 1, Total: 10, ElapsedNS: 5}},
+	}
+	b := &Snapshot{
+		Histograms: map[string]HistogramStat{
+			"h": {Count: 2, Sum: 8, Buckets: []HistogramBucket{{Le: 7, Count: 2}}},
+			"g": {Count: 1, Sum: 1, Buckets: []HistogramBucket{{Le: 1, Count: 1}}},
+		},
+		Progress: map[string]ProgressStat{"p": {Done: 4, Total: 10, ElapsedNS: 9}, "q": {Done: 1, Total: 2}},
+	}
+	a.Merge(b)
+	if h := a.Histograms["h"]; h.Count != 3 || h.Sum != 10 || len(h.Buckets) != 2 {
+		t.Errorf("merged histogram = %+v", h)
+	}
+	if _, ok := a.Histograms["g"]; !ok {
+		t.Error("merge dropped new histogram")
+	}
+	if p := a.Progress["p"]; p.Done != 4 || p.ElapsedNS != 9 {
+		t.Errorf("merged progress = %+v", p)
+	}
+	if _, ok := a.Progress["q"]; !ok {
+		t.Error("merge dropped new progress")
+	}
+	// Merge into empty allocates the maps.
+	var c Snapshot
+	c.Merge(b)
+	if c.Histograms["g"].Count != 1 || c.Progress["q"].Done != 1 {
+		t.Errorf("merge into empty = %+v", c)
+	}
+}

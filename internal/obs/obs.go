@@ -30,10 +30,12 @@ import (
 // call tree. All methods are safe for concurrent use; a nil *Tracer
 // disables everything downstream of it.
 type Tracer struct {
-	mu       sync.Mutex
-	roots    []*Span
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	roots      []*Span
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	progress   map[string]*Progress
 }
 
 // New returns an enabled tracer with an empty registry.

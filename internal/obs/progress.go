@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks completion of a long-running pass — blocks streamed,
+// cover elements covered — for live rendering (cmd/kanon -progress) and
+// the /debug/obs endpoint. Done and Total are atomic, so hot paths feed
+// it without locking; the creation time anchors the rate and ETA
+// estimates. A nil *Progress is disabled: every method is a nil-check
+// no-op, with no clock reads, same as the other instruments.
+type Progress struct {
+	start time.Time
+	total atomic.Int64
+	done  atomic.Int64
+}
+
+// SetTotal declares the number of work units the pass will complete.
+func (p *Progress) SetTotal(n int64) {
+	if p == nil {
+		return
+	}
+	p.total.Store(n)
+}
+
+// Add records n completed work units.
+func (p *Progress) Add(n int64) {
+	if p == nil {
+		return
+	}
+	p.done.Add(n)
+}
+
+// stat freezes the progress against the given instant.
+func (p *Progress) stat(now time.Time) ProgressStat {
+	return ProgressStat{
+		Done:      p.done.Load(),
+		Total:     p.total.Load(),
+		ElapsedNS: now.Sub(p.start).Nanoseconds(),
+	}
+}
+
+// ProgressStat is frozen progress: units done of total, and the time
+// elapsed since the instrument was created.
+type ProgressStat struct {
+	Done      int64 `json:"done"`
+	Total     int64 `json:"total"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// Fraction returns completion in [0, 1] (0 when the total is unknown).
+func (s ProgressStat) Fraction() float64 {
+	if s.Total <= 0 {
+		return 0
+	}
+	f := float64(s.Done) / float64(s.Total)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// ETA estimates the remaining wall time by linear extrapolation of the
+// observed rate; 0 when nothing is done yet or the pass is complete.
+func (s ProgressStat) ETA() time.Duration {
+	if s.Done <= 0 || s.Total <= 0 || s.Done >= s.Total || s.ElapsedNS <= 0 {
+		return 0
+	}
+	perUnit := float64(s.ElapsedNS) / float64(s.Done)
+	return time.Duration(perUnit * float64(s.Total-s.Done))
+}
+
+// Progress returns the named progress instrument, creating it on first
+// use (the creation instant anchors its ETA); nil on a nil tracer.
+func (t *Tracer) Progress(name string) *Progress {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.progress == nil {
+		t.progress = make(map[string]*Progress)
+	}
+	p := t.progress[name]
+	if p == nil {
+		p = &Progress{start: time.Now()}
+		t.progress[name] = p
+	}
+	return p
+}
+
+// Progress is shorthand for s.Tracer().Progress(name); nil-safe.
+func (s *Span) Progress(name string) *Progress {
+	if s == nil {
+		return nil
+	}
+	return s.tr.Progress(name)
+}
+
+// ProgressLine renders the snapshot's progress instruments as one
+// compact status line ("cover.covered 1200/3000 40% eta 2.1s; ..."),
+// or "" when nothing is in flight — what the -progress ticker prints.
+func (s *Snapshot) ProgressLine() string {
+	if s == nil || len(s.Progress) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(s.Progress))
+	for name := range s.Progress {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, name := range names {
+		ps := s.Progress[name]
+		if ps.Total <= 0 {
+			continue
+		}
+		part := fmt.Sprintf("%s %d/%d %.0f%%", name, ps.Done, ps.Total, 100*ps.Fraction())
+		if eta := ps.ETA(); eta > 0 {
+			part += fmt.Sprintf(" eta %s", fmtDur(eta))
+		}
+		parts = append(parts, part)
+	}
+	return strings.Join(parts, "; ")
+}

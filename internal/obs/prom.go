@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4): every counter, gauge, histogram, and progress
+// instrument becomes a metric family with a HELP/TYPE pair, and span
+// durations are aggregated by name into a labeled family. Instrument
+// names are free-form ("cover.greedy_rounds", "stream.block[0,512)"),
+// so the writer sanitizes family names to the legal charset and escapes
+// label values; a fuzz target pins that no input name can produce an
+// invalid exposition line.
+
+// PromContentType is the Content-Type of the text exposition format,
+// what the /metrics endpoint serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes the snapshot as Prometheus text exposition.
+// namespace prefixes every family name ("kanon" unless empty). Families
+// are emitted in sorted order, so output is deterministic for a given
+// snapshot. A nil snapshot writes nothing and reports no error.
+func (s *Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	if s == nil {
+		return nil
+	}
+	if namespace == "" {
+		namespace = "kanon"
+	}
+	e := &promEmitter{w: w, ns: promSanitizeLabelName(namespace), seen: map[string]bool{}}
+
+	for _, name := range sortedKeys(s.Counters) {
+		fam := e.family(name, "_total")
+		e.head(fam, fmt.Sprintf("obs counter %q", name), "counter")
+		e.series(fam, nil, fmt.Sprintf("%d", s.Counters[name]))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		fam := e.family(name, "")
+		e.head(fam, fmt.Sprintf("obs gauge %q (current value)", name), "gauge")
+		e.series(fam, nil, fmt.Sprintf("%d", g.Last))
+		famMax := e.family(name, "_max")
+		e.head(famMax, fmt.Sprintf("obs gauge %q (high-water mark)", name), "gauge")
+		e.series(famMax, nil, fmt.Sprintf("%d", g.Max))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fam := e.familyMulti(name, "_bucket", "_sum", "_count")
+		e.head(fam, fmt.Sprintf("obs histogram %q (log2 buckets)", name), "histogram")
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			e.series(fam+"_bucket", []promLabel{{"le", fmt.Sprintf("%d", b.Le)}}, fmt.Sprintf("%d", cum))
+		}
+		e.series(fam+"_bucket", []promLabel{{"le", "+Inf"}}, fmt.Sprintf("%d", h.Count))
+		e.series(fam+"_sum", nil, fmt.Sprintf("%d", h.Sum))
+		e.series(fam+"_count", nil, fmt.Sprintf("%d", h.Count))
+	}
+	if len(s.Progress) > 0 {
+		done := e.family("progress_done", "")
+		e.head(done, "obs progress (work units completed)", "gauge")
+		total := e.family("progress_total_units", "")
+		e.head(total, "obs progress (work units planned)", "gauge")
+		for _, name := range sortedKeys(s.Progress) {
+			p := s.Progress[name]
+			e.series(done, []promLabel{{"task", name}}, fmt.Sprintf("%d", p.Done))
+			e.series(total, []promLabel{{"task", name}}, fmt.Sprintf("%d", p.Total))
+		}
+	}
+	if len(s.Spans) > 0 {
+		fam := e.family("span_seconds", "")
+		e.head(fam, "cumulative span duration by name", "gauge")
+		agg := map[string]int64{}
+		var walk func(sp SpanSnapshot)
+		walk = func(sp SpanSnapshot) {
+			agg[sp.Name] += sp.DurNS
+			for _, c := range sp.Children {
+				walk(c)
+			}
+		}
+		for _, r := range s.Spans {
+			walk(r)
+		}
+		for _, name := range sortedKeys(agg) {
+			e.series(fam, []promLabel{{"span", name}}, fmt.Sprintf("%.9f", float64(agg[name])/1e9))
+		}
+	}
+	return e.err
+}
+
+// promLabel is one label pair of a series line.
+type promLabel struct{ name, value string }
+
+// promEmitter accumulates exposition lines, deduplicating family names
+// that collide after sanitization (distinct raw names can sanitize to
+// the same family, and one raw name may back several instrument kinds).
+type promEmitter struct {
+	w    io.Writer
+	ns   string
+	seen map[string]bool // family names already emitted or reserved
+	err  error
+}
+
+// family maps a raw instrument name to a unique sanitized family name
+// (namespace prefix, charset sanitization, collision suffix).
+func (e *promEmitter) family(raw, suffix string) string {
+	return e.familyMulti(raw + suffix)
+}
+
+// familyMulti returns a unique family name for raw; extra suffixed
+// forms (a histogram's _bucket, _sum, _count series) are reserved
+// together so none of them can collide with another family.
+func (e *promEmitter) familyMulti(raw string, sufs ...string) string {
+	base := e.ns + "_" + promSanitize(raw)
+	all := append([]string{""}, sufs...)
+	cand := base
+	for n := 2; ; n++ {
+		ok := true
+		for _, suf := range all {
+			if e.seen[cand+suf] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, suf := range all {
+				e.seen[cand+suf] = true
+			}
+			return cand
+		}
+		cand = fmt.Sprintf("%s_dup%d", base, n)
+	}
+}
+
+// head writes the HELP/TYPE pair for a family.
+func (e *promEmitter) head(fam, help, typ string) {
+	e.printf("# HELP %s %s\n", fam, promEscapeHelp(help))
+	e.printf("# TYPE %s %s\n", fam, typ)
+}
+
+// series writes one sample line.
+func (e *promEmitter) series(fam string, labels []promLabel, value string) {
+	if len(labels) == 0 {
+		e.printf("%s %s\n", fam, value)
+		return
+	}
+	var b strings.Builder
+	b.WriteString(fam)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promSanitizeLabelName(l.name))
+		b.WriteString(`="`)
+		b.WriteString(promEscapeLabelValue(l.value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	e.printf("%s %s\n", b.String(), value)
+}
+
+func (e *promEmitter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// promSanitize maps an arbitrary instrument name into the metric-name
+// charset [a-zA-Z0-9_]: every illegal byte becomes '_'. Callers always
+// prepend the namespace, so a leading digit is never first.
+func promSanitize(s string) string {
+	if s == "" {
+		return "x"
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSanitizeLabelName maps a label name into [a-zA-Z0-9_] with a
+// non-digit first character.
+func promSanitizeLabelName(s string) string {
+	out := promSanitize(s)
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}
+
+// promEscapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func promEscapeLabelValue(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes HELP text: backslash and newline.
+func promEscapeHelp(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Exposition-lint machinery. LintPrometheus enforces the promtool-style
+// rules the unit tests and the fuzz target pin: legal metric and label
+// name charsets, escaped label values, every series preceded by its
+// family's HELP/TYPE pair, histogram buckets cumulative and capped by
+// +Inf. It exists so tests (and callers embedding the exporter) can
+// verify arbitrary snapshots render to valid exposition text.
+
+var (
+	lintMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	lintSeriesLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? (\+Inf|-Inf|NaN|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)$`)
+)
+
+// LintPrometheus validates Prometheus text exposition. It returns nil
+// when every line is well-formed and typed, and a descriptive error on
+// the first violation.
+func LintPrometheus(text []byte) error {
+	typed := map[string]string{} // family → TYPE
+	helped := map[string]bool{}
+	lines := strings.Split(string(text), "\n")
+	for ln, line := range lines {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !lintMetricName.MatchString(name) {
+				return fmt.Errorf("line %d: HELP for illegal metric name %q", ln+1, name)
+			}
+			if helped[name] {
+				return fmt.Errorf("line %d: duplicate HELP for %q", ln+1, name)
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			name, typ := parts[0], parts[1]
+			if !lintMetricName.MatchString(name) {
+				return fmt.Errorf("line %d: TYPE for illegal metric name %q", ln+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown TYPE %q", ln+1, typ)
+			}
+			if !helped[name] {
+				return fmt.Errorf("line %d: TYPE %q without preceding HELP", ln+1, name)
+			}
+			if _, dup := typed[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			typed[name] = typ
+		case strings.HasPrefix(line, "#"):
+			// Free-form comment: allowed.
+		default:
+			m := lintSeriesLine.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed series line %q", ln+1, line)
+			}
+			fam := seriesFamily(m[1], typed)
+			if fam == "" {
+				return fmt.Errorf("line %d: series %q has no HELP/TYPE pair", ln+1, m[1])
+			}
+		}
+	}
+	if err := lintHistograms(lines, typed); err != nil {
+		return err
+	}
+	return nil
+}
+
+// seriesFamily resolves a sample name to its typed family, accepting
+// the histogram/summary suffixes.
+func seriesFamily(name string, typed map[string]string) string {
+	if _, ok := typed[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// lintHistograms checks every histogram family: bucket counts are
+// cumulative (nondecreasing in le order as emitted), the +Inf bucket is
+// present and equals _count.
+func lintHistograms(lines []string, typed map[string]string) error {
+	type histState struct {
+		last    int64
+		inf     int64
+		hasInf  bool
+		count   int64
+		hasCnt  bool
+		ordered bool
+	}
+	hists := map[string]*histState{}
+	for fam, t := range typed {
+		if t == "histogram" {
+			hists[fam] = &histState{ordered: true}
+		}
+	}
+	for _, line := range lines {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, _ := strings.Cut(line, " ")
+		bare, _, _ := strings.Cut(name, "{")
+		var val int64
+		fmt.Sscanf(strings.TrimSpace(rest), "%d", &val)
+		if base := strings.TrimSuffix(bare, "_bucket"); base != bare {
+			h, ok := hists[base]
+			if !ok {
+				continue
+			}
+			if strings.Contains(name, `le="+Inf"`) {
+				h.hasInf = true
+				h.inf = val
+			} else {
+				if val < h.last {
+					h.ordered = false
+				}
+				h.last = val
+			}
+		} else if base := strings.TrimSuffix(bare, "_count"); base != bare {
+			if h, ok := hists[base]; ok {
+				h.hasCnt = true
+				h.count = val
+			}
+		}
+	}
+	for fam, h := range hists {
+		if !h.hasInf {
+			return fmt.Errorf("histogram %q missing +Inf bucket", fam)
+		}
+		if !h.ordered {
+			return fmt.Errorf("histogram %q buckets not cumulative", fam)
+		}
+		if h.last > h.inf {
+			return fmt.Errorf("histogram %q bucket count exceeds +Inf bucket", fam)
+		}
+		if h.hasCnt && h.inf != h.count {
+			return fmt.Errorf("histogram %q +Inf bucket %d != count %d", fam, h.inf, h.count)
+		}
+	}
+	return nil
+}

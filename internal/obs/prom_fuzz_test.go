@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPromText pins the exposition writer's safety property: no
+// instrument name, label value, or observed value — however hostile —
+// can make WritePrometheus emit text that fails the exposition lint.
+// The CI fuzz smoke runs this briefly on every push.
+func FuzzPromText(f *testing.F) {
+	f.Add("cover.sets_picked", "stream.queue", "blk[0,512)", `quo"te\back`+"\nnl", int64(42), "kanon")
+	f.Add("", "", "", "", int64(-1), "")
+	f.Add("a.b", "a_b", "h_count", "progress_done", int64(1)<<40, "9ns")
+	f.Add("span", "span_max", "x", "x", int64(0), "_")
+	f.Fuzz(func(t *testing.T, cname, gname, hname, pname string, v int64, ns string) {
+		tr := New()
+		root := tr.Start(cname)
+		root.Counter(cname).Add(v)
+		root.Gauge(gname).Set(v)
+		h := root.Histogram(hname)
+		h.Observe(v)
+		h.Observe(v / 2)
+		p := root.Progress(pname)
+		p.SetTotal(v)
+		p.Add(1)
+		sub := root.Start(gname)
+		sub.End()
+		root.End()
+
+		var b strings.Builder
+		if err := tr.Snapshot().WritePrometheus(&b, ns); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := LintPrometheus([]byte(b.String())); err != nil {
+			t.Fatalf("lint: %v\nnames %q %q %q %q ns %q v %d\n%s",
+				err, cname, gname, hname, pname, ns, v, b.String())
+		}
+	})
+}

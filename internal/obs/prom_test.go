@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSnapshot builds a snapshot exercising every family kind.
+func promSnapshot() *Snapshot {
+	tr := New()
+	root := tr.Start("run")
+	root.Counter("cover.sets_picked").Add(12)
+	root.Gauge("stream.queue_depth").Set(3)
+	h := root.Histogram("stream.block_ns")
+	h.Observe(100)
+	h.Observe(100)
+	h.Observe(5000)
+	p := root.Progress("stream.blocks")
+	p.SetTotal(8)
+	p.Add(5)
+	root.End()
+	return tr.Snapshot()
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := promSnapshot().WritePrometheus(&b, "kanon"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := LintPrometheus([]byte(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE kanon_cover_sets_picked_total counter",
+		"kanon_cover_sets_picked_total 12",
+		"# TYPE kanon_stream_queue_depth gauge",
+		"kanon_stream_queue_depth 3",
+		"kanon_stream_queue_depth_max 3",
+		"# TYPE kanon_stream_block_ns histogram",
+		`kanon_stream_block_ns_bucket{le="127"} 2`,
+		`kanon_stream_block_ns_bucket{le="8191"} 3`,
+		`kanon_stream_block_ns_bucket{le="+Inf"} 3`,
+		"kanon_stream_block_ns_sum 5200",
+		"kanon_stream_block_ns_count 3",
+		`kanon_progress_done{task="stream.blocks"} 5`,
+		`kanon_progress_total_units{task="stream.blocks"} 8`,
+		`kanon_span_seconds{span="run"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output for a fixed snapshot.
+	var b2 strings.Builder
+	snap := promSnapshot()
+	_ = snap.WritePrometheus(&b2, "kanon")
+	var b3 strings.Builder
+	_ = snap.WritePrometheus(&b3, "kanon")
+	if b2.String() != b3.String() {
+		t.Error("exposition not deterministic for the same snapshot")
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := (*Snapshot)(nil).WritePrometheus(&b, ""); err != nil || b.Len() != 0 {
+		t.Errorf("nil snapshot wrote %q, err %v", b.String(), err)
+	}
+	if err := (&Snapshot{}).WritePrometheus(&b, ""); err != nil || b.Len() != 0 {
+		t.Errorf("empty snapshot wrote %q, err %v", b.String(), err)
+	}
+}
+
+// TestPromNameCollisions: distinct raw names sanitizing to the same
+// family, and raw names that collide with histogram-derived series
+// names, must still produce a lintable exposition (via _dupN suffixes).
+func TestPromNameCollisions(t *testing.T) {
+	snap := &Snapshot{
+		Counters: map[string]int64{
+			"a.b":           1,
+			"a_b":           2,
+			"h_count":       3, // collides with histogram h's _count series
+			"":              4, // sanitizes to "x"
+			"9lives":        5,
+			"progress_done": 6, // collides with the synthetic progress family
+		},
+		Histograms: map[string]HistogramStat{
+			"h": {Count: 1, Sum: 1, Buckets: []HistogramBucket{{Le: 1, Count: 1}}},
+		},
+		Progress: map[string]ProgressStat{"p": {Done: 1, Total: 2}},
+	}
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b, "kanon"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := LintPrometheus([]byte(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "_dup2") {
+		t.Errorf("colliding names did not get a dedup suffix:\n%s", out)
+	}
+	// Both colliding counters kept their values.
+	for _, want := range []string{" 1\n", " 2\n", " 3\n", " 4\n", " 5\n", " 6\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("a colliding counter's value %q was dropped:\n%s", strings.TrimSpace(want), out)
+		}
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	snap := &Snapshot{
+		Progress: map[string]ProgressStat{
+			"blk[0,512)":    {Done: 1, Total: 2},
+			"quo\"te\\back": {Done: 3, Total: 4},
+			"new\nline":     {Done: 5, Total: 6},
+		},
+	}
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b, "kanon"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := LintPrometheus([]byte(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`task="blk[0,512)"`,
+		`task="quo\"te\\back"`,
+		`task="new\nline"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("escaped label %q missing:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"cover.sets_picked": "cover_sets_picked",
+		"blk[0,512)":        "blk_0_512_",
+		"ok_name9":          "ok_name9",
+		"":                  "x",
+		"héllo":             "h__llo", // é is two UTF-8 bytes
+	} {
+		if got := promSanitize(in); got != want {
+			t.Errorf("promSanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promSanitizeLabelName("9a"); got != "_9a" {
+		t.Errorf("promSanitizeLabelName(9a) = %q, want _9a", got)
+	}
+}
+
+func TestLintPrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"series without HELP/TYPE": "orphan_metric 1\n",
+		"TYPE without HELP":        "# TYPE m counter\nm 1\n",
+		"unknown TYPE":             "# HELP m h\n# TYPE m widget\nm 1\n",
+		"duplicate TYPE":           "# HELP m h\n# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"duplicate HELP":           "# HELP m h\n# HELP m h\n# TYPE m counter\nm 1\n",
+		"illegal metric name":      "# HELP 9m h\n# TYPE 9m counter\n9m 1\n",
+		"malformed series line":    "# HELP m h\n# TYPE m counter\nm{x=unquoted} 1\n",
+		"raw newline in label":     "# HELP m h\n# TYPE m gauge\nm{x=\"a\nb\"} 1\n",
+		"histogram missing +Inf":   "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_count 1\nm_sum 1\n",
+		"histogram not cumulative": "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_bucket{le=\"3\"} 2\nm_bucket{le=\"+Inf\"} 5\nm_count 5\nm_sum 9\n",
+		"+Inf != count":            "# HELP m h\n# TYPE m histogram\nm_bucket{le=\"+Inf\"} 5\nm_count 4\nm_sum 9\n",
+	}
+	for name, text := range cases {
+		if err := LintPrometheus([]byte(text)); err == nil {
+			t.Errorf("%s: lint accepted\n%s", name, text)
+		}
+	}
+	good := "# a comment\n# HELP m h\n# TYPE m histogram\nm_bucket{le=\"1\"} 2\nm_bucket{le=\"+Inf\"} 5\nm_sum 9\nm_count 5\n"
+	if err := LintPrometheus([]byte(good)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}
+
+// TestSpanSecondsAggregation: repeated span names aggregate into one
+// labeled series rather than duplicate series lines.
+func TestSpanSecondsAggregation(t *testing.T) {
+	snap := &Snapshot{Spans: []SpanSnapshot{{
+		Name: "run", DurNS: int64(2 * time.Second),
+		Children: []SpanSnapshot{
+			{Name: "block", DurNS: int64(time.Second)},
+			{Name: "block", DurNS: int64(time.Second) / 2},
+		},
+	}}}
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b, "kanon"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := LintPrometheus([]byte(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	if got := strings.Count(out, `span="block"`); got != 1 {
+		t.Errorf("span=block series appears %d times, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, `kanon_span_seconds{span="block"} 1.500000000`) {
+		t.Errorf("block spans not summed:\n%s", out)
+	}
+}

@@ -14,9 +14,11 @@ import (
 // as a phase tree or emit as JSON. encoding/json sorts map keys, so the
 // serialized form is deterministic for a given run.
 type Snapshot struct {
-	Spans    []SpanSnapshot       `json:"spans,omitempty"`
-	Counters map[string]int64     `json:"counters,omitempty"`
-	Gauges   map[string]GaugeStat `json:"gauges,omitempty"`
+	Spans      []SpanSnapshot           `json:"spans,omitempty"`
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]GaugeStat     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
+	Progress   map[string]ProgressStat  `json:"progress,omitempty"`
 }
 
 // SpanSnapshot is one frozen span. StartNS is the offset from the
@@ -59,6 +61,18 @@ func (t *Tracer) Snapshot() *Snapshot {
 		snap.Gauges = make(map[string]GaugeStat, len(t.gauges))
 		for name, g := range t.gauges {
 			snap.Gauges[name] = GaugeStat{Last: g.Load(), Max: g.Max()}
+		}
+	}
+	if len(t.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramStat, len(t.histograms))
+		for name, h := range t.histograms {
+			snap.Histograms[name] = h.stat()
+		}
+	}
+	if len(t.progress) > 0 {
+		snap.Progress = make(map[string]ProgressStat, len(t.progress))
+		for name, p := range t.progress {
+			snap.Progress[name] = p.stat(now)
 		}
 	}
 	return snap
@@ -115,6 +129,36 @@ func (s *Snapshot) Merge(other *Snapshot) {
 		cur.Last = g.Last
 		s.Gauges[name] = cur
 	}
+	if len(other.Histograms) > 0 && s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramStat, len(other.Histograms))
+	}
+	for name, h := range other.Histograms {
+		cur := s.Histograms[name]
+		cur.Merge(h)
+		s.Histograms[name] = cur
+	}
+	if len(other.Progress) > 0 && s.Progress == nil {
+		s.Progress = make(map[string]ProgressStat, len(other.Progress))
+	}
+	for name, p := range other.Progress {
+		cur, ok := s.Progress[name]
+		if !ok {
+			s.Progress[name] = p
+			continue
+		}
+		// Two views of the same pass, not two passes: keep the furthest
+		// state rather than summing.
+		if p.Done > cur.Done {
+			cur.Done = p.Done
+		}
+		if p.Total > cur.Total {
+			cur.Total = p.Total
+		}
+		if p.ElapsedNS > cur.ElapsedNS {
+			cur.ElapsedNS = p.ElapsedNS
+		}
+		s.Progress[name] = cur
+	}
 }
 
 // SpanTotalNS sums the durations of the root spans — "how much time the
@@ -158,6 +202,21 @@ func (s *Snapshot) WriteTree(w io.Writer) error {
 		for _, name := range sortedKeys(s.Gauges) {
 			g := s.Gauges[name]
 			fmt.Fprintf(&b, "  %-36s %d (max %d)\n", name, g.Last, g.Max)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(&b, "  %-36s n=%d mean=%.1f p50≤%d p99≤%d\n",
+				name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+		}
+	}
+	if len(s.Progress) > 0 {
+		b.WriteString("progress:\n")
+		for _, name := range sortedKeys(s.Progress) {
+			p := s.Progress[name]
+			fmt.Fprintf(&b, "  %-36s %d/%d (%.0f%%)\n", name, p.Done, p.Total, 100*p.Fraction())
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -45,9 +45,14 @@ type Options struct {
 	Algo func(t *relation.Table, k int) (*algo.Result, error)
 	// Trace is the parent span instrumentation attaches under: a
 	// "stream" child span holding one span per block, a queue-depth
-	// gauge, and worker-utilization counters. Nil disables it; the
-	// release is byte-identical either way.
+	// gauge, worker-utilization counters, per-block latency/cost
+	// histograms, and a blocks-completed progress instrument. Nil
+	// disables it; the release is byte-identical either way.
 	Trace *obs.Span
+	// Log receives structured events: block-size raises, worker
+	// lifecycle. Nil (the default) is silent; events never steer the
+	// computation.
+	Log *obs.Events
 }
 
 // BlockStat records one block's outcome for observability: its row
@@ -101,6 +106,7 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 		block = 1024
 	}
 	if block < 2*k {
+		opt.Log.Anomaly("block_raised", int64(2*k-block))
 		block = 2 * k
 	}
 	bounds := blockBounds(n, k, block)
@@ -125,6 +131,10 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 	queue := sp.Gauge("stream.queue_depth")
 	busy := sp.Counter("stream.worker_busy_ns")
 	blocksDone := sp.Counter("stream.blocks_done")
+	blockNS := sp.Histogram("stream.block_ns")
+	blockCost := sp.Histogram("stream.block_cost")
+	progress := sp.Progress("stream.blocks")
+	progress.SetTotal(int64(len(bounds)))
 	queue.Set(int64(len(bounds)))
 	sp.Gauge("stream.workers").Set(int64(workers))
 	passStart := time.Time{}
@@ -142,9 +152,12 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 			bs = sp.Start(fmt.Sprintf("stream.block[%d,%d)", lo, hi))
 			blockStart := time.Now()
 			defer func() {
-				busy.Add(int64(time.Since(blockStart)))
+				d := time.Since(blockStart)
+				busy.Add(int64(d))
+				blockNS.ObserveDuration(d)
 				queue.Add(-1)
 				blocksDone.Inc()
+				progress.Add(1)
 				bs.End()
 			}()
 		}
@@ -178,6 +191,7 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 		sup := r.Partition.Suppressor(sub)
 		anon := sup.Apply(sub)
 		stat.Cost = sup.Stars()
+		blockCost.Observe(int64(stat.Cost))
 		results[bi] = blockResult{anon: anon, stat: stat}
 	}
 	if workers <= 1 {
@@ -189,16 +203,25 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				opt.Log.WorkerStart("stream", w)
+				var workerBusy time.Duration
 				for {
 					bi := int(next.Add(1)) - 1
 					if bi >= len(bounds) {
+						opt.Log.WorkerDone("stream", w, workerBusy)
 						return
 					}
-					process(bi)
+					if opt.Log.Enabled() {
+						s := time.Now()
+						process(bi)
+						workerBusy += time.Since(s)
+					} else {
+						process(bi)
+					}
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}

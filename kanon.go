@@ -32,7 +32,9 @@ package kanon
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
+	"time"
 
 	"kanon/internal/algo"
 	"kanon/internal/baseline"
@@ -149,6 +151,18 @@ type Options struct {
 	// phase; on, the anonymized output is byte-identical — tracing
 	// observes the run, it never steers it.
 	Trace bool
+	// Span attaches this call's instrumentation under an external
+	// parent span instead of an internal tracer, so long-lived callers
+	// (the CLI's debug server, the progress ticker) observe the run
+	// live. Takes precedence over Trace; Result.Stats stays nil — the
+	// external tracer owns the data. Same contract as Trace: the output
+	// is byte-identical with or without it.
+	Span *obs.Span
+	// Log emits structured run events (run start/done, phase
+	// boundaries, anomalies) through the given logger — typically a
+	// JSON handler — with a fresh run ID attached to every record. Nil
+	// (the default) is silent; logging never changes results.
+	Log *slog.Logger
 }
 
 // Result is an anonymization outcome.
@@ -179,9 +193,22 @@ type Result struct {
 
 // Anonymize k-anonymizes the given table by entry suppression.
 // The header names the columns; every row must have the same length.
-func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result, error) {
+func Anonymize(header []string, rows [][]string, k int, opts *Options) (res *Result, err error) {
 	if opts == nil {
 		opts = &Options{}
+	}
+	ev := obs.NewEvents(opts.Log, obs.NewRunID())
+	var runStart time.Time
+	if ev.Enabled() {
+		runStart = time.Now()
+		ev.RunStart(opts.Algorithm.String(), len(rows), len(header), k)
+		defer func() {
+			if err != nil {
+				ev.RunError(err)
+			} else if res != nil {
+				ev.RunDone(res.Cost, time.Since(runStart))
+			}
+		}()
 	}
 	t, err := buildTable(header, rows)
 	if err != nil {
@@ -192,13 +219,18 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 		optimal bool
 	)
 	// A nil tracer (and thus nil root span) disables every instrument
-	// below at the cost of one nil check per use.
+	// below at the cost of one nil check per use. An external span
+	// takes precedence: instrumentation then attaches to the caller's
+	// tracer and Result.Stats stays nil.
 	var tr *obs.Tracer
 	var root *obs.Span
-	if opts.Trace {
+	if opts.Span != nil {
+		root = opts.Span.Start("anonymize")
+	} else if opts.Trace {
 		tr = obs.New()
 		root = tr.Start("anonymize")
 	}
+	defer root.End() // idempotent; closes the span on error paths too
 	weights := core.Weights(opts.ColumnWeights)
 	if err := weights.Validate(t.Degree()); err != nil {
 		return nil, fmt.Errorf("kanon: %w", err)
@@ -206,7 +238,7 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 	switch opts.Algorithm {
 	case AlgoGreedyBall:
 		if weights != nil {
-			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root})
+			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root, Log: ev})
 			if err != nil {
 				return nil, err
 			}
@@ -218,13 +250,14 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 			TrueDiameterWeights: opts.TrueDiameterWeights,
 			Workers:             opts.Workers,
 			Trace:               root,
+			Log:                 ev,
 		})
 		if err != nil {
 			return nil, err
 		}
 		p = r.Partition
 	case AlgoGreedyExhaustive:
-		r, err := algo.GreedyExhaustive(t, k, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root})
+		r, err := algo.GreedyExhaustive(t, k, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root, Log: ev})
 		if err != nil {
 			return nil, err
 		}
@@ -307,10 +340,12 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result,
 	p.Normalize()
 	cost := anon.TotalStars() - t.TotalStars()
 	var stats *Stats
-	if tr != nil {
+	if root != nil {
 		root.Counter("kanon.entries_suppressed").Add(int64(cost))
 		root.Counter("kanon.groups").Add(int64(len(p.Groups)))
 		root.End()
+	}
+	if tr != nil {
 		stats = tr.Snapshot()
 	}
 	return &Result{
