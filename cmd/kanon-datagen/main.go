@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"kanon/internal/dataset"
+	"kanon/internal/obs"
 	"kanon/internal/relation"
 )
 
@@ -40,8 +41,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	petals := fs.Int("petals", 4, "sunflower petals")
 	width := fs.Int("width", 2, "sunflower petal width")
 	seed := fs.Int64("seed", 1, "generator seed")
+	version := fs.Bool("version", false, "print build provenance and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.ReadBuild().String())
+		return nil
 	}
 	if *n < 1 || *m < 1 {
 		return fmt.Errorf("need n ≥ 1 and m ≥ 1")

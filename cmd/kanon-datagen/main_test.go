@@ -77,3 +77,16 @@ func TestPipelineIntoAnonymizer(t *testing.T) {
 		t.Errorf("unexpected datagen output: %q", out[:50])
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runGen(t, "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) == "" {
+		t.Error("-version printed nothing")
+	}
+	if strings.Contains(out, ",") {
+		t.Errorf("-version emitted CSV instead of provenance: %q", out)
+	}
+}

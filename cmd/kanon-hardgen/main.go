@@ -22,6 +22,7 @@ import (
 	"kanon/internal/attribute"
 	"kanon/internal/exact"
 	"kanon/internal/hypergraph"
+	"kanon/internal/obs"
 	"kanon/internal/reduction"
 	"kanon/internal/relation"
 )
@@ -43,8 +44,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	planted := fs.Bool("planted", false, "plant a perfect matching")
 	variant := fs.String("variant", "entry", "reduction variant: entry (Thm 3.1) or attribute (Thm 3.2)")
 	solve := fs.Bool("solve", false, "additionally run the exact solver and report OPT vs threshold (small instances)")
+	version := fs.Bool("version", false, "print build provenance and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.ReadBuild().String())
+		return nil
 	}
 	if *n%*k != 0 {
 		return fmt.Errorf("n = %d must be divisible by k = %d for a perfect matching to be possible", *n, *k)

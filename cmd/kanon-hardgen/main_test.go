@@ -72,3 +72,13 @@ func TestValidation(t *testing.T) {
 		t.Error("accepted -solve beyond the DP limit")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, _, err := runGen(t, "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) == "" {
+		t.Error("-version printed nothing")
+	}
+}

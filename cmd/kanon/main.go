@@ -107,7 +107,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		in = f
 	}
 	ls := root.Start("load-csv")
-	header, rows, err := readCSV(in)
+	header, rows, err := relation.ReadCSVRows(in)
 	ls.End()
 	if err != nil {
 		return err
@@ -161,7 +161,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		out = f
 	}
 	ws := root.Start("write-csv")
-	err = writeCSV(out, res.Header, res.Rows)
+	err = relation.WriteCSVRows(out, res.Header, res.Rows)
 	ws.End()
 	if err != nil {
 		return err

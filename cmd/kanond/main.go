@@ -1,0 +1,119 @@
+// Command kanond serves the kanon anonymization pipeline as a
+// long-running HTTP service: clients POST CSV tables to /v1/jobs and
+// poll for results while the server bounds queue depth, concurrency,
+// and per-job deadlines around the NP-hard solve.
+//
+// Usage:
+//
+//	kanond -addr :8080 [-workers 4] [-queue 64] [-job-timeout 5m]
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: admission stops, running
+// jobs drain for up to -drain, and whatever remains is cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kanon/internal/obs"
+	"kanon/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "kanond:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, starts the server, and blocks until a signal (or a
+// close of the optional test-only stop channel) initiates shutdown.
+// ready, if non-nil, receives the bound listen address once the server
+// is accepting — how tests find a :0 port.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready chan<- string) error {
+	fs := flag.NewFlagSet("kanond", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent jobs (0 = half the CPUs)")
+	queue := fs.Int("queue", 64, "queued-job capacity; beyond it submissions get 429")
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job deadline and the ceiling for client-requested timeouts")
+	resultTTL := fs.Duration("result-ttl", 15*time.Minute, "how long finished jobs stay retrievable")
+	maxBody := fs.Int64("max-body", 32<<20, "request body limit in bytes")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget before running jobs are cancelled")
+	logEvents := fs.Bool("log", true, "emit structured JSON lifecycle events to stderr")
+	version := fs.Bool("version", false, "print build provenance and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.ReadBuild().String())
+		return nil
+	}
+
+	var logger *slog.Logger
+	if *logEvents {
+		logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	srv := server.New(server.Config{
+		QueueCapacity: *queue,
+		Workers:       *workers,
+		JobTimeout:    *jobTimeout,
+		ResultTTL:     *resultTTL,
+		MaxBodyBytes:  *maxBody,
+		Log:           logger,
+	})
+	hs := &http.Server{Handler: srv}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	if logger != nil {
+		logger.Info("kanond_listening", slog.String("addr", ln.Addr().String()))
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+	case <-stop:
+	}
+
+	if logger != nil {
+		logger.Info("kanond_draining", slog.Duration("budget", *drain))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the job manager first (admission off, running jobs finish or
+	// are cancelled at the deadline), then close the listener.
+	draineErr := srv.Shutdown(ctx)
+	if err := hs.Shutdown(ctx); err != nil && draineErr == nil {
+		draineErr = err
+	}
+	if draineErr != nil {
+		fmt.Fprintf(stderr, "kanond: shutdown forced cancellation: %v\n", draineErr)
+	}
+	return nil
+}

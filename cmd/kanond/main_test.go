@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errb, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) == "" {
+		t.Error("-version printed nothing")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-bogus"}, &out, &errb, nil, nil); err == nil {
+		t.Error("accepted unknown flag")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:notaport"}, &out, &errb, nil, nil); err == nil {
+		t.Error("accepted unlistenable address")
+	}
+}
+
+// TestServeSubmitShutdown boots the real binary loop on an ephemeral
+// port, pushes one job through the full HTTP lifecycle, and shuts the
+// process down via its stop channel.
+func TestServeSubmitShutdown(t *testing.T) {
+	stop := make(chan struct{})
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var errb bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-log=false", "-drain", "5s"},
+			io.Discard, &errb, stop, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited early: %v (stderr: %s)", err, errb.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Post(base+"/v1/jobs?k=2", "text/csv",
+		strings.NewReader("a,b\n1,2\n1,3\n2,2\n2,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, st.ID)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sr, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(sr.Body).Decode(&st)
+		sr.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "succeeded" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" || time.Now().After(deadline) {
+			t.Fatalf("job ended in %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	rr, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "a,b\n") {
+		t.Fatalf("result: status %d body %q", rr.StatusCode, body)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v (stderr: %s)", err, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

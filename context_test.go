@@ -1,0 +1,136 @@
+package kanon_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"kanon"
+)
+
+// distinctRows builds n pairwise-distinct rows over m columns — the
+// worst case for every algorithm, so runs are slow enough to cancel
+// mid-flight.
+func distinctRows(n, m int) ([]string, [][]string) {
+	header := make([]string, m)
+	for j := range header {
+		header[j] = fmt.Sprintf("c%d", j)
+	}
+	rows := make([][]string, n)
+	for i := range rows {
+		rows[i] = make([]string, m)
+		for j := range rows[i] {
+			rows[i][j] = fmt.Sprintf("v%d_%d", i*(j+2), j)
+		}
+	}
+	return header, rows
+}
+
+// settleGoroutines waits for the goroutine count to drop back to at
+// most base+slack, returning the final count.
+func settleGoroutines(base, slack int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	n := runtime.NumGoroutine()
+	for n > base+slack && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestAnonymizeContextCancellation pins the cancellation contract of
+// the public API: cancelling mid-run makes AnonymizeContext return an
+// error wrapping context.Canceled promptly — well under the seconds the
+// uncancelled solve would take — and leaks no goroutines.
+func TestAnonymizeContextCancellation(t *testing.T) {
+	cases := []struct {
+		name string
+		n, m int
+		opts kanon.Options
+	}{
+		// 22 distinct rows drive the exact solver's 2^22-mask DP —
+		// seconds of work, polled every 4096 masks.
+		{"exact", 22, 4, kanon.Options{Algorithm: kanon.AlgoExact}},
+		// 6000 distinct rows make greedy ball's O(n^2)-per-center radius
+		// kernel the dominant cost (~1s uncancelled), polled per center
+		// and per round.
+		{"ball", 6000, 6, kanon.Options{Algorithm: kanon.AlgoGreedyBall}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			header, rows := distinctRows(tc.n, tc.m)
+			base := runtime.NumGoroutine()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			timer := time.AfterFunc(50*time.Millisecond, cancel)
+			defer timer.Stop()
+			defer cancel()
+
+			start := time.Now()
+			opts := tc.opts
+			_, err := kanon.AnonymizeContext(ctx, header, rows, 2, &opts)
+			elapsed := time.Since(start)
+
+			if err == nil {
+				// The machine outran the cancel timer; that is not a
+				// cancellation failure, but it means this instance is
+				// too small to exercise the path.
+				t.Skipf("solve finished in %v before the 50ms cancel", elapsed)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled in its chain", err)
+			}
+			if elapsed > 2*time.Second {
+				t.Errorf("cancellation took %v, want < 2s", elapsed)
+			}
+			if got := settleGoroutines(base, 2, time.Second); got > base+2 {
+				t.Errorf("goroutines did not settle: %d before, %d after", base, got)
+			}
+		})
+	}
+}
+
+// TestAnonymizeContextDeadline pins the sibling path: an expired
+// deadline surfaces as context.DeadlineExceeded.
+func TestAnonymizeContextDeadline(t *testing.T) {
+	header, rows := distinctRows(22, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := kanon.AnonymizeContext(ctx, header, rows, 2, &kanon.Options{Algorithm: kanon.AlgoExact})
+	if err == nil {
+		t.Skip("solve beat a 30ms deadline; instance too small here")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in its chain", err)
+	}
+}
+
+// TestAnonymizeContextNilAndBackground pins that a nil or background
+// context changes nothing: output matches plain Anonymize byte for
+// byte.
+func TestAnonymizeContextNilAndBackground(t *testing.T) {
+	header, rows := distinctRows(12, 3)
+	want, err := kanon.Anonymize(header, rows, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ctx := range map[string]context.Context{"nil": nil, "background": context.Background()} {
+		got, err := kanon.AnonymizeContext(ctx, header, rows, 3, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Cost != want.Cost || len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%s: result diverged: cost %d vs %d", name, got.Cost, want.Cost)
+		}
+		for i := range got.Rows {
+			for j := range got.Rows[i] {
+				if got.Rows[i][j] != want.Rows[i][j] {
+					t.Fatalf("%s: cell (%d,%d) = %q, want %q", name, i, j, got.Rows[i][j], want.Rows[i][j])
+				}
+			}
+		}
+	}
+}

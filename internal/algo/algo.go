@@ -12,6 +12,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,6 +25,12 @@ import (
 
 // Options tunes the algorithms; the zero value reproduces the paper.
 type Options struct {
+	// Ctx cancels or bounds the run: the hot phases (family
+	// construction, greedy rounds) poll it and abort with an error
+	// wrapping ctx.Err(). Nil means context.Background() — never
+	// cancelled. Cancellation never corrupts state; a cancelled run
+	// simply returns no result.
+	Ctx context.Context
 	// SplitSorted selects the similarity-aware oversize-group split
 	// instead of the paper's arbitrary split (ablation E10).
 	SplitSorted bool
@@ -83,25 +90,29 @@ func GreedyExhaustive(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
+	ctx := opt.ctx()
 	if err := checkInstance(t, k); err != nil {
 		return nil, err
 	}
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
-	mat := buildMatrix(t, opt)
+	mat, err := buildMatrix(t, opt)
+	if err != nil {
+		return nil, err
+	}
 	var st Stats
 
 	opt.Log.PhaseStart("cover")
 	start := time.Now()
 	cs := opt.Trace.Start("algo.cover")
-	family, err := cover.ExhaustiveTraced(mat, k, opt.MaxExhaustiveSets, cs)
+	family, err := cover.ExhaustiveCtx(ctx, mat, k, opt.MaxExhaustiveSets, cs)
 	if err != nil {
 		cs.End()
 		return nil, fmt.Errorf("algo: building exhaustive family: %w", err)
 	}
 	st.FamilySize = len(family)
-	chosen, err := cover.GreedyTraced(t.Len(), family, cs)
+	chosen, err := cover.GreedyCtx(ctx, t.Len(), family, cs)
 	cs.End()
 	if err != nil {
 		return nil, fmt.Errorf("algo: greedy cover: %w", err)
@@ -117,33 +128,36 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
+	ctx := opt.ctx()
 	if err := checkInstance(t, k); err != nil {
 		return nil, err
 	}
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
-	mat := buildMatrix(t, opt)
+	mat, err := buildMatrix(t, opt)
+	if err != nil {
+		return nil, err
+	}
 	var st Stats
 
 	opt.Log.PhaseStart("cover")
 	start := time.Now()
 	cs := opt.Trace.Start("algo.cover")
 	var chosen []cover.Set
-	var err error
 	if opt.MaterializeBalls || opt.TrueDiameterWeights {
 		w := cover.WeightRadiusBound
 		if opt.TrueDiameterWeights {
 			w = cover.WeightTrueDiameter
 		}
 		var family []cover.Set
-		family, err = cover.BallsParallelTraced(mat, k, w, opt.Workers, cs)
+		family, err = cover.BallsCtx(ctx, mat, k, w, opt.Workers, cs)
 		if err == nil {
 			st.FamilySize = len(family)
-			chosen, err = cover.GreedyTraced(t.Len(), family, cs)
+			chosen, err = cover.GreedyCtx(ctx, t.Len(), family, cs)
 		}
 	} else {
-		chosen, err = cover.GreedyBallsParallelTraced(mat, k, opt.Workers, cs)
+		chosen, err = cover.GreedyBallsCtx(ctx, mat, k, opt.Workers, cs)
 	}
 	cs.End()
 	if err != nil {
@@ -157,27 +171,35 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 
 // buildMatrix fills the distance matrix under its phase span, reporting
 // the int16→int32 widening fallback as an anomaly event when it fires.
-func buildMatrix(t *relation.Table, opt *Options) *metric.Matrix {
+// The fill polls the Options context per row, so a cancelled run aborts
+// its O(n²m) phase promptly.
+func buildMatrix(t *relation.Table, opt *Options) (*metric.Matrix, error) {
 	opt.Log.PhaseStart("matrix")
 	var start time.Time
 	if opt.Log.Enabled() {
 		start = time.Now()
 	}
 	ms := opt.Trace.Start("algo.distance-matrix")
-	mat := metric.NewMatrixWorkers(t, opt.Workers)
+	mat, err := metric.NewMatrixCtx(opt.ctx(), t, opt.Workers)
 	ms.End()
+	if err != nil {
+		return nil, fmt.Errorf("algo: distance matrix: %w", err)
+	}
 	if mat.Wide() {
 		opt.Log.Anomaly("matrix_widened", int64(t.Len()))
 	}
 	if opt.Log.Enabled() {
 		opt.Log.PhaseDone("matrix", time.Since(start))
 	}
-	return mat
+	return mat, nil
 }
 
 // finish runs Phase 2 and the suppression step shared by both
 // algorithms.
 func finish(t *relation.Table, mat *metric.Matrix, k int, chosen []cover.Set, opt *Options, st Stats) (*Result, error) {
+	if err := opt.ctx().Err(); err != nil {
+		return nil, fmt.Errorf("algo: %w", err)
+	}
 	st.CoverSets = len(chosen)
 	st.CoverWeight = cover.WeightSum(chosen)
 
@@ -241,6 +263,15 @@ func finish(t *relation.Table, mat *metric.Matrix, k int, chosen []cover.Set, op
 		Cost:       sup.Stars(),
 		Stats:      st,
 	}, nil
+}
+
+// ctx resolves the Options context, treating nil (and a nil receiver)
+// as the never-cancelled background context.
+func (o *Options) ctx() context.Context {
+	if o == nil || o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // checkInstance validates the (t, k) input shared by all algorithms.

@@ -36,7 +36,7 @@ func GreedyBallWeighted(t *relation.Table, k int, w core.Weights, opt *Options) 
 
 	start := time.Now()
 	cs := opt.Trace.Start("algo.cover")
-	chosen, err := cover.GreedyBallsParallelTraced(mat, k, opt.Workers, cs)
+	chosen, err := cover.GreedyBallsCtx(opt.ctx(), mat, k, opt.Workers, cs)
 	cs.End()
 	if err != nil {
 		return nil, fmt.Errorf("algo: weighted greedy ball cover: %w", err)

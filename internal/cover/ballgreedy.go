@@ -2,6 +2,7 @@ package cover
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -42,6 +43,15 @@ func GreedyBallsParallel(mat *metric.Matrix, k, workers int) ([]Set, error) {
 // re-evaluations (cover.balls_considered), and sets picked
 // (cover.sets_picked). Tracing never changes the chosen cover.
 func GreedyBallsParallelTraced(mat *metric.Matrix, k, workers int, sp *obs.Span) ([]Set, error) {
+	return GreedyBallsCtx(context.Background(), mat, k, workers, sp)
+}
+
+// GreedyBallsCtx is GreedyBallsParallelTraced with cancellation: the
+// context is checked once per center during the neighbor-order
+// precompute and once per selection round, so covers over large tables
+// abort promptly when the caller cancels or times out. The returned
+// error wraps ctx.Err().
+func GreedyBallsCtx(ctx context.Context, mat *metric.Matrix, k, workers int, sp *obs.Span) ([]Set, error) {
 	n := mat.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("cover: k = %d < 1", k)
@@ -57,6 +67,9 @@ func GreedyBallsParallelTraced(mat *metric.Matrix, k, workers int, sp *obs.Span)
 	ns := sp.Start("cover.neighbor-order")
 	ord := make([][]int32, n)
 	forEachIndex(n, workers, func(c int) {
+		if ctx.Err() != nil {
+			return // drain remaining centers cheaply; checked below
+		}
 		s := getScratch(n)
 		neighborOrder(mat, c, s)
 		o := make([]int32, n)
@@ -65,6 +78,9 @@ func GreedyBallsParallelTraced(mat *metric.Matrix, k, workers int, sp *obs.Span)
 		ord[c] = o
 	})
 	ns.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cover: neighbor order: %w", err)
+	}
 
 	gs := sp.Start("cover.greedy")
 	defer gs.End()
@@ -120,6 +136,9 @@ func GreedyBallsParallelTraced(mat *metric.Matrix, k, workers int, sp *obs.Span)
 	heap.Init(&pq)
 
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cover: ball greedy: %w", err)
+		}
 		if len(pq) == 0 {
 			return nil, fmt.Errorf("cover: ball family cannot cover %d remaining elements", remaining)
 		}

@@ -17,6 +17,7 @@ package cover
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -53,6 +54,15 @@ func Greedy(n int, sets []Set) ([]Set, error) {
 // Tracing never changes the selection — the chosen cover is identical
 // with and without a span.
 func GreedyTraced(n int, sets []Set, sp *obs.Span) ([]Set, error) {
+	return GreedyCtx(context.Background(), n, sets, sp)
+}
+
+// GreedyCtx is GreedyTraced with cancellation: the context is checked
+// once per selection round, so long covers abort promptly when the
+// caller cancels or times out. The returned error wraps ctx.Err(), so
+// errors.Is(err, context.Canceled) works. Cancellation never corrupts
+// state — the partial cover is simply discarded.
+func GreedyCtx(ctx context.Context, n int, sets []Set, sp *obs.Span) ([]Set, error) {
 	gs := sp.Start("cover.greedy")
 	defer gs.End()
 	rounds := 0
@@ -78,6 +88,9 @@ func GreedyTraced(n int, sets []Set, sp *obs.Span) ([]Set, error) {
 	heap.Init(&pq)
 
 	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cover: greedy: %w", err)
+		}
 		if len(pq) == 0 {
 			return nil, fmt.Errorf("cover: family cannot cover %d remaining elements", remaining)
 		}

@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,6 +23,14 @@ func Exhaustive(mat *metric.Matrix, k, maxSets int) ([]Set, error) {
 // parent span: a "cover.family.exhaustive" span around the enumeration
 // and a cover.sets_generated counter for the candidate sets emitted.
 func ExhaustiveTraced(mat *metric.Matrix, k, maxSets int, sp *obs.Span) ([]Set, error) {
+	return ExhaustiveCtx(context.Background(), mat, k, maxSets, sp)
+}
+
+// ExhaustiveCtx is ExhaustiveTraced with cancellation: the context is
+// polled every 1024 enumerated sets, so the O(|V|^{2k−1}) enumeration
+// aborts promptly when the caller cancels or times out. The returned
+// error wraps ctx.Err().
+func ExhaustiveCtx(ctx context.Context, mat *metric.Matrix, k, maxSets int, sp *obs.Span) ([]Set, error) {
 	fs := sp.Start("cover.family.exhaustive")
 	defer fs.End()
 	n := mat.Len()
@@ -45,11 +54,22 @@ func ExhaustiveTraced(mat *metric.Matrix, k, maxSets int, sp *obs.Span) ([]Set, 
 	sets := make([]Set, 0, int(count))
 	// Depth-first enumeration of combinations with incremental
 	// diameter maintenance: extending a prefix by element e costs
-	// O(|prefix|) distance lookups.
+	// O(|prefix|) distance lookups. Cancellation is polled every 1024
+	// emitted sets and unwinds the recursion via ctxErr.
 	prefix := make([]int, 0, 2*k-1)
+	var ctxErr error
 	var rec func(start, diam int)
 	rec = func(start, diam int) {
+		if ctxErr != nil {
+			return
+		}
 		if len(prefix) >= k {
+			if len(sets)&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					ctxErr = err
+					return
+				}
+			}
 			sets = append(sets, Set{Members: append([]int(nil), prefix...), Weight: diam})
 		}
 		if len(prefix) == 2*k-1 {
@@ -63,6 +83,9 @@ func ExhaustiveTraced(mat *metric.Matrix, k, maxSets int, sp *obs.Span) ([]Set, 
 		}
 	}
 	rec(0, 0)
+	if ctxErr != nil {
+		return nil, fmt.Errorf("cover: exhaustive family: %w", ctxErr)
+	}
 	sp.Counter("cover.sets_generated").Add(int64(len(sets)))
 	return sets, nil
 }
@@ -208,6 +231,14 @@ func BallsParallel(mat *metric.Matrix, k int, w BallWeight, workers int) ([]Set,
 // candidate balls emitted. The family is identical with and without a
 // span.
 func BallsParallelTraced(mat *metric.Matrix, k int, w BallWeight, workers int, sp *obs.Span) ([]Set, error) {
+	return BallsCtx(context.Background(), mat, k, w, workers, sp)
+}
+
+// BallsCtx is BallsParallelTraced with cancellation: the context is
+// checked once per center, so family construction over large tables
+// aborts promptly when the caller cancels or times out. The returned
+// error wraps ctx.Err().
+func BallsCtx(ctx context.Context, mat *metric.Matrix, k int, w BallWeight, workers int, sp *obs.Span) ([]Set, error) {
 	fs := sp.Start("cover.family.balls")
 	defer fs.End()
 	n := mat.Len()
@@ -219,10 +250,16 @@ func BallsParallelTraced(mat *metric.Matrix, k int, w BallWeight, workers int, s
 	}
 	perCenter := make([][]Set, n)
 	forEachIndex(n, workers, func(c int) {
+		if ctx.Err() != nil {
+			return // drain remaining centers cheaply; checked below
+		}
 		s := getScratch(n)
 		perCenter[c] = ballsForCenter(mat, k, w, c, s)
 		putScratch(s)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cover: ball family: %w", err)
+	}
 	sets := mergeCenters(perCenter)
 	sp.Counter("cover.sets_generated").Add(int64(len(sets)))
 	if sp != nil {

@@ -13,6 +13,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -60,6 +61,15 @@ func Solve(t *relation.Table, k int, obj Objective) (*Result, error) {
 // groups costed (exact.groups_costed) and DP states expanded
 // (exact.dp_masks). Tracing never changes the computed optimum.
 func SolveTraced(t *relation.Table, k int, obj Objective, sp *obs.Span) (*Result, error) {
+	return SolveCtx(context.Background(), t, k, obj, sp)
+}
+
+// SolveCtx is SolveTraced with cancellation: the context is polled
+// every 4096 DP states (and every 1024 candidate groups during the
+// cost precompute), so the exponential solve — the NP-hard step a
+// server must be able to bound — aborts promptly when the caller
+// cancels or times out. The returned error wraps ctx.Err().
+func SolveCtx(ctx context.Context, t *relation.Table, k int, obj Objective, sp *obs.Span) (*Result, error) {
 	n := t.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("exact: k = %d < 1", k)
@@ -71,13 +81,13 @@ func SolveTraced(t *relation.Table, k int, obj Objective, sp *obs.Span) (*Result
 		return nil, fmt.Errorf("exact: n = %d exceeds DP limit %d", n, MaxDPRows)
 	}
 	mat := metric.NewMatrix(t)
-	return solveCost(t, k, groupCostFunc(t, mat, obj), sp)
+	return solveCost(ctx, t, k, groupCostFunc(t, mat, obj), sp)
 }
 
 // solveCost is the DP core shared by Solve and SolveWeighted; the
 // caller has validated (t, k) against MaxDPRows already or delegates
 // here directly for the weighted path.
-func solveCost(t *relation.Table, k int, groupCost func([]int) int, sp *obs.Span) (*Result, error) {
+func solveCost(ctx context.Context, t *relation.Table, k int, groupCost func([]int) int, sp *obs.Span) (*Result, error) {
 	ds := sp.Start("exact.dp")
 	defer ds.End()
 	n := t.Len()
@@ -101,9 +111,19 @@ func solveCost(t *relation.Table, k int, groupCost func([]int) int, sp *obs.Span
 	sizeH := sp.Histogram("exact.group_size")
 	{
 		members := make([]int, 0, maxSize)
+		var ctxErr error
 		var gen func(next int)
 		gen = func(next int) {
+			if ctxErr != nil {
+				return
+			}
 			if len(members) >= k {
+				if groupsCosted&1023 == 0 {
+					if err := ctx.Err(); err != nil {
+						ctxErr = err
+						return
+					}
+				}
 				cost[subsetMask(members)] = int32(groupCost(members))
 				groupsCosted++
 				sizeH.Observe(int64(len(members)))
@@ -118,6 +138,9 @@ func solveCost(t *relation.Table, k int, groupCost func([]int) int, sp *obs.Span
 			}
 		}
 		gen(0)
+		if ctxErr != nil {
+			return nil, fmt.Errorf("exact: costing groups: %w", ctxErr)
+		}
 	}
 
 	const inf = math.MaxInt32
@@ -134,6 +157,11 @@ func solveCost(t *relation.Table, k int, groupCost func([]int) int, sp *obs.Span
 	var scratch [32]int
 	masksExpanded := 0
 	for mask := 1; mask < size; mask++ {
+		if mask&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("exact: dp: %w", err)
+			}
+		}
 		if bits.OnesCount(uint(mask)) < k {
 			continue
 		}
@@ -244,8 +272,14 @@ func SolveWeighted(t *relation.Table, k int, w core.Weights) (*Result, error) {
 // SolveWeightedTraced is SolveWeighted with instrumentation under the
 // given parent span (see SolveTraced).
 func SolveWeightedTraced(t *relation.Table, k int, w core.Weights, sp *obs.Span) (*Result, error) {
+	return SolveWeightedCtx(context.Background(), t, k, w, sp)
+}
+
+// SolveWeightedCtx is SolveWeightedTraced with cancellation (see
+// SolveCtx for the polling granularity).
+func SolveWeightedCtx(ctx context.Context, t *relation.Table, k int, w core.Weights, sp *obs.Span) (*Result, error) {
 	if err := w.Validate(t.Degree()); err != nil {
 		return nil, fmt.Errorf("exact: %w", err)
 	}
-	return solveCost(t, k, func(g []int) int { return core.AnonWeighted(t, g, w) }, sp)
+	return solveCost(ctx, t, k, func(g []int) int { return core.AnonWeighted(t, g, w) }, sp)
 }

@@ -9,6 +9,7 @@
 package metric
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -146,6 +147,17 @@ func NewMatrix(t *relation.Table) *Matrix {
 // negative) means runtime.NumCPU(), 1 forces the sequential fill. The
 // output is byte-identical for every worker count.
 func NewMatrixWorkers(t *relation.Table, workers int) *Matrix {
+	m, _ := NewMatrixCtx(context.Background(), t, workers)
+	return m
+}
+
+// NewMatrixCtx is NewMatrixWorkers with cancellation: the fill polls
+// ctx once per row (cheap next to a row's O(n·m) distance work), so an
+// O(n²m) fill on a large table aborts promptly instead of running to
+// completion after its caller gave up. A non-nil error wraps ctx.Err();
+// the partially filled matrix is not returned. The output is
+// byte-identical for every worker count and unaffected by ctx.
+func NewMatrixCtx(ctx context.Context, t *relation.Table, workers int) (*Matrix, error) {
 	n := t.Len()
 	m := &Matrix{n: n}
 	// The Hamming distance is bounded by the degree; tables wider than
@@ -157,9 +169,12 @@ func NewMatrixWorkers(t *relation.Table, workers int) *Matrix {
 		m.d = make([]int16, n*n)
 	}
 	var sharedMax atomic.Int64
-	fill := func(lo, hi int) {
+	fill := func(lo, hi int) error {
 		localMax := 0
 		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			ri := t.Row(i)
 			for j := i + 1; j < n; j++ {
 				d := Distance(ri, t.Row(j))
@@ -178,7 +193,7 @@ func NewMatrixWorkers(t *relation.Table, workers int) *Matrix {
 		for {
 			cur := sharedMax.Load()
 			if int64(localMax) <= cur || sharedMax.CompareAndSwap(cur, int64(localMax)) {
-				return
+				return nil
 			}
 		}
 	}
@@ -189,25 +204,36 @@ func NewMatrixWorkers(t *relation.Table, workers int) *Matrix {
 		workers = n
 	}
 	if workers <= 1 || n < parallelThreshold {
-		fill(0, n)
+		if err := fill(0, n); err != nil {
+			return nil, fmt.Errorf("metric: distance matrix: %w", err)
+		}
 		m.maxD = int(sharedMax.Load())
-		return m
+		return m, nil
 	}
 	var wg sync.WaitGroup
 	// Row i costs ~(n−i) pairs; interleave rows across workers so the
-	// load balances without a work queue.
+	// load balances without a work queue. Workers observe cancellation
+	// independently; first error wins.
+	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < n; i += workers {
-				fill(i, i+1)
+				if errs[w] = fill(i, i+1); errs[w] != nil {
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("metric: distance matrix: %w", err)
+		}
+	}
 	m.maxD = int(sharedMax.Load())
-	return m
+	return m, nil
 }
 
 // Len reports the number of rows the matrix covers.

@@ -1,6 +1,8 @@
 package metric
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -361,6 +363,37 @@ func TestNewMatrixWorkersDeterministic(t *testing.T) {
 		}
 		if m.MaxDist() != ref.MaxDist() {
 			t.Fatalf("workers=%d: MaxDist = %d, want %d", workers, m.MaxDist(), ref.MaxDist())
+		}
+	}
+}
+
+// TestMatrixCtx pins the cancellable fill: a live context produces the
+// same matrix as the plain constructors, a pre-cancelled one aborts
+// with a wrapped ctx error at both worker counts.
+func TestMatrixCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := randomTable(rng, parallelThreshold+10, 4, 3)
+	want := NewMatrix(tab)
+	got, err := NewMatrixCtx(context.Background(), tab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tab.Len(); i++ {
+		for j := 0; j < tab.Len(); j++ {
+			if got.Dist(i, j) != want.Dist(i, j) {
+				t.Fatalf("Dist(%d,%d) = %d, want %d", i, j, got.Dist(i, j), want.Dist(i, j))
+			}
+		}
+	}
+	if got.MaxDist() != want.MaxDist() {
+		t.Fatalf("MaxDist = %d, want %d", got.MaxDist(), want.MaxDist())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := NewMatrixCtx(ctx, tab, workers); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
 		}
 	}
 }

@@ -24,6 +24,7 @@
 package pattern
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -67,6 +68,14 @@ func Anonymize(t *relation.Table, k int) (*Result, error) {
 // the cover package, and counters for patterns enumerated and candidate
 // sets generated. Tracing never changes the result.
 func AnonymizeTraced(t *relation.Table, k int, sp *obs.Span) (*Result, error) {
+	return AnonymizeCtx(context.Background(), t, k, sp)
+}
+
+// AnonymizeCtx is AnonymizeTraced with cancellation: the context is
+// checked once per enumerated pattern (each pattern costs an O(n) bucket
+// pass) and per greedy round via the cover package, so the 2^m
+// enumeration aborts promptly when the caller cancels or times out.
+func AnonymizeCtx(ctx context.Context, t *relation.Table, k int, sp *obs.Span) (*Result, error) {
 	n, m := t.Len(), t.Degree()
 	if k < 1 {
 		return nil, fmt.Errorf("pattern: k = %d < 1", k)
@@ -81,6 +90,9 @@ func AnonymizeTraced(t *relation.Table, k int, sp *obs.Span) (*Result, error) {
 	fs := sp.Start("pattern.family")
 	var family []cover.Set
 	for pat := 0; pat < 1<<uint(m); pat++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pattern: family: %w", err)
+		}
 		starCols := m - bits.OnesCount(uint(pat))
 		buckets := map[string][]int{}
 		var order []string
@@ -105,7 +117,7 @@ func AnonymizeTraced(t *relation.Table, k int, sp *obs.Span) (*Result, error) {
 	sp.Counter("pattern.patterns_enumerated").Add(int64(1) << uint(m))
 	sp.Counter("pattern.sets_generated").Add(int64(len(family)))
 
-	chosen, err := cover.GreedyTraced(n, family, sp)
+	chosen, err := cover.GreedyCtx(ctx, n, family, sp)
 	if err != nil {
 		return nil, fmt.Errorf("pattern: %w", err)
 	}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"bytes"
+	"net/url"
+	"testing"
+
+	"kanon/internal/relation"
+)
+
+// FuzzJobRequest drives the server's two untrusted-input decoders — the
+// query-string job request and the CSV body — with arbitrary bytes. The
+// invariants: neither may panic; an accepted request satisfies its own
+// validation rules; an accepted CSV parses into a rectangular table
+// that round-trips through the shared codec.
+func FuzzJobRequest(f *testing.F) {
+	f.Add("k=2", []byte("a,b\n1,2\n3,4\n"))
+	f.Add("k=3&algo=exact&workers=2&timeout=5s", []byte("x\n*\n*\n*\n"))
+	f.Add("k=2&block=10&refine=true", []byte("a,b\n\"q,u\",v\n1,2\n"))
+	f.Add("k=-1&seed=⁂", []byte(",,,\n"))
+	f.Add("", []byte{})
+	f.Add("k=2&k=3", []byte("h\n\xff\xfe\n"))
+	f.Fuzz(func(t *testing.T, query string, body []byte) {
+		q, err := url.ParseQuery(query)
+		if err == nil {
+			req, err := ParseJobRequest(q)
+			if err == nil {
+				if req.K < 1 {
+					t.Fatalf("accepted request with k = %d", req.K)
+				}
+				if req.Workers < 0 || req.BlockRows < 0 || req.Timeout < 0 {
+					t.Fatalf("accepted negative knobs: %+v", req)
+				}
+				// validateInstance must decide, never panic, for any
+				// accepted request.
+				_ = validateInstance(req, 10)
+			}
+		}
+
+		header, rows, err := relation.ReadCSVRows(bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		if len(header) == 0 || len(rows) == 0 {
+			t.Fatalf("accepted degenerate table: header %d, rows %d", len(header), len(rows))
+		}
+		for i, r := range rows {
+			if len(r) != len(header) {
+				t.Fatalf("row %d has %d fields, header has %d", i, len(r), len(header))
+			}
+		}
+		var buf bytes.Buffer
+		if err := relation.WriteCSVRows(&buf, header, rows); err != nil {
+			t.Fatalf("accepted table does not re-encode: %v", err)
+		}
+		h2, r2, err := relation.ReadCSVRows(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded table does not parse: %v", err)
+		}
+		if len(h2) != len(header) || len(r2) != len(rows) {
+			t.Fatalf("round trip changed shape: %dx%d → %dx%d", len(rows), len(header), len(r2), len(h2))
+		}
+	})
+}

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"kanon"
+	"kanon/internal/exact"
+)
+
+// State is a job's position in its lifecycle. Transitions are strictly
+// forward: queued → running → one of the three terminal states, or
+// queued → canceled directly when a job is cancelled before a worker
+// claims it. DESIGN.md maps each state to the obs instruments that
+// observe it.
+type State string
+
+const (
+	// StateQueued means the job is admitted and waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning means a worker is executing the job.
+	StateRunning State = "running"
+	// StateSucceeded means the job finished and its result is
+	// retrievable until the result TTL expires.
+	StateSucceeded State = "succeeded"
+	// StateFailed means the job returned an error (bad instance,
+	// deadline exceeded); the error text is in the status.
+	StateFailed State = "failed"
+	// StateCanceled means the job was cancelled by DELETE or by server
+	// shutdown before it could finish.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final (the job holds a result
+// or error and its TTL clock is running).
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// JobRequest is the validated parameter set of one submission — the
+// query-string knobs of POST /v1/jobs, mirroring cmd/kanon's flags.
+type JobRequest struct {
+	// K is the anonymity parameter (required, ≥ 1).
+	K int
+	// Algorithm is the strategy to run (default AlgoGreedyBall).
+	Algorithm kanon.Algorithm
+	// Workers bounds the per-job parallel hot paths (0 = all CPUs).
+	Workers int
+	// BlockRows > 0 streams the table in blocks of this many rows.
+	BlockRows int
+	// Refine post-optimizes with cost-direct local search.
+	Refine bool
+	// Seed feeds AlgoRandom's shuffle.
+	Seed int64
+	// Timeout bounds the job's run time; 0 means the server default,
+	// and requests are clamped to the server default as a ceiling.
+	Timeout time.Duration
+	// Trace collects the phase-span tree into the job's status.
+	Trace bool
+}
+
+// ParseJobRequest validates the query parameters of a submission:
+// k (required), algo, workers, block, refine, seed, timeout, trace.
+// Unknown parameters are rejected so typos fail loudly instead of
+// silently running with defaults.
+func ParseJobRequest(q url.Values) (JobRequest, error) {
+	req := JobRequest{Algorithm: kanon.AlgoGreedyBall}
+	for key := range q {
+		switch key {
+		case "k", "algo", "workers", "block", "refine", "seed", "timeout", "trace":
+		default:
+			return req, fmt.Errorf("unknown parameter %q", key)
+		}
+	}
+	if !q.Has("k") {
+		return req, fmt.Errorf("missing required parameter k")
+	}
+	k, err := strconv.Atoi(q.Get("k"))
+	if err != nil || k < 1 {
+		return req, fmt.Errorf("k must be a positive integer, got %q", q.Get("k"))
+	}
+	req.K = k
+	if v := q.Get("algo"); v != "" {
+		a, err := kanon.ParseAlgorithm(v)
+		if err != nil {
+			return req, err
+		}
+		req.Algorithm = a
+	}
+	if v := q.Get("workers"); v != "" {
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return req, fmt.Errorf("workers must be a nonnegative integer, got %q", v)
+		}
+		req.Workers = w
+	}
+	if v := q.Get("block"); v != "" {
+		b, err := strconv.Atoi(v)
+		if err != nil || b < 0 {
+			return req, fmt.Errorf("block must be a nonnegative integer, got %q", v)
+		}
+		req.BlockRows = b
+	}
+	if v := q.Get("refine"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return req, fmt.Errorf("refine must be a boolean, got %q", v)
+		}
+		req.Refine = b
+	}
+	if v := q.Get("seed"); v != "" {
+		s, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return req, fmt.Errorf("seed must be an integer, got %q", v)
+		}
+		req.Seed = s
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return req, fmt.Errorf("timeout must be a positive duration, got %q", v)
+		}
+		req.Timeout = d
+	}
+	if v := q.Get("trace"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return req, fmt.Errorf("trace must be a boolean, got %q", v)
+		}
+		req.Trace = b
+	}
+	return req, nil
+}
+
+// validateInstance rejects work the compute layer is guaranteed to
+// refuse, so infeasible jobs never occupy a queue slot.
+func validateInstance(req JobRequest, rows int) error {
+	if rows < req.K {
+		return fmt.Errorf("table has %d rows, fewer than k = %d", rows, req.K)
+	}
+	if req.BlockRows > 0 && req.Algorithm != kanon.AlgoGreedyBall {
+		return fmt.Errorf("block streaming supports only algo=ball, got %s", req.Algorithm)
+	}
+	if req.Algorithm == kanon.AlgoExact && rows > exact.MaxDPRows {
+		return fmt.Errorf("exact solver is limited to %d rows (got %d); use a greedy algorithm",
+			exact.MaxDPRows, rows)
+	}
+	return nil
+}
+
+// Job is one admitted anonymization request moving through the queue.
+// The input table and request are immutable after Submit; the lifecycle
+// fields are guarded by mu.
+type Job struct {
+	// ID is the job's run identifier — the handle of the HTTP API and
+	// the run_id label on every log event the job emits.
+	ID string
+	// Req is the validated request.
+	Req JobRequest
+
+	header []string
+	rows   [][]string
+
+	mu        sync.Mutex
+	state     State
+	err       error
+	result    *kanon.Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	expires   time.Time
+	cancel    func() // non-nil once running; cancels the job's context
+	done      chan struct{}
+}
+
+// Status is the JSON view of a job served by GET /v1/jobs/{id} and
+// returned by POST and DELETE.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	K     int    `json:"k"`
+	Algo  string `json:"algo"`
+	Rows  int    `json:"rows"`
+	Cols  int    `json:"cols"`
+	// Cost is the suppression objective; present once succeeded.
+	Cost *int `json:"cost,omitempty"`
+	// Error is the failure or cancellation reason, if terminal and not
+	// succeeded.
+	Error       string       `json:"error,omitempty"`
+	SubmittedAt time.Time    `json:"submitted_at"`
+	StartedAt   *time.Time   `json:"started_at,omitempty"`
+	FinishedAt  *time.Time   `json:"finished_at,omitempty"`
+	QueueWaitMS int64        `json:"queue_wait_ms"`
+	DurationMS  int64        `json:"duration_ms,omitempty"`
+	Stats       *kanon.Stats `json:"stats,omitempty"`
+}
+
+// Status snapshots the job's lifecycle under its lock.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.ID,
+		State:       j.state,
+		K:           j.Req.K,
+		Algo:        j.Req.Algorithm.String(),
+		Rows:        len(j.rows),
+		Cols:        len(j.header),
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+		st.QueueWaitMS = j.started.Sub(j.submitted).Milliseconds()
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+		if !j.started.IsZero() {
+			st.DurationMS = j.finished.Sub(j.started).Milliseconds()
+		}
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.result != nil {
+		c := j.result.Cost
+		st.Cost = &c
+		st.Stats = j.result.Stats
+	}
+	return st
+}
+
+// Result returns the completed result, or false if the job is not in
+// StateSucceeded.
+func (j *Job) Result() (*kanon.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateSucceeded {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }

@@ -1,0 +1,479 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"runtime"
+	"sync"
+	"time"
+
+	"kanon"
+	"kanon/internal/core"
+	"kanon/internal/obs"
+	"kanon/internal/relation"
+	"kanon/internal/stream"
+)
+
+// Config tunes the job manager and HTTP server. The zero value is
+// usable: every field has a production-shaped default.
+type Config struct {
+	// QueueCapacity bounds the FIFO admission queue; submissions beyond
+	// it are rejected with ErrQueueFull (HTTP 429). Default 64.
+	QueueCapacity int
+	// Workers is how many jobs run concurrently. Default half the CPUs
+	// (each job may itself parallelize via its Workers knob).
+	Workers int
+	// JobTimeout is the per-job deadline, and the ceiling for
+	// client-requested timeouts. Default 5m.
+	JobTimeout time.Duration
+	// ResultTTL is how long a terminal job (result or error) stays
+	// retrievable before the janitor evicts it. Default 15m.
+	ResultTTL time.Duration
+	// MaxBodyBytes bounds the CSV request body. Default 32 MiB.
+	MaxBodyBytes int64
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// Log receives structured job lifecycle events (with each job's ID
+	// as run_id); nil is silent.
+	Log *slog.Logger
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = max(1, runtime.NumCPU()/2)
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 15 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Admission-control errors, surfaced by Submit and mapped to HTTP
+// status codes by the handlers.
+var (
+	// ErrQueueFull means the bounded queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining means the server is shutting down and no longer
+	// admits work (HTTP 503).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Manager owns the job queue, the worker pool, the in-memory result
+// store, and the server-wide telemetry registry. It is safe for
+// concurrent use.
+type Manager struct {
+	cfg Config
+	tr  *obs.Tracer
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queue    chan *Job
+	draining bool
+
+	workerWG    sync.WaitGroup
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	// Hoisted instruments (obs lookup takes the registry lock).
+	qDepth    *obs.Gauge
+	running   *obs.Gauge
+	submitted *obs.Counter
+	succeeded *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+	rejected  *obs.Counter
+	expired   *obs.Counter
+	queueWait *obs.Histogram
+	jobDur    *obs.Histogram
+	jobCost   *obs.Histogram
+}
+
+// NewManager starts the worker pool and the TTL janitor. Call Shutdown
+// to stop them.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := obs.New()
+	m := &Manager{
+		cfg:         cfg,
+		tr:          tr,
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		jobs:        make(map[string]*Job),
+		queue:       make(chan *Job, cfg.QueueCapacity),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+		qDepth:      tr.Gauge("server.queue_depth"),
+		running:     tr.Gauge("server.jobs_running"),
+		submitted:   tr.Counter("server.jobs_submitted"),
+		succeeded:   tr.Counter("server.jobs_succeeded"),
+		failed:      tr.Counter("server.jobs_failed"),
+		canceled:    tr.Counter("server.jobs_canceled"),
+		rejected:    tr.Counter("server.jobs_rejected"),
+		expired:     tr.Counter("server.jobs_expired"),
+		queueWait:   tr.Histogram("server.queue_wait_ns"),
+		jobDur:      tr.Histogram("server.job_duration_ns"),
+		jobCost:     tr.Histogram("server.job_cost"),
+	}
+	tr.Gauge("server.workers").Set(int64(cfg.Workers))
+	for i := 0; i < cfg.Workers; i++ {
+		m.workerWG.Add(1)
+		go m.worker()
+	}
+	go m.janitor()
+	return m
+}
+
+// Snapshot freezes the server-wide telemetry registry — the /metrics
+// and /debug/obs source.
+func (m *Manager) Snapshot() *obs.Snapshot { return m.tr.Snapshot() }
+
+// Submit admits a job: it validates the instance, then either enqueues
+// it (FIFO) or rejects it with ErrQueueFull / ErrDraining. The input
+// slices are retained; callers must not mutate them afterwards.
+func (m *Manager) Submit(header []string, rows [][]string, req JobRequest) (*Job, error) {
+	if err := validateInstance(req, len(rows)); err != nil {
+		return nil, err
+	}
+	job := &Job{
+		ID:        obs.NewRunID(),
+		Req:       req,
+		header:    header,
+		rows:      rows,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.rejected.Inc()
+		return nil, ErrDraining
+	}
+	select {
+	case m.queue <- job:
+		m.jobs[job.ID] = job
+	default:
+		m.mu.Unlock()
+		m.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+	m.mu.Unlock()
+	m.qDepth.Add(1)
+	m.submitted.Inc()
+	m.log(job, slog.LevelInfo, "job_queued",
+		slog.Int("k", req.K), slog.String("algo", req.Algorithm.String()),
+		slog.Int("rows", len(rows)), slog.Int("cols", len(header)))
+	return job, nil
+}
+
+// Get returns the job with the given ID, if it is still stored.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job. A queued job transitions to
+// canceled immediately (its queue slot is discarded when a worker
+// reaches it); a running job has its context cancelled and transitions
+// once the compute layer unwinds — promptly, because every algorithm
+// polls its context. Terminal jobs are unaffected. The second return
+// is false if the ID is unknown.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		j.expires = j.finished.Add(m.cfg.ResultTTL)
+		close(j.done)
+		j.mu.Unlock()
+		m.canceled.Inc()
+		m.log(j, slog.LevelInfo, "job_canceled", slog.String("while", "queued"))
+	case StateRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel()
+		m.log(j, slog.LevelInfo, "job_cancel_requested", slog.String("while", "running"))
+	default:
+		j.mu.Unlock()
+	}
+	return j, true
+}
+
+// worker claims queued jobs until the queue is closed and drained.
+func (m *Manager) worker() {
+	defer m.workerWG.Done()
+	for job := range m.queue {
+		m.qDepth.Add(-1)
+		m.runJob(job)
+	}
+}
+
+// runJob executes one job end to end: state transition, context with
+// deadline, the anonymization itself, and terminal bookkeeping.
+func (m *Manager) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while waiting
+		job.mu.Unlock()
+		return
+	}
+	timeout := m.cfg.JobTimeout
+	if job.Req.Timeout > 0 && job.Req.Timeout < timeout {
+		timeout = job.Req.Timeout
+	}
+	ctx, cancel := context.WithTimeout(m.baseCtx, timeout)
+	defer cancel()
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	wait := job.started.Sub(job.submitted)
+	job.mu.Unlock()
+
+	m.running.Add(1)
+	m.queueWait.ObserveDuration(wait)
+	m.log(job, slog.LevelInfo, "job_started", slog.Duration("queue_wait", wait))
+
+	res, err := m.execute(ctx, job)
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.expires = job.finished.Add(m.cfg.ResultTTL)
+	dur := job.finished.Sub(job.started)
+	switch {
+	case err == nil:
+		job.state = StateSucceeded
+		job.result = res
+	case errors.Is(err, context.Canceled):
+		job.state = StateCanceled
+		job.err = err
+	default:
+		// Deadline exhaustion and instance errors both land here; the
+		// error text tells them apart.
+		job.state = StateFailed
+		job.err = err
+	}
+	state := job.state
+	close(job.done)
+	job.mu.Unlock()
+
+	m.running.Add(-1)
+	m.jobDur.ObserveDuration(dur)
+	switch state {
+	case StateSucceeded:
+		m.succeeded.Inc()
+		m.jobCost.Observe(int64(res.Cost))
+		m.log(job, slog.LevelInfo, "job_done", slog.Int("cost", res.Cost), slog.Duration("wall", dur))
+	case StateCanceled:
+		m.canceled.Inc()
+		m.log(job, slog.LevelInfo, "job_canceled", slog.String("while", "running"), slog.Duration("wall", dur))
+	default:
+		m.failed.Inc()
+		m.log(job, slog.LevelWarn, "job_failed", slog.String("error", err.Error()), slog.Duration("wall", dur))
+	}
+}
+
+// execute runs the job's anonymization under ctx: the facade for
+// whole-table jobs, the bounded-memory stream pipeline for block jobs.
+func (m *Manager) execute(ctx context.Context, job *Job) (*kanon.Result, error) {
+	req := job.Req
+	if req.BlockRows > 0 {
+		return streamResult(ctx, job)
+	}
+	return kanon.AnonymizeContext(ctx, job.header, job.rows, req.K, &kanon.Options{
+		Algorithm: req.Algorithm,
+		Seed:      req.Seed,
+		Refine:    req.Refine,
+		Workers:   req.Workers,
+		Trace:     req.Trace,
+		Log:       m.cfg.Log,
+	})
+}
+
+// streamResult mirrors cmd/kanon's block path: anonymize in bounded
+// blocks and adapt the stream result to the facade's Result shape.
+func streamResult(ctx context.Context, job *Job) (*kanon.Result, error) {
+	t := relation.NewTable(relation.NewSchema(job.header...))
+	for _, r := range job.rows {
+		if err := t.AppendStrings(r...); err != nil {
+			return nil, err
+		}
+	}
+	sr, err := stream.Anonymize(t, job.Req.K, &stream.Options{
+		Ctx:       ctx,
+		BlockRows: job.Req.BlockRows,
+		Refine:    job.Req.Refine,
+		Workers:   job.Req.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, sr.Anonymized.Len())
+	for i := range out {
+		out[i] = sr.Anonymized.Strings(i)
+	}
+	groups := core.FromAnonymized(sr.Anonymized)
+	groups.Normalize()
+	return &kanon.Result{
+		K:      job.Req.K,
+		Header: append([]string(nil), job.header...),
+		Rows:   out,
+		Groups: groups.Groups,
+		Cost:   sr.Cost,
+	}, nil
+}
+
+// janitor evicts terminal jobs whose result TTL has expired.
+func (m *Manager) janitor() {
+	defer close(m.janitorDone)
+	interval := m.cfg.ResultTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case now := <-tick.C:
+			m.evictExpired(now)
+		}
+	}
+}
+
+// evictExpired removes terminal jobs past their expiry.
+func (m *Manager) evictExpired(now time.Time) {
+	m.mu.Lock()
+	var evicted []*Job
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		gone := j.state.Terminal() && !j.expires.IsZero() && now.After(j.expires)
+		j.mu.Unlock()
+		if gone {
+			delete(m.jobs, id)
+			evicted = append(evicted, j)
+		}
+	}
+	m.mu.Unlock()
+	for _, j := range evicted {
+		m.expired.Inc()
+		m.log(j, slog.LevelDebug, "job_expired")
+	}
+}
+
+// Shutdown stops admission, drains queued and running jobs until ctx
+// expires, then cancels whatever is left and waits for the workers to
+// exit. It returns ctx.Err() if the deadline forced cancellation, nil
+// on a clean drain. Safe to call more than once.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	first := !m.draining
+	if first {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		m.workerWG.Wait()
+		close(workersDone)
+	}()
+	var err error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		// Deadline: cancel the base context — running jobs abort at
+		// their next context poll, and still-queued jobs are claimed
+		// and immediately fail their (already cancelled) context.
+		m.baseCancel()
+		<-workersDone
+		err = ctx.Err()
+	}
+	m.finalizeQueued()
+	if first {
+		close(m.janitorStop)
+	}
+	<-m.janitorDone
+	m.baseCancel()
+	return err
+}
+
+// finalizeQueued marks any job still queued after the workers exited
+// (possible when shutdown cancels the base context) as canceled, so no
+// job is left in a non-terminal state.
+func (m *Manager) finalizeQueued() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateCanceled
+			j.err = context.Canceled
+			j.finished = time.Now()
+			j.expires = j.finished.Add(m.cfg.ResultTTL)
+			close(j.done)
+			m.canceled.Inc()
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Draining reports whether the manager has stopped admitting jobs.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// JobCounts returns the number of stored jobs and how many of them are
+// queued or running — the /healthz payload.
+func (m *Manager) JobCounts() (total, active int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			active++
+		}
+		j.mu.Unlock()
+	}
+	return len(m.jobs), active
+}
+
+// log emits one job lifecycle event with the job ID as run_id.
+func (m *Manager) log(j *Job, level slog.Level, msg string, attrs ...slog.Attr) {
+	if m.cfg.Log == nil {
+		return
+	}
+	attrs = append([]slog.Attr{slog.String("run_id", j.ID)}, attrs...)
+	m.cfg.Log.LogAttrs(context.Background(), level, msg, attrs...)
+}

@@ -1,0 +1,178 @@
+// Package server exposes the kanon pipeline as a long-running HTTP
+// service: a bounded job queue with admission control, a worker pool
+// running the anonymization algorithms under per-job deadlines, an
+// in-memory result store with TTL eviction, and graceful shutdown.
+//
+// The HTTP surface:
+//
+//	POST   /v1/jobs            submit a CSV body with ?k=...&algo=... → 202 + job status
+//	GET    /v1/jobs/{id}        job status JSON
+//	GET    /v1/jobs/{id}/result anonymized CSV once succeeded
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness + drain state
+//	GET    /metrics             Prometheus text (via internal/obs)
+//	/debug/pprof, /debug/vars, /debug/obs (via internal/obs)
+//
+// Results are byte-identical to `kanon` CLI runs with the same input,
+// parameters, and seed: the service bounds and observes the NP-hard
+// compute, it never alters it.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"kanon/internal/obs"
+	"kanon/internal/relation"
+)
+
+// Server is the HTTP front end of a Manager.
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// New builds a Server (and its Manager) from cfg. The returned server
+// handles the /v1 job API plus the obs debug/metrics surface. Call
+// Shutdown to stop it.
+func New(cfg Config) *Server {
+	m := NewManager(cfg)
+	s := &Server{m: m}
+	// The obs mux brings /metrics, /debug/pprof, /debug/vars, and
+	// /debug/obs, all reading the manager's live telemetry registry.
+	mux := obs.DebugMux(m.Snapshot)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Manager returns the server's job manager, for direct submission and
+// inspection (tests, embedding).
+func (s *Server) Manager() *Manager { return s.m }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown delegates to the manager: stop admission, drain until ctx
+// expires, cancel the rest.
+func (s *Server) Shutdown(ctx context.Context) error { return s.m.Shutdown(ctx) }
+
+// handleSubmit ingests a CSV body and admits a job.
+//
+// Error mapping: oversized body → 413; malformed query/CSV/instance →
+// 400; queue full → 429 with Retry-After; draining → 503.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := ParseJobRequest(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.m.cfg.MaxBodyBytes)
+	header, rows, err := relation.ReadCSVRows(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.m.Submit(header, rows, req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(max(1, s.m.cfg.RetryAfter.Seconds()))))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleStatus serves a job's lifecycle snapshot.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleResult streams the anonymized CSV of a succeeded job. A job in
+// any other state answers 409 with its status, so pollers can
+// distinguish "not yet" from "never".
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	res, ok := job.Result()
+	if !ok {
+		writeJSON(w, http.StatusConflict, job.Status())
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	// Write errors past this point mean the client went away; there is
+	// nothing useful to do with them.
+	_ = relation.WriteCSVRows(w, res.Header, res.Rows)
+}
+
+// handleCancel requests cancellation and answers with the job's
+// (possibly still running) status.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleHealthz reports liveness: 200 while admitting, 503 once
+// draining, either way with the current job counts.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	total, active := s.m.JobCounts()
+	code := http.StatusOK
+	status := "ok"
+	if s.m.Draining() {
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	}
+	writeJSON(w, code, map[string]any{
+		"status": status,
+		"jobs":   total,
+		"active": active,
+	})
+}
+
+var errUnknownJob = errors.New("unknown job id")
+
+// writeJSON encodes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError answers a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,445 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kanon"
+	"kanon/internal/obs"
+	"kanon/internal/relation"
+)
+
+const sampleCSV = "age,zip,dx\n34,15213,flu\n36,15213,flu\n34,15217,cold\n47,15217,cold\n"
+
+// slowCSV is an instance the exact solver chews on for seconds: 22
+// pairwise-distinct rows make the 2^22-mask DP the dominant cost, while
+// its every-4096-masks context poll keeps cancellation prompt.
+func slowCSV() string {
+	var b strings.Builder
+	b.WriteString("a,b,c,d\n")
+	for i := 0; i < 22; i++ {
+		fmt.Fprintf(&b, "v%d,w%d,x%d,y%d\n", i, i*3, i*7, i*11)
+	}
+	return b.String()
+}
+
+// newTestServer builds a server with test-friendly defaults and
+// registers cleanup that force-drains it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = time.Minute
+	}
+	if cfg.ResultTTL == 0 {
+		cfg.ResultTTL = time.Minute
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		ts.Close()
+	})
+	return s, ts
+}
+
+// submit POSTs a CSV body and decodes the response status.
+func submit(t *testing.T, ts *httptest.Server, query, body string) (Status, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs?"+query, "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding submit response: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return st, resp
+}
+
+// pollUntil polls the job's status until pred or the deadline.
+func pollUntil(t *testing.T, ts *httptest.Server, id string, timeout time.Duration, pred func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not reach wanted state in %v; last: %+v", id, timeout, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestE2EResultMatchesCLI pins the tentpole acceptance criterion: for
+// the same input, algorithm, and seed, the service's result bytes equal
+// what the library (and hence the kanon CLI) produces directly.
+func TestE2EResultMatchesCLI(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for _, tc := range []struct {
+		query string
+		opts  kanon.Options
+	}{
+		{"k=2", kanon.Options{}},
+		{"k=2&algo=exhaustive", kanon.Options{Algorithm: kanon.AlgoGreedyExhaustive}},
+		{"k=2&algo=random&seed=7&refine=true", kanon.Options{Algorithm: kanon.AlgoRandom, Seed: 7, Refine: true}},
+		{"k=2&algo=exact", kanon.Options{Algorithm: kanon.AlgoExact}},
+	} {
+		st, resp := submit(t, ts, tc.query, sampleCSV)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("%s: submit status %d", tc.query, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+st.ID {
+			t.Errorf("%s: Location = %q", tc.query, loc)
+		}
+		done := pollUntil(t, ts, st.ID, 10*time.Second, func(s Status) bool { return s.State.Terminal() })
+		if done.State != StateSucceeded {
+			t.Fatalf("%s: state %s, error %q", tc.query, done.State, done.Error)
+		}
+
+		rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(rr.Body)
+		rr.Body.Close()
+		if rr.StatusCode != http.StatusOK {
+			t.Fatalf("%s: result status %d: %s", tc.query, rr.StatusCode, got)
+		}
+		if ct := rr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+			t.Errorf("%s: result Content-Type = %q", tc.query, ct)
+		}
+
+		header, rows, err := relation.ReadCSVRows(strings.NewReader(sampleCSV))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := tc.opts
+		res, err := kanon.Anonymize(header, rows, 2, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := relation.WriteCSVRows(&want, res.Header, res.Rows); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("%s: service bytes differ from direct run:\nservice:\n%s\ndirect:\n%s", tc.query, got, want.Bytes())
+		}
+		if done.Cost == nil || *done.Cost != res.Cost {
+			t.Errorf("%s: status cost = %v, want %d", tc.query, done.Cost, res.Cost)
+		}
+	}
+}
+
+// TestE2EBlockStreaming pins the block path against the CLI's stream
+// pipeline adapter.
+func TestE2EBlockStreaming(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var b strings.Builder
+	b.WriteString("a,b\n")
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "%c,%c\n", 'a'+i%4, 'p'+i%3)
+	}
+	st, resp := submit(t, ts, "k=2&block=10", b.String())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	done := pollUntil(t, ts, st.ID, 10*time.Second, func(s Status) bool { return s.State.Terminal() })
+	if done.State != StateSucceeded {
+		t.Fatalf("state %s, error %q", done.State, done.Error)
+	}
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	header, rows, err := relation.ReadCSVRows(bytes.NewReader(got))
+	if err != nil {
+		t.Fatalf("result does not parse: %v", err)
+	}
+	ok, err := kanon.Verify(header, rows, 2)
+	if err != nil || !ok {
+		t.Fatalf("streamed result not 2-anonymous (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestQueueFull429 fills the single worker and the one queue slot, then
+// expects admission control to reject the next submission with 429 and
+// a Retry-After hint.
+func TestQueueFull429(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCapacity: 1, RetryAfter: 3 * time.Second})
+	slow := slowCSV()
+
+	running, resp := submit(t, ts, "k=2&algo=exact", slow)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	pollUntil(t, ts, running.ID, 5*time.Second, func(s Status) bool { return s.State == StateRunning })
+
+	queued, resp := submit(t, ts, "k=2&algo=exact", slow)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d", resp.StatusCode)
+	}
+
+	_, resp = submit(t, ts, "k=2", sampleCSV)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	}
+
+	// Cancel both so cleanup doesn't wait on the DP.
+	for _, id := range []string{queued.ID, running.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if _, err := http.DefaultClient.Do(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCancelRunningJob pins prompt cancellation: DELETE on a running
+// exact job must reach a terminal canceled state well under the two
+// seconds the compute layer's poll granularity guarantees.
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, resp := submit(t, ts, "k=2&algo=exact", slowCSV())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	pollUntil(t, ts, st.ID, 5*time.Second, func(s Status) bool { return s.State == StateRunning })
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	start := time.Now()
+	dr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dr.Body)
+	dr.Body.Close()
+	if dr.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE status %d", dr.StatusCode)
+	}
+
+	done := pollUntil(t, ts, st.ID, 2*time.Second, func(s Status) bool { return s.State.Terminal() })
+	if done.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled (error %q)", done.State, done.Error)
+	}
+	if !strings.Contains(done.Error, "context canceled") {
+		t.Errorf("error = %q, want context canceled", done.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+
+	// A canceled job has no retrievable result.
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusConflict {
+		t.Errorf("result status %d, want 409", rr.StatusCode)
+	}
+}
+
+// TestShutdownDrains pins graceful shutdown: in-flight work finishes,
+// new admissions get 503, healthz flips to draining.
+func TestShutdownDrains(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	st, resp := submit(t, ts, "k=2", sampleCSV)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain was forced: %v", err)
+	}
+
+	// The quick job drained to success and its result is retrievable.
+	done := pollUntil(t, ts, st.ID, time.Second, func(s Status) bool { return s.State.Terminal() })
+	if done.State != StateSucceeded {
+		t.Fatalf("drained job state = %s", done.State)
+	}
+
+	_, resp = submit(t, ts, "k=2", sampleCSV)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown submit status %d, want 503", resp.StatusCode)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz status %d, want 503 while draining", hr.StatusCode)
+	}
+}
+
+// TestShutdownCancelsAtDeadline pins the other half of shutdown: a job
+// slower than the drain budget is cancelled, not waited out.
+func TestShutdownCancelsAtDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	st, resp := submit(t, ts, "k=2&algo=exact", slowCSV())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	pollUntil(t, ts, st.ID, 5*time.Second, func(s Status) bool { return s.State == StateRunning })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("Shutdown reported a clean drain despite the running DP")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("forced shutdown took %v", elapsed)
+	}
+	job, ok := s.Manager().Get(st.ID)
+	if !ok {
+		t.Fatal("job evaporated")
+	}
+	if got := job.Status().State; got != StateCanceled {
+		t.Errorf("job state after forced shutdown = %s, want canceled", got)
+	}
+}
+
+// TestHTTPErrors sweeps the failure-path status codes.
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 256})
+
+	for _, tc := range []struct {
+		name, query, body string
+		want              int
+	}{
+		{"missing k", "", sampleCSV, http.StatusBadRequest},
+		{"bad k", "k=zero", sampleCSV, http.StatusBadRequest},
+		{"unknown param", "k=2&bogus=1", sampleCSV, http.StatusBadRequest},
+		{"bad algo", "k=2&algo=quantum", sampleCSV, http.StatusBadRequest},
+		{"k larger than table", "k=99", sampleCSV, http.StatusBadRequest},
+		{"empty body", "k=2", "", http.StatusBadRequest},
+		{"ragged csv", "k=2", "a,b\n1\n", http.StatusBadRequest},
+		{"block with exact", "k=2&algo=exact&block=4", sampleCSV, http.StatusBadRequest},
+		{"oversize body", "k=2", "a,b\n" + strings.Repeat("x,y\n", 100), http.StatusRequestEntityTooLarge},
+	} {
+		_, resp := submit(t, ts, tc.query, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	for _, tc := range []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/v1/jobs/nonesuch", http.StatusNotFound},
+		{http.MethodGet, "/v1/jobs/nonesuch/result", http.StatusNotFound},
+		{http.MethodDelete, "/v1/jobs/nonesuch", http.StatusNotFound},
+		{http.MethodPut, "/v1/jobs", http.StatusMethodNotAllowed},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestMetricsEndpoint pins the observability acceptance criteria: the
+// server's /metrics output carries the queue and job instruments and
+// passes the repo's own Prometheus linter.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st, resp := submit(t, ts, "k=2", sampleCSV)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	pollUntil(t, ts, st.ID, 5*time.Second, func(s Status) bool { return s.State.Terminal() })
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", mr.StatusCode)
+	}
+	if err := obs.LintPrometheus(body); err != nil {
+		t.Errorf("metrics output fails lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"kanon_server_queue_depth",
+		"kanon_server_jobs_running",
+		"kanon_server_jobs_submitted_total",
+		"kanon_server_jobs_succeeded_total",
+		"kanon_server_queue_wait_ns_bucket",
+		"kanon_server_queue_wait_ns_count",
+		"kanon_server_job_duration_ns_sum",
+		"kanon_server_job_cost_count",
+		"kanon_server_workers",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+// TestHealthz pins the liveness payload while the server is admitting.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hr.StatusCode)
+	}
+	var payload struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Status != "ok" {
+		t.Errorf("healthz status field = %q", payload.Status)
+	}
+}

@@ -16,6 +16,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -30,6 +31,11 @@ import (
 
 // Options configures the streaming pass.
 type Options struct {
+	// Ctx cancels or bounds the pass: it is checked before each block
+	// is claimed (and threaded into the default per-block algorithm), so
+	// a cancelled run stops admitting blocks promptly and returns an
+	// error wrapping ctx.Err(). Nil means context.Background().
+	Ctx context.Context
 	// BlockRows is the maximum rows anonymized at once (default 1024,
 	// minimum 2k).
 	BlockRows int
@@ -94,6 +100,10 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if opt == nil {
 		opt = &Options{}
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 1 {
 		return nil, fmt.Errorf("stream: k = %d < 1", k)
 	}
@@ -147,6 +157,10 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 
 	process := func(bi int) {
 		lo, hi := bounds[bi][0], bounds[bi][1]
+		if err := ctx.Err(); err != nil {
+			errs[bi] = fmt.Errorf("stream: block [%d,%d): %w", lo, hi, err)
+			return
+		}
 		var bs *obs.Span
 		if sp != nil {
 			bs = sp.Start(fmt.Sprintf("stream.block[%d,%d)", lo, hi))
@@ -171,7 +185,7 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 		if opt.Algo != nil {
 			r, err = opt.Algo(sub, k)
 		} else {
-			r, err = algo.GreedyBall(sub, k, &algo.Options{Trace: bs})
+			r, err = algo.GreedyBall(sub, k, &algo.Options{Ctx: ctx, Trace: bs})
 		}
 		if err != nil {
 			errs[bi] = fmt.Errorf("stream: block [%d,%d): %w", lo, hi, err)

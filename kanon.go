@@ -31,6 +31,7 @@
 package kanon
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"math/rand"
@@ -193,9 +194,28 @@ type Result struct {
 
 // Anonymize k-anonymizes the given table by entry suppression.
 // The header names the columns; every row must have the same length.
-func Anonymize(header []string, rows [][]string, k int, opts *Options) (res *Result, err error) {
+func Anonymize(header []string, rows [][]string, k int, opts *Options) (*Result, error) {
+	return AnonymizeContext(context.Background(), header, rows, k, opts)
+}
+
+// AnonymizeContext is Anonymize with cancellation: the context bounds
+// the run. Optimal k-anonymity is NP-hard (even approximating it is
+// expensive), so individual calls can be arbitrarily slow; long-lived
+// callers — servers, batch drivers — should always pass a context with
+// a deadline or cancel hook. The hot phases of every algorithm (family
+// construction, greedy cover rounds, the exact solver's DP states, the
+// streaming pipeline's blocks) poll the context and abort promptly; a
+// cancelled call returns an error wrapping ctx.Err(), so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) discriminate cancellation from input
+// errors. Cancellation never corrupts state and never changes the
+// result of a run that completes.
+func AnonymizeContext(ctx context.Context, header []string, rows [][]string, k int, opts *Options) (res *Result, err error) {
 	if opts == nil {
 		opts = &Options{}
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	ev := obs.NewEvents(opts.Log, obs.NewRunID())
 	var runStart time.Time
@@ -238,7 +258,7 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (res *Res
 	switch opts.Algorithm {
 	case AlgoGreedyBall:
 		if weights != nil {
-			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root, Log: ev})
+			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{Ctx: ctx, SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root, Log: ev})
 			if err != nil {
 				return nil, err
 			}
@@ -246,6 +266,7 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (res *Res
 			break
 		}
 		r, err := algo.GreedyBall(t, k, &algo.Options{
+			Ctx:                 ctx,
 			SplitSorted:         opts.SplitSorted,
 			TrueDiameterWeights: opts.TrueDiameterWeights,
 			Workers:             opts.Workers,
@@ -257,13 +278,13 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (res *Res
 		}
 		p = r.Partition
 	case AlgoGreedyExhaustive:
-		r, err := algo.GreedyExhaustive(t, k, &algo.Options{SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root, Log: ev})
+		r, err := algo.GreedyExhaustive(t, k, &algo.Options{Ctx: ctx, SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root, Log: ev})
 		if err != nil {
 			return nil, err
 		}
 		p = r.Partition
 	case AlgoPattern:
-		r, err := pattern.AnonymizeTraced(t, k, root)
+		r, err := pattern.AnonymizeCtx(ctx, t, k, root)
 		if err != nil {
 			return nil, err
 		}
@@ -272,9 +293,9 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (res *Res
 		var r *exact.Result
 		var err error
 		if weights != nil {
-			r, err = exact.SolveWeightedTraced(t, k, weights, root)
+			r, err = exact.SolveWeightedCtx(ctx, t, k, weights, root)
 		} else {
-			r, err = exact.SolveTraced(t, k, exact.Stars, root)
+			r, err = exact.SolveCtx(ctx, t, k, exact.Stars, root)
 		}
 		if err != nil {
 			return nil, err
@@ -318,6 +339,9 @@ func Anonymize(header []string, rows [][]string, k int, opts *Options) (res *Res
 	}
 
 	if opts.Refine && !optimal {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("kanon: %w", err)
+		}
 		rs := root.Start("kanon.refine")
 		_, err := refine.Partition(t, p, k, nil)
 		rs.End()
