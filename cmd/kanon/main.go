@@ -10,14 +10,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"kanon"
@@ -29,13 +33,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "kanon:", err)
+	// SIGINT/SIGTERM cancel the run's context, so even a large -block
+	// pass (or a long exact solve) aborts at its next context poll and
+	// unwinds cleanly instead of dying at process teardown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "kanon: canceled")
+		} else {
+			fmt.Fprintln(os.Stderr, "kanon:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("kanon", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	k := fs.Int("k", 3, "anonymity parameter: every released row is identical to ≥ k−1 others")
@@ -135,12 +148,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *block > 0 {
 		// The block path threads the span straight into the stream
 		// pipeline, so its per-block spans land under "anonymize".
-		res, err = streamAnonymize(header, rows, *k, *block, *refine, *workers, as, obs.NewEvents(logger, obs.NewRunID()))
+		res, err = streamAnonymize(ctx, header, rows, *k, *block, *refine, *workers, as, obs.NewEvents(logger, obs.NewRunID()))
 	} else {
 		// The facade attaches its phase tree under this span directly,
 		// so the debug server and the progress ticker observe the run
 		// live rather than after the fact.
-		res, err = kanon.Anonymize(header, rows, *k, &kanon.Options{
+		res, err = kanon.AnonymizeContext(ctx, header, rows, *k, &kanon.Options{
 			Algorithm: alg, Seed: *seed, Refine: *refine, ColumnWeights: weights,
 			Workers: *workers, Span: as, Log: logger,
 		})
@@ -284,14 +297,14 @@ func parseWeights(arg string, m int) ([]int, error) {
 // streamAnonymize runs the bounded-memory block pipeline and adapts its
 // output to the facade's Result shape; groups are recovered from the
 // released table's textual equivalence classes.
-func streamAnonymize(header []string, rows [][]string, k, block int, doRefine bool, workers int, sp *obs.Span, ev *obs.Events) (*kanon.Result, error) {
+func streamAnonymize(ctx context.Context, header []string, rows [][]string, k, block int, doRefine bool, workers int, sp *obs.Span, ev *obs.Events) (*kanon.Result, error) {
 	t := relation.NewTable(relation.NewSchema(header...))
 	for _, r := range rows {
 		if err := t.AppendStrings(r...); err != nil {
 			return nil, err
 		}
 	}
-	sr, err := stream.Anonymize(t, k, &stream.Options{BlockRows: block, Refine: doRefine, Workers: workers, Trace: sp, Log: ev})
+	sr, err := stream.Anonymize(t, k, &stream.Options{Ctx: ctx, BlockRows: block, Refine: doRefine, Workers: workers, Trace: sp, Log: ev})
 	if err != nil {
 		return nil, err
 	}

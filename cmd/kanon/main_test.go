@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +16,7 @@ const sampleCSV = "age,zip,dx\n34,15213,flu\n36,15213,flu\n34,15217,cold\n47,152
 func runCLI(t *testing.T, args []string, stdin string) (stdout, stderr string, err error) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	err = run(args, strings.NewReader(stdin), &out, &errb)
+	err = run(context.Background(), args, strings.NewReader(stdin), &out, &errb)
 	return out.String(), errb.String(), err
 }
 

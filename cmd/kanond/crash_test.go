@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"kanon/internal/dataset"
+	"kanon/internal/relation"
+	"kanon/internal/stream"
+
+	"math/rand"
+)
+
+// TestMain doubles as the crash test's server process: when re-executed
+// with KANOND_HELPER=1 the test binary runs the real kanond loop
+// instead of the test suite, so SIGKILL hits an actual process — not a
+// goroutine the test could never kill uncleanly.
+func TestMain(m *testing.M) {
+	if os.Getenv("KANOND_HELPER") == "1" {
+		args := strings.Split(os.Getenv("KANOND_HELPER_ARGS"), "\x1f")
+		if err := run(args, os.Stdout, os.Stderr, nil, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "helper:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// startHelper re-execs the test binary as a kanond server over dataDir
+// and returns the child plus its bound address (scraped from the
+// kanond_listening log event).
+func startHelper(t *testing.T, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-drain", "2s", "-log=true"}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"KANOND_HELPER=1",
+		"KANOND_HELPER_ARGS="+strings.Join(args, "\x1f"))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(sc.Bytes(), &ev) == nil && ev.Msg == "kanond_listening" {
+				select {
+				case addrCh <- ev.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("helper server never became ready")
+		return nil, ""
+	}
+}
+
+// statFiles returns the committed checkpoint markers of a job, mapped
+// to their mtimes.
+func statFiles(t *testing.T, dataDir, jobID string) map[string]time.Time {
+	t.Helper()
+	dir := filepath.Join(dataDir, "jobs", jobID, "checkpoints")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	out := make(map[string]time.Time)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".stat.json") {
+			info, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = info.ModTime()
+		}
+	}
+	return out
+}
+
+// TestCrashRecoveryResumesByteIdentical is the kill-and-restart e2e:
+// a multi-block refine job is SIGKILLed mid-run, the server restarts
+// over the same data directory, and the recovered job must (a) release
+// bytes identical to an uninterrupted run and (b) replay — not
+// recompute — the blocks that were checkpointed before the kill.
+func TestCrashRecoveryResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and runs a multi-second job")
+	}
+	dataDir := t.TempDir()
+	const kAnon, blockRows = 3, 500
+	rng := rand.New(rand.NewSource(71))
+	tab := dataset.Census(rng, 10000, 6)
+	var body bytes.Buffer
+	header := tab.Schema().Names()
+	rows := make([][]string, tab.Len())
+	for i := range rows {
+		rows[i] = tab.Strings(i)
+	}
+	if err := relation.WriteCSVRows(&body, header, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd, addr := startHelper(t, dataDir)
+	base := "http://" + addr
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/jobs?k=%d&block=%d&refine=true&workers=1", base, kAnon, blockRows),
+		"text/csv", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, st.ID)
+	}
+
+	// Kill the process the moment the run is demonstrably mid-flight:
+	// some blocks committed, some still to come.
+	totalBlocks := (tab.Len() + blockRows - 1) / blockRows
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		n := len(statFiles(t, dataDir, st.ID))
+		if n >= 1 && n < totalBlocks {
+			break
+		}
+		if n >= totalBlocks {
+			t.Fatalf("job finished all %d blocks before the kill; enlarge the instance", totalBlocks)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint ever appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	preKill := statFiles(t, dataDir, st.ID)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	if len(preKill) == 0 || len(preKill) >= totalBlocks {
+		t.Fatalf("kill landed outside the mid-run window: %d of %d blocks", len(preKill), totalBlocks)
+	}
+
+	// Restart over the same directory; recovery re-admits the job.
+	cmd2, addr2 := startHelper(t, dataDir)
+	defer func() {
+		_ = cmd2.Process.Signal(syscall.SIGTERM)
+		_ = cmd2.Wait()
+	}()
+	base2 := "http://" + addr2
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		sr, err := http.Get(base2 + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(sr.Body).Decode(&st)
+		sr.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "succeeded" {
+			break
+		}
+		if st.State == "failed" || st.State == "canceled" {
+			t.Fatalf("recovered job ended in %q", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job stuck in %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	rr, err := http.Get(base2 + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("result: status %d", rr.StatusCode)
+	}
+
+	// (a) Byte identity with an uninterrupted run of the same pipeline.
+	sres, err := stream.Anonymize(tab, kAnon, &stream.Options{BlockRows: blockRows, Refine: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := make([][]string, sres.Anonymized.Len())
+	for i := range wantRows {
+		wantRows[i] = sres.Anonymized.Strings(i)
+	}
+	var want bytes.Buffer
+	if err := relation.WriteCSVRows(&want, header, wantRows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("resumed release differs from uninterrupted run (%d vs %d bytes)", len(got), want.Len())
+	}
+
+	// (b) Pre-kill checkpoints were replayed, not recomputed: their
+	// commit markers are untouched, and the server counted the replays.
+	postRun := statFiles(t, dataDir, st.ID)
+	for name, mtime := range preKill {
+		after, ok := postRun[name]
+		if !ok {
+			t.Fatalf("checkpoint %s vanished during recovery", name)
+		}
+		if !after.Equal(mtime) {
+			t.Errorf("checkpoint %s rewritten on resume (mtime %v → %v)", name, mtime, after)
+		}
+	}
+	mr, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	resumed := -1
+	re := regexp.MustCompile(`(?m)^kanon_server_blocks_resumed\S*\s+(\d+)$`)
+	if m := re.FindSubmatch(metrics); m != nil {
+		resumed, _ = strconv.Atoi(string(m[1]))
+	}
+	if resumed != len(preKill) {
+		t.Errorf("blocks_resumed metric = %d, want %d (pre-kill checkpoints)", resumed, len(preKill))
+	}
+}

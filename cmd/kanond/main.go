@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	kanond -addr :8080 [-workers 4] [-queue 64] [-job-timeout 5m]
+//	kanond -addr :8080 [-workers 4] [-queue 64] [-job-timeout 5m] [-data-dir /var/lib/kanond]
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: admission stops, running
 // jobs drain for up to -drain, and whatever remains is cancelled.
+//
+// With -data-dir, every job is persisted (request, lifecycle manifest,
+// result, and per-block checkpoints for streamed jobs); after a crash,
+// a restart with -recover (the default) re-admits unfinished jobs and
+// resumes streamed jobs from their last completed block.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"kanon/internal/obs"
 	"kanon/internal/server"
+	"kanon/internal/store"
 )
 
 func main() {
@@ -49,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job deadline and the ceiling for client-requested timeouts")
 	resultTTL := fs.Duration("result-ttl", 15*time.Minute, "how long finished jobs stay retrievable")
 	maxBody := fs.Int64("max-body", 32<<20, "request body limit in bytes")
+	dataDir := fs.String("data-dir", "", "persist jobs (requests, manifests, results, block checkpoints) under this directory; empty keeps everything in memory")
+	recoverJobs := fs.Bool("recover", true, "with -data-dir, re-admit jobs found queued or running on disk at startup and resume their block checkpoints")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget before running jobs are cancelled")
 	logEvents := fs.Bool("log", true, "emit structured JSON lifecycle events to stderr")
 	version := fs.Bool("version", false, "print build provenance and exit")
@@ -64,6 +72,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	if *logEvents {
 		logger = slog.New(slog.NewJSONHandler(stderr, nil))
 	}
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		if st, err = store.Open(*dataDir); err != nil {
+			return err
+		}
+	}
 	srv := server.New(server.Config{
 		QueueCapacity: *queue,
 		Workers:       *workers,
@@ -71,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 		ResultTTL:     *resultTTL,
 		MaxBodyBytes:  *maxBody,
 		Log:           logger,
+		Store:         st,
+		Recover:       *recoverJobs,
 	})
 	hs := &http.Server{Handler: srv}
 

@@ -1,0 +1,101 @@
+package refine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kanon/internal/algo"
+	"kanon/internal/dataset"
+)
+
+// countCtx is a context whose Err() flips to Canceled after a fixed
+// number of polls — a deterministic probe that the search's amortized
+// poll actually fires mid-pass, independent of wall-clock timing.
+type countCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *countCtx) Err() error {
+	if c.remaining <= 0 {
+		return context.Canceled
+	}
+	c.remaining--
+	return nil
+}
+
+// TestCancelBeforeStart: an already-cancelled context returns
+// immediately with an error wrapping ctx.Err().
+func TestCancelBeforeStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tab := dataset.Census(rng, 80, 5)
+	res, err := algo.GreedyBall(tab, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Partition(tab, res.Partition, 3, &Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelMidSearch: the poll inside the O(n²) move scans observes
+// cancellation between round boundaries, so even a single long pass
+// aborts; the partition left behind must still be valid.
+func TestCancelMidSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tab := dataset.Census(rng, 300, 6)
+	res, err := algo.GreedyBall(tab, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survive a handful of polls, then cancel: the search dies inside a
+	// pass, not at a round boundary.
+	ctx := &countCtx{Context: context.Background(), remaining: 3}
+	_, err = Partition(tab, res.Partition, 3, &Options{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := res.Partition.Validate(tab.Len(), 3, 0); err != nil {
+		t.Fatalf("cancelled search left an invalid partition: %v", err)
+	}
+}
+
+// TestCancelSettlesFast is the regression for the cancellation gap:
+// cancelling mid-refine on a large instance must settle well under the
+// 2-second bound, where the un-polled search would have run its scans
+// to completion.
+func TestCancelSettlesFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tab := dataset.Census(rng, 2000, 8)
+	res, err := algo.GreedyBall(tab, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := Partition(tab, res.Partition, 3, &Options{Ctx: ctx})
+		done <- err
+	}()
+	// Let the search get into its first pass, then pull the plug.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want nil or context.Canceled", err)
+		}
+		if settle := time.Since(start); settle > 2*time.Second {
+			t.Fatalf("cancellation settled in %v, want < 2s", settle)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("refine did not settle within 2s of cancellation")
+	}
+}

@@ -20,6 +20,7 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 
 	"kanon/internal/core"
@@ -28,11 +29,22 @@ import (
 
 // Options bounds the search.
 type Options struct {
+	// Ctx cancels or bounds the search: it is polled at every round
+	// boundary and every ~1024 candidate-move evaluations, so even a
+	// single O(n²) move scan aborts promptly. A cancelled call returns
+	// an error wrapping ctx.Err(); the partition is left in a valid
+	// (every move preserves feasibility) but partially refined state.
+	// Nil means context.Background().
+	Ctx context.Context
 	// MaxRounds caps full passes over all rows (default 8).
 	MaxRounds int
 	// NoDissolve disables the group-dissolving move.
 	NoDissolve bool
 }
+
+// pollEvery is how many candidate evaluations pass between context
+// polls; a power of two so the check is a mask, not a division.
+const pollEvery = 1024
 
 // Stats reports what the search did.
 type Stats struct {
@@ -52,9 +64,23 @@ func Partition(t *relation.Table, p *core.Partition, k int, opt *Options) (*Stat
 	if opt == nil {
 		opt = &Options{}
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	maxRounds := opt.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 8
+	}
+	// poll amortizes the context check over pollEvery candidate
+	// evaluations (each one core.Anon call, the scan's unit of work).
+	evals := 0
+	poll := func() error {
+		evals++
+		if evals&(pollEvery-1) != 0 {
+			return nil
+		}
+		return ctx.Err()
 	}
 	if err := p.Validate(t.Len(), k, 0); err != nil {
 		return nil, fmt.Errorf("refine: %w", err)
@@ -96,6 +122,9 @@ func Partition(t *relation.Table, p *core.Partition, k int, opt *Options) (*Stat
 
 	improved := true
 	for st.Rounds = 0; improved && st.Rounds < maxRounds; st.Rounds++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("refine: %w", err)
+		}
 		improved = false
 
 		// Relocate pass.
@@ -112,6 +141,9 @@ func Partition(t *relation.Table, p *core.Partition, k int, opt *Options) (*Stat
 			for gi := range groups {
 				if gi == from {
 					continue
+				}
+				if err := poll(); err != nil {
+					return nil, fmt.Errorf("refine: %w", err)
 				}
 				grown := withRow(groups[gi], i)
 				grownCost := core.Anon(t, grown)
@@ -140,6 +172,9 @@ func Partition(t *relation.Table, p *core.Partition, k int, opt *Options) (*Stat
 				gj := owner[j]
 				if gi == gj {
 					continue
+				}
+				if err := poll(); err != nil {
+					return nil, fmt.Errorf("refine: %w", err)
 				}
 				newI := withRow(withoutRow(groups[gi], i), j)
 				newJ := withRow(withoutRow(groups[gj], j), i)
@@ -177,6 +212,9 @@ func Partition(t *relation.Table, p *core.Partition, k int, opt *Options) (*Stat
 					for gj := range groups {
 						if gj == gi {
 							continue
+						}
+						if err := poll(); err != nil {
+							return nil, fmt.Errorf("refine: %w", err)
 						}
 						cand := withRow(append(append([]int(nil), groups[gj]...), extra[gj]...), row)
 						marginal := core.Anon(t, cand) - cost[gj]

@@ -9,6 +9,7 @@ import (
 
 	"kanon"
 	"kanon/internal/exact"
+	"kanon/internal/store"
 )
 
 // State is a job's position in its lifecycle. Transitions are strictly
@@ -174,6 +175,64 @@ type Job struct {
 	expires   time.Time
 	cancel    func() // non-nil once running; cancels the job's context
 	done      chan struct{}
+}
+
+// manifest snapshots the job's lifecycle as a durable store record.
+// The states share their textual form with the store by construction,
+// so the mapping is a cast, not a translation table.
+func (j *Job) manifest() *store.Manifest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m := &store.Manifest{
+		Version:     store.ManifestVersion,
+		ID:          j.ID,
+		State:       string(j.state),
+		K:           j.Req.K,
+		Algo:        j.Req.Algorithm.String(),
+		Workers:     j.Req.Workers,
+		BlockRows:   j.Req.BlockRows,
+		Refine:      j.Req.Refine,
+		Seed:        j.Req.Seed,
+		TimeoutMS:   j.Req.Timeout.Milliseconds(),
+		Rows:        len(j.rows),
+		Cols:        len(j.header),
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		m.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		m.FinishedAt = &t
+	}
+	if j.err != nil {
+		m.Error = j.err.Error()
+	}
+	if j.state == StateSucceeded && j.result != nil {
+		c := j.result.Cost
+		m.Cost = &c
+	}
+	return m
+}
+
+// requestFromManifest rebuilds the request a manifest records — the
+// recovery path's inverse of manifest(). The manifest was validated on
+// decode; only the algorithm name still needs parsing.
+func requestFromManifest(m *store.Manifest) (JobRequest, error) {
+	algo, err := kanon.ParseAlgorithm(m.Algo)
+	if err != nil {
+		return JobRequest{}, err
+	}
+	return JobRequest{
+		K:         m.K,
+		Algorithm: algo,
+		Workers:   m.Workers,
+		BlockRows: m.BlockRows,
+		Refine:    m.Refine,
+		Seed:      m.Seed,
+		Timeout:   time.Duration(m.TimeoutMS) * time.Millisecond,
+	}, nil
 }
 
 // Status is the JSON view of a job served by GET /v1/jobs/{id} and

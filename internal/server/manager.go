@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log/slog"
 	"runtime"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"kanon/internal/core"
 	"kanon/internal/obs"
 	"kanon/internal/relation"
+	"kanon/internal/store"
 	"kanon/internal/stream"
 )
 
@@ -37,6 +39,17 @@ type Config struct {
 	// Log receives structured job lifecycle events (with each job's ID
 	// as run_id); nil is silent.
 	Log *slog.Logger
+	// Store, when non-nil, persists every job to disk (request bytes,
+	// lifecycle manifest, result spool, and per-block checkpoints for
+	// stream jobs), so admitted work survives a crash. Nil keeps the
+	// in-memory-only behavior.
+	Store *store.Store
+	// Recover, with a Store, re-admits jobs found queued or running on
+	// disk at startup: they re-enter the queue (in original admission
+	// order, ahead of capacity limits) and stream jobs resume from
+	// their last completed block checkpoint. Terminal jobs are reloaded
+	// so their status and results stay retrievable across restarts.
+	Recover bool
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -70,6 +83,10 @@ var (
 	// ErrDraining means the server is shutting down and no longer
 	// admits work (HTTP 503).
 	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrStore means the job store could not persist an admitted job;
+	// the job is withdrawn rather than accepted with a broken
+	// durability promise (HTTP 500).
+	ErrStore = errors.New("server: persisting job")
 )
 
 // Manager owns the job queue, the worker pool, the in-memory result
@@ -92,53 +109,177 @@ type Manager struct {
 	janitorDone chan struct{}
 
 	// Hoisted instruments (obs lookup takes the registry lock).
-	qDepth    *obs.Gauge
-	running   *obs.Gauge
-	submitted *obs.Counter
-	succeeded *obs.Counter
-	failed    *obs.Counter
-	canceled  *obs.Counter
-	rejected  *obs.Counter
-	expired   *obs.Counter
-	queueWait *obs.Histogram
-	jobDur    *obs.Histogram
-	jobCost   *obs.Histogram
+	qDepth        *obs.Gauge
+	running       *obs.Gauge
+	submitted     *obs.Counter
+	succeeded     *obs.Counter
+	failed        *obs.Counter
+	canceled      *obs.Counter
+	rejected      *obs.Counter
+	expired       *obs.Counter
+	recovered     *obs.Counter
+	blocksResumed *obs.Counter
+	queueWait     *obs.Histogram
+	jobDur        *obs.Histogram
+	jobCost       *obs.Histogram
 }
 
-// NewManager starts the worker pool and the TTL janitor. Call Shutdown
-// to stop them.
+// NewManager starts the worker pool and the TTL janitor. When the
+// config carries a Store with Recover set, jobs found queued or running
+// on disk are re-admitted before the workers start — the queue is sized
+// to hold the whole recovered backlog even past QueueCapacity, so a
+// restart never sheds work it already accepted. Call Shutdown to stop.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
+
+	// Scan the store before sizing the queue: the recovered backlog
+	// must fit even if it exceeds the configured capacity.
+	var recoverable, terminal []*Job
+	if cfg.Store != nil && cfg.Recover {
+		recoverable, terminal = loadPersistedJobs(cfg)
+	}
+	queueCap := cfg.QueueCapacity
+	if len(recoverable) > queueCap {
+		queueCap = len(recoverable)
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	tr := obs.New()
 	m := &Manager{
-		cfg:         cfg,
-		tr:          tr,
-		baseCtx:     ctx,
-		baseCancel:  cancel,
-		jobs:        make(map[string]*Job),
-		queue:       make(chan *Job, cfg.QueueCapacity),
-		janitorStop: make(chan struct{}),
-		janitorDone: make(chan struct{}),
-		qDepth:      tr.Gauge("server.queue_depth"),
-		running:     tr.Gauge("server.jobs_running"),
-		submitted:   tr.Counter("server.jobs_submitted"),
-		succeeded:   tr.Counter("server.jobs_succeeded"),
-		failed:      tr.Counter("server.jobs_failed"),
-		canceled:    tr.Counter("server.jobs_canceled"),
-		rejected:    tr.Counter("server.jobs_rejected"),
-		expired:     tr.Counter("server.jobs_expired"),
-		queueWait:   tr.Histogram("server.queue_wait_ns"),
-		jobDur:      tr.Histogram("server.job_duration_ns"),
-		jobCost:     tr.Histogram("server.job_cost"),
+		cfg:           cfg,
+		tr:            tr,
+		baseCtx:       ctx,
+		baseCancel:    cancel,
+		jobs:          make(map[string]*Job),
+		queue:         make(chan *Job, queueCap),
+		janitorStop:   make(chan struct{}),
+		janitorDone:   make(chan struct{}),
+		qDepth:        tr.Gauge("server.queue_depth"),
+		running:       tr.Gauge("server.jobs_running"),
+		submitted:     tr.Counter("server.jobs_submitted"),
+		succeeded:     tr.Counter("server.jobs_succeeded"),
+		failed:        tr.Counter("server.jobs_failed"),
+		canceled:      tr.Counter("server.jobs_canceled"),
+		rejected:      tr.Counter("server.jobs_rejected"),
+		expired:       tr.Counter("server.jobs_expired"),
+		recovered:     tr.Counter("server.jobs_recovered"),
+		blocksResumed: tr.Counter("server.blocks_resumed"),
+		queueWait:     tr.Histogram("server.queue_wait_ns"),
+		jobDur:        tr.Histogram("server.job_duration_ns"),
+		jobCost:       tr.Histogram("server.job_cost"),
 	}
 	tr.Gauge("server.workers").Set(int64(cfg.Workers))
+	for _, j := range terminal {
+		m.jobs[j.ID] = j
+	}
+	for _, j := range recoverable {
+		m.jobs[j.ID] = j
+		m.queue <- j // cannot block: the queue was sized for the backlog
+		m.qDepth.Add(1)
+		m.recovered.Inc()
+		m.persist(j) // running → queued: the disk state follows the re-admission
+		m.log(j, slog.LevelInfo, "job_recovered",
+			slog.String("algo", j.Req.Algorithm.String()), slog.Int("k", j.Req.K),
+			slog.Int("rows", len(j.rows)))
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.workerWG.Add(1)
 		go m.worker()
 	}
 	go m.janitor()
 	return m
+}
+
+// loadPersistedJobs turns the store's manifests back into jobs: queued
+// and running manifests become re-admittable (queued) jobs, terminal
+// manifests become finished jobs whose status and results stay
+// retrievable. Directories that cannot be decoded or replayed are
+// logged and skipped — recovery is best-effort per job, never
+// all-or-nothing.
+func loadPersistedJobs(cfg Config) (recoverable, terminal []*Job) {
+	warn := func(id, problem string, err error) {
+		if cfg.Log != nil {
+			cfg.Log.LogAttrs(context.Background(), slog.LevelWarn, "job_recovery_skipped",
+				slog.String("run_id", id), slog.String("problem", problem), slog.String("error", err.Error()))
+		}
+	}
+	manifests, skipped, err := cfg.Store.Jobs()
+	if err != nil {
+		warn("", "scanning store", err)
+		return nil, nil
+	}
+	for _, name := range skipped {
+		warn(name, "undecodable job directory", errors.New("manifest missing or invalid"))
+	}
+	for _, man := range manifests {
+		req, err := requestFromManifest(man)
+		if err != nil {
+			warn(man.ID, "manifest request", err)
+			continue
+		}
+		job := &Job{
+			ID:        man.ID,
+			Req:       req,
+			state:     State(man.State),
+			submitted: man.SubmittedAt,
+			done:      make(chan struct{}),
+		}
+		if man.StartedAt != nil {
+			job.started = *man.StartedAt
+		}
+		if man.FinishedAt != nil {
+			job.finished = *man.FinishedAt
+		}
+		if man.Recoverable() {
+			header, rows, err := cfg.Store.ReadRequest(man.ID)
+			if err != nil {
+				warn(man.ID, "request spool", err)
+				continue
+			}
+			job.header, job.rows = header, rows
+			job.state = StateQueued // a crashed running job re-enters the queue
+			job.started = time.Time{}
+			recoverable = append(recoverable, job)
+			continue
+		}
+		// Terminal job: status (and, for successes, the result spool)
+		// stays retrievable until its TTL, clocked from when it finished.
+		job.expires = job.finished.Add(cfg.ResultTTL)
+		// Size-only placeholders: Status reports the request's shape.
+		job.header = make([]string, man.Cols)
+		job.rows = make([][]string, man.Rows)
+		if man.Error != "" {
+			job.err = errors.New(man.Error)
+		}
+		if man.State == store.StateSucceeded {
+			header, rows, err := cfg.Store.ReadResult(man.ID)
+			if err != nil {
+				warn(man.ID, "result spool", err)
+				continue
+			}
+			cost := 0
+			if man.Cost != nil {
+				cost = *man.Cost
+			}
+			job.result = &kanon.Result{K: man.K, Header: header, Rows: rows, Cost: cost}
+		}
+		close(job.done)
+		terminal = append(terminal, job)
+	}
+	return recoverable, terminal
+}
+
+// persist mirrors the job's current lifecycle state to the store.
+// Best-effort after admission: for a live process the in-memory state
+// is authoritative and the manifest exists for the next process, so a
+// failed write degrades durability, not correctness — loudly.
+func (m *Manager) persist(j *Job) {
+	if m.cfg.Store == nil {
+		return
+	}
+	if err := m.cfg.Store.WriteManifest(j.manifest()); err != nil {
+		m.log(j, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
+	}
 }
 
 // Snapshot freezes the server-wide telemetry registry — the /metrics
@@ -161,10 +302,31 @@ func (m *Manager) Submit(header []string, rows [][]string, req JobRequest) (*Job
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	// Persist before the job becomes visible to workers: otherwise a
+	// fast worker's "running" manifest could be overwritten by this
+	// initial "queued" snapshot, leaving the disk behind reality. A
+	// rejection below unwinds the directory; a crash between the write
+	// and the enqueue recovers a job the client never got a 202 for —
+	// at-least-once admission, which deterministic jobs make harmless.
+	if m.cfg.Store != nil {
+		if err := m.cfg.Store.CreateJob(job.manifest(), header, rows); err != nil {
+			m.rejected.Inc()
+			m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
+			return nil, fmt.Errorf("%w: %v", ErrStore, err)
+		}
+	}
+	unwind := func() {
+		if m.cfg.Store != nil {
+			if err := m.cfg.Store.Delete(job.ID); err != nil {
+				m.log(job, slog.LevelWarn, "job_reap_failed", slog.String("error", err.Error()))
+			}
+		}
+	}
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
 		m.rejected.Inc()
+		unwind()
 		return nil, ErrDraining
 	}
 	select {
@@ -173,6 +335,7 @@ func (m *Manager) Submit(header []string, rows [][]string, req JobRequest) (*Job
 	default:
 		m.mu.Unlock()
 		m.rejected.Inc()
+		unwind()
 		return nil, ErrQueueFull
 	}
 	m.mu.Unlock()
@@ -213,6 +376,7 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 		close(j.done)
 		j.mu.Unlock()
 		m.canceled.Inc()
+		m.persist(j)
 		m.log(j, slog.LevelInfo, "job_canceled", slog.String("while", "queued"))
 	case StateRunning:
 		cancel := j.cancel
@@ -256,9 +420,10 @@ func (m *Manager) runJob(job *Job) {
 
 	m.running.Add(1)
 	m.queueWait.ObserveDuration(wait)
+	m.persist(job)
 	m.log(job, slog.LevelInfo, "job_started", slog.Duration("queue_wait", wait))
 
-	res, err := m.execute(ctx, job)
+	res, resumed, err := m.execute(ctx, job)
 
 	job.mu.Lock()
 	job.finished = time.Now()
@@ -287,24 +452,52 @@ func (m *Manager) runJob(job *Job) {
 	case StateSucceeded:
 		m.succeeded.Inc()
 		m.jobCost.Observe(int64(res.Cost))
-		m.log(job, slog.LevelInfo, "job_done", slog.Int("cost", res.Cost), slog.Duration("wall", dur))
+		if resumed > 0 {
+			m.blocksResumed.Add(int64(resumed))
+			m.log(job, slog.LevelInfo, "job_blocks_resumed", slog.Int("blocks_resumed", resumed))
+		}
+		// Spool the release before flipping the manifest to succeeded,
+		// so a succeeded manifest always has a readable result. If the
+		// spool fails, the manifest stays "running" and the next
+		// recovery re-runs the (deterministic) job.
+		if m.cfg.Store != nil {
+			if werr := m.cfg.Store.WriteResult(job.ID, res.Header, res.Rows); werr != nil {
+				m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", werr.Error()))
+			} else {
+				m.persist(job)
+			}
+		}
+		m.log(job, slog.LevelInfo, "job_done", slog.Int("cost", res.Cost), slog.Duration("wall", dur),
+			slog.Int("blocks_resumed", resumed))
 	case StateCanceled:
 		m.canceled.Inc()
+		m.persist(job)
 		m.log(job, slog.LevelInfo, "job_canceled", slog.String("while", "running"), slog.Duration("wall", dur))
 	default:
 		m.failed.Inc()
+		m.persist(job)
 		m.log(job, slog.LevelWarn, "job_failed", slog.String("error", err.Error()), slog.Duration("wall", dur))
 	}
 }
 
 // execute runs the job's anonymization under ctx: the facade for
 // whole-table jobs, the bounded-memory stream pipeline for block jobs.
-func (m *Manager) execute(ctx context.Context, job *Job) (*kanon.Result, error) {
+// The second return is how many stream blocks were replayed from the
+// job's checkpoints instead of recomputed.
+func (m *Manager) execute(ctx context.Context, job *Job) (*kanon.Result, int, error) {
 	req := job.Req
 	if req.BlockRows > 0 {
-		return streamResult(ctx, job)
+		var ckpt stream.Checkpoint
+		if m.cfg.Store != nil {
+			c, err := m.cfg.Store.Checkpoint(job.ID, job.header)
+			if err != nil {
+				return nil, 0, err
+			}
+			ckpt = c
+		}
+		return streamResult(ctx, job, ckpt)
 	}
-	return kanon.AnonymizeContext(ctx, job.header, job.rows, req.K, &kanon.Options{
+	res, err := kanon.AnonymizeContext(ctx, job.header, job.rows, req.K, &kanon.Options{
 		Algorithm: req.Algorithm,
 		Seed:      req.Seed,
 		Refine:    req.Refine,
@@ -312,25 +505,31 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*kanon.Result, error) 
 		Trace:     req.Trace,
 		Log:       m.cfg.Log,
 	})
+	return res, 0, err
 }
 
 // streamResult mirrors cmd/kanon's block path: anonymize in bounded
-// blocks and adapt the stream result to the facade's Result shape.
-func streamResult(ctx context.Context, job *Job) (*kanon.Result, error) {
+// blocks and adapt the stream result to the facade's Result shape. A
+// non-nil checkpoint sink makes the pass durable and resumable: each
+// finished block is spooled, and blocks a prior (crashed) run finished
+// are replayed rather than recomputed — byte-identically, because block
+// bounds and the per-block algorithm are deterministic.
+func streamResult(ctx context.Context, job *Job, ckpt stream.Checkpoint) (*kanon.Result, int, error) {
 	t := relation.NewTable(relation.NewSchema(job.header...))
 	for _, r := range job.rows {
 		if err := t.AppendStrings(r...); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	sr, err := stream.Anonymize(t, job.Req.K, &stream.Options{
-		Ctx:       ctx,
-		BlockRows: job.Req.BlockRows,
-		Refine:    job.Req.Refine,
-		Workers:   job.Req.Workers,
+		Ctx:        ctx,
+		BlockRows:  job.Req.BlockRows,
+		Refine:     job.Req.Refine,
+		Workers:    job.Req.Workers,
+		Checkpoint: ckpt,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	out := make([][]string, sr.Anonymized.Len())
 	for i := range out {
@@ -344,7 +543,7 @@ func streamResult(ctx context.Context, job *Job) (*kanon.Result, error) {
 		Rows:   out,
 		Groups: groups.Groups,
 		Cost:   sr.Cost,
-	}, nil
+	}, sr.BlocksResumed, nil
 }
 
 // janitor evicts terminal jobs whose result TTL has expired.
@@ -385,6 +584,13 @@ func (m *Manager) evictExpired(now time.Time) {
 	m.mu.Unlock()
 	for _, j := range evicted {
 		m.expired.Inc()
+		if m.cfg.Store != nil {
+			// The janitor reaps the job's directory along with its
+			// in-memory record; an expired job leaves no disk residue.
+			if err := m.cfg.Store.Delete(j.ID); err != nil {
+				m.log(j, slog.LevelWarn, "job_reap_failed", slog.String("error", err.Error()))
+			}
+		}
 		m.log(j, slog.LevelDebug, "job_expired")
 	}
 }
@@ -432,7 +638,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 // job is left in a non-terminal state.
 func (m *Manager) finalizeQueued() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	var finalized []*Job
 	for _, j := range m.jobs {
 		j.mu.Lock()
 		if j.state == StateQueued {
@@ -442,8 +648,13 @@ func (m *Manager) finalizeQueued() {
 			j.expires = j.finished.Add(m.cfg.ResultTTL)
 			close(j.done)
 			m.canceled.Inc()
+			finalized = append(finalized, j)
 		}
 		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	for _, j := range finalized {
+		m.persist(j)
 	}
 }
 

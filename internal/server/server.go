@@ -96,6 +96,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
+	case errors.Is(err, ErrStore):
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"testing"
+)
+
+// FuzzJobManifest drives the manifest decoder — the one file the
+// post-crash recovery scan has to trust — with arbitrary bytes. The
+// invariants: the decoder never panics; anything it accepts passes its
+// own validation rules (version pinned, ID directory-safe, state in the
+// closed set, shape consistent) and survives an encode/decode round
+// trip unchanged in every field recovery acts on.
+func FuzzJobManifest(f *testing.F) {
+	if b, err := EncodeManifest(testManifest("seed-1")); err == nil {
+		f.Add(b)
+	}
+	m := testManifest("seed-2")
+	m.State = StateSucceeded
+	cost := 3
+	m.Cost = &cost
+	if b, err := EncodeManifest(m); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"version":"kanon-job/1","id":"x","state":"queued"}`))
+	f.Add([]byte(`{"version":"kanon-job/2","id":"x","state":"queued","k":2,"algo":"ball","rows":4,"cols":1,"submitted_at":"2026-01-01T00:00:00Z"}`))
+	f.Add([]byte(`{"id":"../../etc","state":"queued"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Version != ManifestVersion {
+			t.Fatalf("accepted version %q", m.Version)
+		}
+		if err := ValidateID(m.ID); err != nil {
+			t.Fatalf("accepted unsafe id %q: %v", m.ID, err)
+		}
+		if !validStates[m.State] {
+			t.Fatalf("accepted state %q", m.State)
+		}
+		if m.K < 1 || m.Rows < m.K || m.Cols < 1 || m.Algo == "" {
+			t.Fatalf("accepted inconsistent shape: %+v", m)
+		}
+		if m.Workers < 0 || m.BlockRows < 0 || m.TimeoutMS < 0 {
+			t.Fatalf("accepted negative knobs: %+v", m)
+		}
+		b, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-encode: %v", err)
+		}
+		m2, err := DecodeManifest(b)
+		if err != nil {
+			t.Fatalf("re-encoded manifest does not decode: %v", err)
+		}
+		if m2.ID != m.ID || m2.State != m.State || m2.K != m.K || m2.Algo != m.Algo ||
+			m2.Rows != m.Rows || m2.Cols != m.Cols || m2.BlockRows != m.BlockRows ||
+			m2.Seed != m.Seed || !m2.SubmittedAt.Equal(m.SubmittedAt) {
+			t.Fatalf("round trip changed fields:\n%+v\n%+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// ManifestVersion is the on-disk format tag every job manifest carries.
+// Decoders reject other versions instead of guessing, so a future
+// format change (kanon-job/2) cannot be misread as this one.
+const ManifestVersion = "kanon-job/1"
+
+// Job states as persisted in manifests. They mirror the server's
+// lifecycle states textually; the store validates against this set but
+// attaches no semantics beyond "queued and running jobs are recoverable,
+// terminal jobs are reapable".
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateSucceeded = "succeeded"
+	StateFailed    = "failed"
+	StateCanceled  = "canceled"
+)
+
+// validStates is the closed set a decoded manifest may carry.
+var validStates = map[string]bool{
+	StateQueued:    true,
+	StateRunning:   true,
+	StateSucceeded: true,
+	StateFailed:    true,
+	StateCanceled:  true,
+}
+
+// Manifest is the durable record of one job: the request parameters
+// needed to re-run it, its lifecycle state, and its terminal outcome.
+// It is the only file the recovery scan has to trust, so DecodeManifest
+// validates every field it later acts on.
+type Manifest struct {
+	// Version must be ManifestVersion.
+	Version string `json:"version"`
+	// ID is the job identifier and its directory name under jobs/.
+	ID string `json:"id"`
+	// State is the last persisted lifecycle state.
+	State string `json:"state"`
+	// K is the anonymity parameter.
+	K int `json:"k"`
+	// Algo is the algorithm's short name (kanon.ParseAlgorithm format).
+	Algo string `json:"algo"`
+	// Workers, BlockRows, Refine, and Seed replay the request's knobs.
+	Workers   int   `json:"workers,omitempty"`
+	BlockRows int   `json:"block_rows,omitempty"`
+	Refine    bool  `json:"refine,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	// TimeoutMS is the client-requested deadline in milliseconds
+	// (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Rows and Cols record the request table's shape.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// Cost is the suppression objective; present once succeeded.
+	Cost *int `json:"cost,omitempty"`
+	// Error is the failure or cancellation reason, if any.
+	Error string `json:"error,omitempty"`
+	// Lifecycle timestamps; zero values are omitted.
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// Recoverable reports whether the manifest describes work lost to a
+// crash: a job admitted (queued) or claimed (running) but never
+// finished.
+func (m *Manifest) Recoverable() bool {
+	return m.State == StateQueued || m.State == StateRunning
+}
+
+// Terminal reports whether the job reached a final state, so its
+// directory is subject to TTL reaping.
+func (m *Manifest) Terminal() bool {
+	return m.State == StateSucceeded || m.State == StateFailed || m.State == StateCanceled
+}
+
+// validate rejects manifests the recovery path could not act on safely.
+func (m *Manifest) validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("store: manifest version %q, want %q", m.Version, ManifestVersion)
+	}
+	if err := ValidateID(m.ID); err != nil {
+		return err
+	}
+	if !validStates[m.State] {
+		return fmt.Errorf("store: unknown job state %q", m.State)
+	}
+	if m.K < 1 {
+		return fmt.Errorf("store: manifest k = %d < 1", m.K)
+	}
+	if m.Rows < m.K {
+		return fmt.Errorf("store: manifest has %d rows, fewer than k = %d", m.Rows, m.K)
+	}
+	if m.Cols < 1 {
+		return fmt.Errorf("store: manifest has %d columns", m.Cols)
+	}
+	if m.Algo == "" {
+		return fmt.Errorf("store: manifest missing algorithm")
+	}
+	if m.Workers < 0 || m.BlockRows < 0 || m.TimeoutMS < 0 {
+		return fmt.Errorf("store: manifest has negative knobs")
+	}
+	if m.SubmittedAt.IsZero() {
+		return fmt.Errorf("store: manifest missing submitted_at")
+	}
+	return nil
+}
+
+// EncodeManifest serializes m (stamping the version) after validation.
+func EncodeManifest(m *Manifest) ([]byte, error) {
+	m.Version = ManifestVersion
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeManifest parses and validates a manifest. Untrusted input —
+// the bytes come off disk, possibly from a torn write or another
+// version of this software — so every failure is an error, never a
+// guess.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("store: decoding manifest: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ValidateID vets a job ID for use as a directory name: short,
+// alphanumeric-led, and free of path separators or traversal, so a
+// manifest (or URL) can never name a directory outside jobs/.
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("store: empty job id")
+	}
+	if len(id) > 64 {
+		return fmt.Errorf("store: job id longer than 64 bytes")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case i > 0 && (c == '-' || c == '_' || c == '.'):
+		default:
+			return fmt.Errorf("store: job id %q has unsafe byte %q at %d", id, c, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+// Package store persists kanond jobs to disk so a crash or restart
+// loses no admitted work. The layout is one directory per job:
+//
+//	<data-dir>/jobs/<job-id>/
+//	    manifest.json     versioned (kanon-job/1) lifecycle record
+//	    request.csv       the submitted table, via the shared CSV codec
+//	    result.csv        the release, written before the manifest says
+//	                      succeeded
+//	    checkpoints/      per-block spools for resumable stream jobs:
+//	        block-<lo>-<hi>.csv        anonymized rows (header + rows)
+//	        block-<lo>-<hi>.stat.json  the block's BlockStat (commit marker)
+//
+// Every write lands via write-to-temp + fsync + rename, so a reader
+// (including the post-crash recovery scan) sees either the previous
+// complete file or the new complete file, never a torn one. The
+// manifest is the commit record: result and checkpoint spools are
+// written before the state that makes them authoritative, so a crash
+// between the two at worst re-runs deterministic work, never serves a
+// phantom result.
+//
+// The store is mechanism, not policy: it validates what it reads and
+// keeps writes atomic, while the server decides what to recover, when
+// to reap, and what the states mean.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"kanon/internal/relation"
+	"kanon/internal/stream"
+)
+
+// Store is a disk-backed job store rooted at one data directory. All
+// methods are safe for concurrent use: distinct jobs touch distinct
+// directories, and same-job writes are atomic renames.
+type Store struct {
+	dir string
+}
+
+// Open ensures the data directory (and its jobs/ subdirectory) exists
+// and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the data directory the store was opened on.
+func (s *Store) Dir() string { return s.dir }
+
+// jobDir returns the directory of one job. Callers must have validated
+// the ID (every public method does).
+func (s *Store) jobDir(id string) string {
+	return filepath.Join(s.dir, "jobs", id)
+}
+
+// CreateJob persists a newly admitted job: its directory, the request
+// table, and the initial manifest — in that order, so a manifest on
+// disk implies its request is readable.
+func (s *Store) CreateJob(m *Manifest, header []string, rows [][]string) error {
+	b, err := EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	dir := s.jobDir(m.ID)
+	if err := os.MkdirAll(filepath.Join(dir, "checkpoints"), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeCSVAtomic(filepath.Join(dir, "request.csv"), header, rows); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, "manifest.json"), b)
+}
+
+// WriteManifest atomically replaces a job's manifest — the state
+// transition commit.
+func (s *Store) WriteManifest(m *Manifest) error {
+	b, err := EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(s.jobDir(m.ID), "manifest.json"), b)
+}
+
+// ReadManifest loads and validates one job's manifest.
+func (s *Store) ReadManifest(id string) (*Manifest, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return DecodeManifest(b)
+}
+
+// ReadRequest loads the job's submitted table.
+func (s *Store) ReadRequest(id string) (header []string, rows [][]string, err error) {
+	return s.readCSV(id, "request.csv")
+}
+
+// WriteResult spools the job's release. Called before the manifest
+// flips to succeeded, so a succeeded manifest implies a readable
+// result.
+func (s *Store) WriteResult(id string, header []string, rows [][]string) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	return writeCSVAtomic(filepath.Join(s.jobDir(id), "result.csv"), header, rows)
+}
+
+// ReadResult loads the job's release.
+func (s *Store) ReadResult(id string) (header []string, rows [][]string, err error) {
+	return s.readCSV(id, "result.csv")
+}
+
+// readCSV loads one of the job's CSV spools through the shared codec.
+func (s *Store) readCSV(id, name string) (header []string, rows [][]string, err error) {
+	if err := ValidateID(id); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(filepath.Join(s.jobDir(id), name))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	header, rows, err = relation.ReadCSVRows(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reading %s for job %s: %w", name, id, err)
+	}
+	return header, rows, nil
+}
+
+// Delete reaps a job's entire directory — the TTL janitor's disk side.
+// Deleting a job that is not on disk is a no-op.
+func (s *Store) Delete(id string) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(s.jobDir(id)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Jobs scans the store and returns every decodable manifest, oldest
+// submission first (ties broken by ID) so recovery re-enqueues in the
+// original admission order. Entries that are not job directories or
+// whose manifests do not decode are reported in skipped — the caller
+// decides whether to warn; one corrupt directory never hides the rest.
+func (s *Store) Jobs() (manifests []*Manifest, skipped []string, err error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || ValidateID(e.Name()) != nil {
+			skipped = append(skipped, e.Name())
+			continue
+		}
+		m, err := s.ReadManifest(e.Name())
+		if err != nil || m.ID != e.Name() {
+			skipped = append(skipped, e.Name())
+			continue
+		}
+		manifests = append(manifests, m)
+	}
+	sort.Slice(manifests, func(i, j int) bool {
+		if !manifests[i].SubmittedAt.Equal(manifests[j].SubmittedAt) {
+			return manifests[i].SubmittedAt.Before(manifests[j].SubmittedAt)
+		}
+		return manifests[i].ID < manifests[j].ID
+	})
+	return manifests, skipped, nil
+}
+
+// Checkpoint returns the job's block-checkpoint sink for the stream
+// pipeline. The header is spooled with every block so the files are
+// self-describing CSV.
+func (s *Store) Checkpoint(id string, header []string) (*Checkpoint, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(s.jobDir(id), "checkpoints")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Checkpoint{dir: dir, header: append([]string(nil), header...)}, nil
+}
+
+// Checkpoint spools completed stream blocks for one job. It implements
+// stream.Checkpoint: Save is called concurrently by block workers (each
+// block owns distinct files, so no locking is needed), Load replays a
+// block on resume. The stat JSON is written after the row CSV and acts
+// as the commit marker: a crash between the two leaves a CSV without a
+// stat, which Load treats as "not checkpointed".
+type Checkpoint struct {
+	dir    string
+	header []string
+}
+
+var _ stream.Checkpoint = (*Checkpoint)(nil)
+
+// blockBase names a block's spool files; zero-padded so lexical order
+// is row order.
+func blockBase(lo, hi int) string {
+	return fmt.Sprintf("block-%09d-%09d", lo, hi)
+}
+
+// Save durably records one completed block: rows first, stat second.
+func (c *Checkpoint) Save(stat stream.BlockStat, rows [][]string) error {
+	base := filepath.Join(c.dir, blockBase(stat.Lo, stat.Hi))
+	if err := writeCSVAtomic(base+".csv", c.header, rows); err != nil {
+		return err
+	}
+	b, err := json.Marshal(&stat)
+	if err != nil {
+		return fmt.Errorf("store: encoding block stat: %w", err)
+	}
+	return writeFileAtomic(base+".stat.json", append(b, '\n'))
+}
+
+// Load replays the block [lo, hi) if both of its spool files are
+// present and parse. Anything short of that — missing files, torn or
+// foreign content — is ok=false: recomputing a block is always safe,
+// so the sink never turns a damaged checkpoint into a fatal error.
+func (c *Checkpoint) Load(lo, hi int) (rows [][]string, stat *stream.BlockStat, ok bool, err error) {
+	base := filepath.Join(c.dir, blockBase(lo, hi))
+	sb, err := os.ReadFile(base + ".stat.json")
+	if err != nil {
+		return nil, nil, false, nil
+	}
+	var st stream.BlockStat
+	if json.Unmarshal(sb, &st) != nil || st.Lo != lo || st.Hi != hi {
+		return nil, nil, false, nil
+	}
+	rb, err := os.ReadFile(base + ".csv")
+	if err != nil {
+		return nil, nil, false, nil
+	}
+	header, rows, err := relation.ReadCSVRows(bytes.NewReader(rb))
+	if err != nil || len(header) != len(c.header) {
+		return nil, nil, false, nil
+	}
+	return rows, &st, true, nil
+}
+
+// Blocks lists the committed checkpoints (stats only), in row order —
+// observability and test surface, not used by the resume path.
+func (c *Checkpoint) Blocks() ([]stream.BlockStat, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var stats []stream.BlockStat
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".json" {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(c.dir, name))
+		if err != nil {
+			continue
+		}
+		var st stream.BlockStat
+		if json.Unmarshal(b, &st) != nil {
+			continue
+		}
+		stats = append(stats, st)
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Lo < stats[j].Lo })
+	return stats, nil
+}
+
+// writeCSVAtomic spools a header+rows table through the shared codec,
+// then commits it atomically.
+func writeCSVAtomic(path string, header []string, rows [][]string) error {
+	var buf bytes.Buffer
+	if err := relation.WriteCSVRows(&buf, header, rows); err != nil {
+		return fmt.Errorf("store: encoding %s: %w", filepath.Base(path), err)
+	}
+	return writeFileAtomic(path, buf.Bytes())
+}
+
+// writeFileAtomic writes data to a same-directory temp file, fsyncs,
+// and renames it over path — the only write primitive in the store, so
+// every on-disk file is either absent or complete.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -41,6 +41,20 @@ type Options struct {
 	BlockRows int
 	// Refine applies cost-direct local search inside each block.
 	Refine bool
+	// RefineOpts tunes the per-block local search when Refine is set
+	// (MaxRounds, NoDissolve); nil runs the defaults, preserving the
+	// historical behavior. The pass's Ctx is threaded into the search
+	// regardless, overriding any Ctx set here.
+	RefineOpts *refine.Options
+	// Checkpoint, when non-nil, persists every completed block (its
+	// anonymized rows and BlockStat) and lets an interrupted pass
+	// resume: blocks the sink already holds are loaded instead of
+	// recomputed. Block bounds depend only on (rows, k, BlockRows) and
+	// every per-block algorithm is deterministic, so a resumed run's
+	// release is byte-identical to an uninterrupted one. A checkpoint
+	// whose shape does not match its block (changed parameters, torn
+	// write) is ignored and the block is recomputed.
+	Checkpoint Checkpoint
 	// Workers bounds how many blocks are anonymized concurrently: 0 (or
 	// negative) means runtime.NumCPU(), 1 forces the sequential path.
 	// Output and errors are identical for every worker count.
@@ -59,6 +73,24 @@ type Options struct {
 	// lifecycle. Nil (the default) is silent; events never steer the
 	// computation.
 	Log *obs.Events
+}
+
+// Checkpoint persists completed blocks so a crashed or cancelled pass
+// can resume without redoing them. Implementations must be safe for
+// concurrent Save calls (each block is saved at most once per pass,
+// from whichever worker finishes it); Load is only called before the
+// workers start. Rows cross the interface as rendered strings — the
+// release's own representation — so a sink can spool them through any
+// codec without sharing the table's interning state.
+type Checkpoint interface {
+	// Load returns the saved block for the exact range [lo, hi), or
+	// ok=false if the sink has no (complete) record of it. An error
+	// aborts the pass.
+	Load(lo, hi int) (rows [][]string, stat *BlockStat, ok bool, err error)
+	// Save durably records a block the pass just completed. An error
+	// aborts the pass: a run that cannot keep its durability promise
+	// fails loudly instead of degrading silently.
+	Save(stat BlockStat, rows [][]string) error
 }
 
 // BlockStat records one block's outcome for observability: its row
@@ -83,15 +115,21 @@ type Result struct {
 	Cost int
 	// Blocks is how many blocks were processed.
 	Blocks int
+	// BlocksResumed is how many of them were loaded from the Checkpoint
+	// sink instead of recomputed; 0 without a checkpoint.
+	BlocksResumed int
 	// BlockStats has one entry per block, in input order.
 	BlockStats []BlockStat
 }
 
-// blockResult is one worker's output for a block, held until ordered
-// reassembly.
+// blockResult is one block's output, held until ordered reassembly:
+// either a freshly anonymized sub-table (sharing the input's schema) or
+// the rendered rows a checkpoint replayed.
 type blockResult struct {
-	anon *relation.Table
-	stat BlockStat
+	anon    *relation.Table
+	rows    [][]string
+	stat    BlockStat
+	resumed bool
 }
 
 // Anonymize processes t in blocks and returns the concatenated
@@ -122,6 +160,31 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 	bounds := blockBounds(n, k, block)
 	results := make([]blockResult, len(bounds))
 	errs := make([]error, len(bounds))
+
+	// Resume: blocks the checkpoint sink already holds are replayed
+	// verbatim; only the remainder is anonymized. A record whose shape
+	// does not match the block it claims to be (parameters changed, torn
+	// write) is dropped and recomputed.
+	pending := len(bounds)
+	if opt.Checkpoint != nil {
+		for bi, b := range bounds {
+			lo, hi := b[0], b[1]
+			rows, stat, ok, err := opt.Checkpoint.Load(lo, hi)
+			if err != nil {
+				return nil, fmt.Errorf("stream: loading checkpoint for block [%d,%d): %w", lo, hi, err)
+			}
+			if !ok {
+				continue
+			}
+			if stat == nil || stat.Lo != lo || stat.Hi != hi || len(rows) != hi-lo || !rowsMatchDegree(rows, t.Degree()) {
+				opt.Log.Anomaly("checkpoint_invalid", int64(hi-lo))
+				continue
+			}
+			results[bi] = blockResult{rows: rows, stat: *stat, resumed: true}
+			pending--
+		}
+	}
+
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -145,7 +208,9 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 	blockCost := sp.Histogram("stream.block_cost")
 	progress := sp.Progress("stream.blocks")
 	progress.SetTotal(int64(len(bounds)))
-	queue.Set(int64(len(bounds)))
+	progress.Add(int64(len(bounds) - pending))
+	sp.Counter("stream.blocks_resumed").Add(int64(len(bounds) - pending))
+	queue.Set(int64(pending))
 	sp.Gauge("stream.workers").Set(int64(workers))
 	passStart := time.Time{}
 	if sp != nil {
@@ -156,6 +221,9 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 	}
 
 	process := func(bi int) {
+		if results[bi].resumed {
+			return
+		}
 		lo, hi := bounds[bi][0], bounds[bi][1]
 		if err := ctx.Err(); err != nil {
 			errs[bi] = fmt.Errorf("stream: block [%d,%d): %w", lo, hi, err)
@@ -193,8 +261,13 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 		}
 		stat := BlockStat{Lo: lo, Hi: hi}
 		if opt.Refine {
+			ro := refine.Options{}
+			if opt.RefineOpts != nil {
+				ro = *opt.RefineOpts
+			}
+			ro.Ctx = ctx
 			rs := bs.Start("refine")
-			st, err := refine.Partition(sub, r.Partition, k, nil)
+			st, err := refine.Partition(sub, r.Partition, k, &ro)
 			rs.End()
 			if err != nil {
 				errs[bi] = fmt.Errorf("stream: refining block [%d,%d): %w", lo, hi, err)
@@ -206,6 +279,16 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 		anon := sup.Apply(sub)
 		stat.Cost = sup.Stars()
 		blockCost.Observe(int64(stat.Cost))
+		if opt.Checkpoint != nil {
+			rendered := make([][]string, anon.Len())
+			for i := range rendered {
+				rendered[i] = anon.Strings(i)
+			}
+			if err := opt.Checkpoint.Save(stat, rendered); err != nil {
+				errs[bi] = fmt.Errorf("stream: checkpointing block [%d,%d): %w", lo, hi, err)
+				return
+			}
+		}
 		results[bi] = blockResult{anon: anon, stat: stat}
 	}
 	if workers <= 1 {
@@ -250,9 +333,21 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 	out := relation.NewTable(t.Schema())
 	res := &Result{BlockStats: make([]BlockStat, 0, len(bounds))}
 	for _, br := range results {
-		for i := 0; i < br.anon.Len(); i++ {
-			if err := out.AppendRow(br.anon.Row(i).Clone()); err != nil {
-				return nil, fmt.Errorf("stream: %w", err)
+		if br.resumed {
+			// Replayed rows re-intern into the live schema; the release
+			// compares at the string level, so this preserves the
+			// byte-identity invariant.
+			for _, r := range br.rows {
+				if err := out.AppendStrings(r...); err != nil {
+					return nil, fmt.Errorf("stream: %w", err)
+				}
+			}
+			res.BlocksResumed++
+		} else {
+			for i := 0; i < br.anon.Len(); i++ {
+				if err := out.AppendRow(br.anon.Row(i).Clone()); err != nil {
+					return nil, fmt.Errorf("stream: %w", err)
+				}
 			}
 		}
 		res.Cost += br.stat.Cost
@@ -264,6 +359,17 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 	}
 	res.Anonymized = out
 	return res, nil
+}
+
+// rowsMatchDegree reports whether every replayed row has the schema's
+// arity — the cheap structural check that gates checkpoint reuse.
+func rowsMatchDegree(rows [][]string, degree int) bool {
+	for _, r := range rows {
+		if len(r) != degree {
+			return false
+		}
+	}
+	return true
 }
 
 // blockBounds computes the [lo, hi) row ranges the table is cut into:

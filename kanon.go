@@ -136,6 +136,10 @@ type Options struct {
 	// algorithm survives. Ignored by AlgoExact, whose output cannot
 	// improve.
 	Refine bool
+	// RefineOpts tunes the Refine local search (rounds cap, move set);
+	// nil runs the defaults. The call's context is threaded into the
+	// search regardless, so a cancelled run aborts mid-refine too.
+	RefineOpts *refine.Options
 	// ColumnWeights prices each column's suppressed entries (nil means
 	// all 1, the paper's objective). Honored by AlgoGreedyBall (the
 	// weighted metric drives grouping) and AlgoExact (the DP minimizes
@@ -342,8 +346,13 @@ func AnonymizeContext(ctx context.Context, header []string, rows [][]string, k i
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("kanon: %w", err)
 		}
+		ro := refine.Options{}
+		if opts.RefineOpts != nil {
+			ro = *opts.RefineOpts
+		}
+		ro.Ctx = ctx
 		rs := root.Start("kanon.refine")
-		_, err := refine.Partition(t, p, k, nil)
+		_, err := refine.Partition(t, p, k, &ro)
 		rs.End()
 		if err != nil {
 			return nil, fmt.Errorf("kanon: refining: %w", err)
