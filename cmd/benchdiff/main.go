@@ -107,14 +107,18 @@ func diffReports(stdout io.Writer, base, cur *harness.BenchReport, wallTol, slac
 		curBy[c.Name] = c
 	}
 
-	fmt.Fprintf(stdout, "%-16s %12s %12s %7s  %8s %8s  %s\n",
-		"case", "base wall", "cur wall", "ratio", "base $", "cur $", "status")
+	// The mem columns (peak_alloc_bytes) are informational only: heap
+	// accounting shifts with the Go version and GC timing, so the gate
+	// never fails on them — they exist to make the O(n²) → O(n·m/64)
+	// memory trajectory visible next to the wall times.
+	fmt.Fprintf(stdout, "%-16s %12s %12s %7s  %8s %8s  %9s %9s  %s\n",
+		"case", "base wall", "cur wall", "ratio", "base $", "cur $", "base mem", "cur mem", "status")
 	failures := 0
 	for _, bc := range base.Cases {
 		cc, ok := curBy[bc.Name]
 		if !ok {
-			fmt.Fprintf(stdout, "%-16s %12s %12s %7s  %8d %8s  MISSING\n",
-				bc.Name, dur(bc.WallNS), "-", "-", bc.Cost, "-")
+			fmt.Fprintf(stdout, "%-16s %12s %12s %7s  %8d %8s  %9s %9s  MISSING\n",
+				bc.Name, dur(bc.WallNS), "-", "-", bc.Cost, "-", mem(bc.PeakAllocBytes), "-")
 			failures++
 			continue
 		}
@@ -129,13 +133,14 @@ func diffReports(stdout io.Writer, base, cur *harness.BenchReport, wallTol, slac
 			status = fmt.Sprintf("SLOW (limit %s)", dur(int64(limit)))
 			failures++
 		}
-		fmt.Fprintf(stdout, "%-16s %12s %12s %6.2fx  %8d %8d  %s\n",
-			bc.Name, dur(bc.WallNS), dur(cc.WallNS), ratio, bc.Cost, cc.Cost, status)
+		fmt.Fprintf(stdout, "%-16s %12s %12s %6.2fx  %8d %8d  %9s %9s  %s\n",
+			bc.Name, dur(bc.WallNS), dur(cc.WallNS), ratio, bc.Cost, cc.Cost,
+			mem(bc.PeakAllocBytes), mem(cc.PeakAllocBytes), status)
 	}
 	for _, cc := range cur.Cases {
 		if _, ok := baseBy[cc.Name]; !ok {
-			fmt.Fprintf(stdout, "%-16s %12s %12s %7s  %8s %8d  NEW (regenerate baseline)\n",
-				cc.Name, "-", dur(cc.WallNS), "-", "-", cc.Cost)
+			fmt.Fprintf(stdout, "%-16s %12s %12s %7s  %8s %8d  %9s %9s  NEW (regenerate baseline)\n",
+				cc.Name, "-", dur(cc.WallNS), "-", "-", cc.Cost, "-", mem(cc.PeakAllocBytes))
 			failures++
 		}
 	}
@@ -228,6 +233,23 @@ func load(path string) (*harness.BenchReport, error) {
 		return nil, fmt.Errorf("%s: not a bench report (missing schema)", path)
 	}
 	return &rep, nil
+}
+
+// mem renders a peak_alloc_bytes value; "-" for reports predating the
+// field.
+func mem(b int64) string {
+	switch {
+	case b <= 0:
+		return "-"
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
 }
 
 func dur(ns int64) string {

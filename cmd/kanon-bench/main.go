@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"kanon/internal/harness"
+	"kanon/internal/metric"
 	"kanon/internal/obs"
 )
 
@@ -40,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	format := fs.String("format", "text", "table format: text, md (markdown), or json (one object per line)")
 	jsonOut := fs.Bool("json", false, "shorthand for -format json (machine-readable bench results)")
 	workers := fs.Int("workers", 0, "worker goroutines for the algorithms under test (0 = all CPUs, 1 = sequential)")
+	kernelName := fs.String("kernel", "auto", "distance kernel for the algorithms under test: auto, dense, or bitset (cases pinned to a backend ignore it)")
 	regress := fs.Bool("regress", false, "run the pinned regression bench suite and emit one BenchReport JSON object (compare with benchdiff)")
 	slowdown := fs.Float64("slowdown", 1, "multiply the regression suite's recorded wall times (CI gate self-test only)")
 	trace := fs.Bool("trace", false, "print a per-experiment phase-timing tree to stderr")
@@ -78,7 +80,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	kern, err := metric.ParseChoice(*kernelName)
+	if err != nil {
+		return err
+	}
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers, Kernel: kern}
 	var man *harness.RunManifest
 	if *manifestOut != "" {
 		man = harness.NewManifest(cfg)

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// kernelCSV builds a deterministic clustered table big enough that the
+// greedy ball path does real work on both kernels.
+func kernelCSV(n int) string {
+	rng := rand.New(rand.NewSource(42))
+	var b strings.Builder
+	b.WriteString("age,zip,dx,ins\n")
+	for i := 0; i < n; i++ {
+		c := rng.Intn(8)
+		fmt.Fprintf(&b, "%d,%d,d%d,i%d\n",
+			20+c*5+rng.Intn(2), 15200+c, c%4, rng.Intn(3))
+	}
+	return b.String()
+}
+
+// TestKernelFlagByteIdentity is the CLI half of the cross-kernel
+// acceptance criterion: for every algorithm, with telemetry off and on,
+// -kernel dense and -kernel bitset must produce byte-identical output.
+func TestKernelFlagByteIdentity(t *testing.T) {
+	big := kernelCSV(200)
+	for _, tc := range []struct {
+		algo string
+		csv  string
+	}{
+		{"ball", big},
+		{"pattern", big},
+		{"kmember", big},
+		{"mondrian", big},
+		{"sorted", big},
+		{"random", big},
+		{"exhaustive", sampleCSV},
+		{"exact", sampleCSV},
+	} {
+		for _, trace := range []bool{false, true} {
+			args := func(kernel string) []string {
+				a := []string{"-k", "2", "-algo", tc.algo, "-kernel", kernel, "-seed", "7"}
+				if trace {
+					a = append(a, "-trace")
+				}
+				return a
+			}
+			dense, _, err := runCLI(t, args("dense"), tc.csv)
+			if err != nil {
+				t.Fatalf("%s dense: %v", tc.algo, err)
+			}
+			bitset, _, err := runCLI(t, args("bitset"), tc.csv)
+			if err != nil {
+				t.Fatalf("%s bitset: %v", tc.algo, err)
+			}
+			auto, _, err := runCLI(t, args("auto"), tc.csv)
+			if err != nil {
+				t.Fatalf("%s auto: %v", tc.algo, err)
+			}
+			if dense != bitset {
+				t.Errorf("%s (trace=%v): dense and bitset outputs differ", tc.algo, trace)
+			}
+			if dense != auto {
+				t.Errorf("%s (trace=%v): dense and auto outputs differ", tc.algo, trace)
+			}
+		}
+	}
+}
+
+// TestKernelFlagBlockStreaming pins the stream pipeline's kernel
+// threading: the block path must be byte-identical across kernels too.
+func TestKernelFlagBlockStreaming(t *testing.T) {
+	csv := kernelCSV(300)
+	run := func(kernel string) string {
+		out, _, err := runCLI(t, []string{"-k", "2", "-block", "64", "-kernel", kernel}, csv)
+		if err != nil {
+			t.Fatalf("block %s: %v", kernel, err)
+		}
+		return out
+	}
+	dense, bitset := run("dense"), run("bitset")
+	if dense != bitset {
+		t.Error("block streaming: dense and bitset outputs differ")
+	}
+}
+
+func TestKernelFlagRejectsUnknown(t *testing.T) {
+	if _, _, err := runCLI(t, []string{"-k", "2", "-kernel", "sparse"}, sampleCSV); err == nil {
+		t.Error("accepted unknown kernel name")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"kanon"
 	"kanon/internal/core"
+	"kanon/internal/metric"
 	"kanon/internal/obs"
 	"kanon/internal/quality"
 	"kanon/internal/relation"
@@ -61,6 +62,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	verify := fs.Bool("verify", false, "verify the input is already k-anonymous instead of anonymizing; exit 1 if not")
 	block := fs.Int("block", 0, "stream in blocks of this many rows (bounded memory; 0 = whole table at once)")
 	workers := fs.Int("workers", 0, "worker goroutines for the parallel hot paths (0 = all CPUs, 1 = sequential; output is identical)")
+	kernelName := fs.String("kernel", "auto", "distance kernel: auto, dense (precomputed O(n²) matrix), or bitset (matrix-free popcount rows; output is identical)")
 	weightsArg := fs.String("weights", "", "comma-separated per-column suppression weights, e.g. 3,1,1,5 (ball and exact only)")
 	trace := fs.Bool("trace", false, "print the phase-timing tree and counters to stderr")
 	traceJSON := fs.Bool("trace-json", false, "print the trace as one JSON object to stderr")
@@ -78,6 +80,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 
 	alg, err := kanon.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	kern, err := kanon.ParseKernel(*kernelName)
 	if err != nil {
 		return err
 	}
@@ -148,14 +154,14 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	if *block > 0 {
 		// The block path threads the span straight into the stream
 		// pipeline, so its per-block spans land under "anonymize".
-		res, err = streamAnonymize(ctx, header, rows, *k, *block, *refine, *workers, as, obs.NewEvents(logger, obs.NewRunID()))
+		res, err = streamAnonymize(ctx, header, rows, *k, *block, *refine, *workers, *kernelName, as, obs.NewEvents(logger, obs.NewRunID()))
 	} else {
 		// The facade attaches its phase tree under this span directly,
 		// so the debug server and the progress ticker observe the run
 		// live rather than after the fact.
 		res, err = kanon.AnonymizeContext(ctx, header, rows, *k, &kanon.Options{
-			Algorithm: alg, Seed: *seed, Refine: *refine, ColumnWeights: weights,
-			Workers: *workers, Span: as, Log: logger,
+			Algorithm: alg, Kernel: kern, Seed: *seed, Refine: *refine,
+			ColumnWeights: weights, Workers: *workers, Span: as, Log: logger,
 		})
 	}
 	as.End()
@@ -297,14 +303,18 @@ func parseWeights(arg string, m int) ([]int, error) {
 // streamAnonymize runs the bounded-memory block pipeline and adapts its
 // output to the facade's Result shape; groups are recovered from the
 // released table's textual equivalence classes.
-func streamAnonymize(ctx context.Context, header []string, rows [][]string, k, block int, doRefine bool, workers int, sp *obs.Span, ev *obs.Events) (*kanon.Result, error) {
+func streamAnonymize(ctx context.Context, header []string, rows [][]string, k, block int, doRefine bool, workers int, kernelName string, sp *obs.Span, ev *obs.Events) (*kanon.Result, error) {
 	t := relation.NewTable(relation.NewSchema(header...))
 	for _, r := range rows {
 		if err := t.AppendStrings(r...); err != nil {
 			return nil, err
 		}
 	}
-	sr, err := stream.Anonymize(t, k, &stream.Options{Ctx: ctx, BlockRows: block, Refine: doRefine, Workers: workers, Trace: sp, Log: ev})
+	kern, err := metric.ParseChoice(kernelName)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := stream.Anonymize(t, k, &stream.Options{Ctx: ctx, BlockRows: block, Refine: doRefine, Workers: workers, Kernel: kern, Trace: sp, Log: ev})
 	if err != nil {
 		return nil, err
 	}

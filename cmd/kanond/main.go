@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"kanon"
 	"kanon/internal/obs"
 	"kanon/internal/server"
 	"kanon/internal/store"
@@ -55,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job deadline and the ceiling for client-requested timeouts")
 	resultTTL := fs.Duration("result-ttl", 15*time.Minute, "how long finished jobs stay retrievable")
 	maxBody := fs.Int64("max-body", 32<<20, "request body limit in bytes")
+	kernelName := fs.String("kernel", "auto", "default distance kernel for jobs that omit ?kernel=: auto, dense, or bitset (output is identical)")
 	dataDir := fs.String("data-dir", "", "persist jobs (requests, manifests, results, block checkpoints) under this directory; empty keeps everything in memory")
 	recoverJobs := fs.Bool("recover", true, "with -data-dir, re-admit jobs found queued or running on disk at startup and resume their block checkpoints")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget before running jobs are cancelled")
@@ -66,6 +68,10 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	if *version {
 		fmt.Fprintln(stdout, obs.ReadBuild().String())
 		return nil
+	}
+	kern, err := kanon.ParseKernel(*kernelName)
+	if err != nil {
+		return err
 	}
 
 	var logger *slog.Logger
@@ -85,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 		JobTimeout:    *jobTimeout,
 		ResultTTL:     *resultTTL,
 		MaxBodyBytes:  *maxBody,
+		Kernel:        kern,
 		Log:           logger,
 		Store:         st,
 		Recover:       *recoverJobs,

@@ -50,6 +50,13 @@ type Options struct {
 	// forces the sequential path. Results are byte-identical for every
 	// worker count.
 	Workers int
+	// Kernel selects the distance-kernel backend: metric.Auto (the
+	// zero value) picks dense below metric.AutoBitsetThreshold rows and
+	// the matrix-free bitset kernel at or above it; metric.Dense and
+	// metric.Bitset force a backend. Results are byte-identical for
+	// every choice — only time and memory change. The weighted variant
+	// ignores it (column weights need the dense matrix).
+	Kernel metric.Choice
 	// Trace is the parent span phase spans and counters attach under;
 	// nil (the default) disables instrumentation at the cost of a nil
 	// check per span. Tracing never changes results.
@@ -97,7 +104,7 @@ func GreedyExhaustive(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
-	mat, err := buildMatrix(t, opt)
+	mat, err := buildKernel(t, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +142,7 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 	if r, done := trivialResult(t, k); done {
 		return r, nil
 	}
-	mat, err := buildMatrix(t, opt)
+	mat, err := buildKernel(t, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -169,34 +176,41 @@ func GreedyBall(t *relation.Table, k int, opt *Options) (*Result, error) {
 	return finish(t, mat, k, chosen, opt, st)
 }
 
-// buildMatrix fills the distance matrix under its phase span, reporting
-// the int16→int32 widening fallback as an anomaly event when it fires.
-// The fill polls the Options context per row, so a cancelled run aborts
-// its O(n²m) phase promptly.
-func buildMatrix(t *relation.Table, opt *Options) (*metric.Matrix, error) {
+// buildKernel constructs the distance kernel selected by Options.Kernel
+// under the phase span, reporting the int16→int32 widening fallback of
+// the dense path as an anomaly event when it fires and counting which
+// backend ran. Construction polls the Options context (per row on the
+// dense fill, per row block on the bitset packing), so a cancelled run
+// aborts its heaviest phase promptly.
+func buildKernel(t *relation.Table, opt *Options) (metric.Kernel, error) {
 	opt.Log.PhaseStart("matrix")
 	var start time.Time
 	if opt.Log.Enabled() {
 		start = time.Now()
 	}
 	ms := opt.Trace.Start("algo.distance-matrix")
-	mat, err := metric.NewMatrixCtx(opt.ctx(), t, opt.Workers)
+	kern, err := metric.NewKernelCtx(opt.ctx(), t, opt.Kernel, opt.Workers)
 	ms.End()
 	if err != nil {
-		return nil, fmt.Errorf("algo: distance matrix: %w", err)
+		return nil, fmt.Errorf("algo: distance kernel: %w", err)
 	}
-	if mat.Wide() {
-		opt.Log.Anomaly("matrix_widened", int64(t.Len()))
+	if mat, ok := kern.(*metric.Matrix); ok {
+		opt.Trace.Counter("algo.kernel_dense").Add(1)
+		if mat.Wide() {
+			opt.Log.Anomaly("matrix_widened", int64(t.Len()))
+		}
+	} else {
+		opt.Trace.Counter("algo.kernel_bitset").Add(1)
 	}
 	if opt.Log.Enabled() {
 		opt.Log.PhaseDone("matrix", time.Since(start))
 	}
-	return mat, nil
+	return kern, nil
 }
 
 // finish runs Phase 2 and the suppression step shared by both
 // algorithms.
-func finish(t *relation.Table, mat *metric.Matrix, k int, chosen []cover.Set, opt *Options, st Stats) (*Result, error) {
+func finish(t *relation.Table, mat metric.Kernel, k int, chosen []cover.Set, opt *Options, st Stats) (*Result, error) {
 	if err := opt.ctx().Err(); err != nil {
 		return nil, fmt.Errorf("algo: %w", err)
 	}

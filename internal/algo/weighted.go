@@ -30,8 +30,11 @@ func GreedyBallWeighted(t *relation.Table, k int, w core.Weights, opt *Options) 
 		return r, nil
 	}
 	ms := opt.Trace.Start("algo.distance-matrix")
-	mat := core.WeightedMatrix(t, w)
+	mat, err := core.WeightedMatrixCtx(opt.ctx(), t, w, opt.Workers)
 	ms.End()
+	if err != nil {
+		return nil, fmt.Errorf("algo: weighted distance matrix: %w", err)
+	}
 	var st Stats
 
 	start := time.Now()

@@ -41,7 +41,7 @@ type AnonDiameterBounds struct {
 
 // GroupBounds computes the quantities of AnonDiameterBounds for one
 // group.
-func GroupBounds(t *relation.Table, m *metric.Matrix, group []int) AnonDiameterBounds {
+func GroupBounds(t *relation.Table, m metric.Kernel, group []int) AnonDiameterBounds {
 	return AnonDiameterBounds{
 		Size:       len(group),
 		Diameter:   m.Diameter(group),
@@ -69,7 +69,7 @@ type Lemma41Check struct {
 
 // CheckLemma41 evaluates both sandwiches on a concrete (k, 2k−1)
 // partition.
-func CheckLemma41(t *relation.Table, m *metric.Matrix, p *Partition, k int) Lemma41Check {
+func CheckLemma41(t *relation.Table, m metric.Kernel, p *Partition, k int) Lemma41Check {
 	c := Lemma41Check{
 		K:           k,
 		DiameterSum: p.DiameterSum(m),

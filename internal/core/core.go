@@ -145,7 +145,7 @@ func (p *Partition) Cost(t *relation.Table) int {
 
 // DiameterSum returns Σ_{S∈p} d(S), the objective of the k-minimum
 // diameter sum problem.
-func (p *Partition) DiameterSum(m *metric.Matrix) int {
+func (p *Partition) DiameterSum(m metric.Kernel) int {
 	total := 0
 	for _, g := range p.Groups {
 		total += m.Diameter(g)
@@ -233,7 +233,7 @@ func splitChunks(g []int, k int) [][]int {
 // first element), so that consecutive chunks hold similar rows. This is
 // the similarity-aware split policy measured by ablation E10; it
 // preserves the same worst-case bound as the arbitrary split.
-func (p *Partition) SplitOversizeSorted(k int, m *metric.Matrix) {
+func (p *Partition) SplitOversizeSorted(k int, m metric.Kernel) {
 	var out [][]int
 	for _, g := range p.Groups {
 		if len(g) < 2*k {
@@ -248,7 +248,7 @@ func (p *Partition) SplitOversizeSorted(k int, m *metric.Matrix) {
 
 // nearestNeighborOrder returns g reordered as a greedy nearest-neighbor
 // chain starting from g[0].
-func nearestNeighborOrder(g []int, m *metric.Matrix) []int {
+func nearestNeighborOrder(g []int, m metric.Kernel) []int {
 	remaining := make([]int, len(g))
 	copy(remaining, g)
 	out := make([]int, 0, len(g))

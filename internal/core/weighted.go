@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"kanon/internal/metric"
@@ -101,10 +102,20 @@ func (s *Suppressor) WeightedStars(w Weights) int {
 
 // WeightedMatrix builds the d_w distance matrix for a table.
 func WeightedMatrix(t *relation.Table, w Weights) *metric.Matrix {
+	m, _ := WeightedMatrixCtx(context.Background(), t, w, 1)
+	return m
+}
+
+// WeightedMatrixCtx is WeightedMatrix with cancellation and
+// parallelism: the O(n²m) fill polls ctx per row and shards rows
+// across workers, like the unweighted NewMatrixCtx. The matrix is
+// byte-identical for every worker count; a non-nil error wraps
+// ctx.Err().
+func WeightedMatrixCtx(ctx context.Context, t *relation.Table, w Weights, workers int) (*metric.Matrix, error) {
 	if w == nil {
-		return metric.NewMatrix(t)
+		return metric.NewMatrixCtx(ctx, t, workers)
 	}
-	return metric.NewMatrixFunc(t.Len(), func(i, j int) int {
+	return metric.NewMatrixFuncCtx(ctx, t.Len(), workers, func(i, j int) int {
 		ri, rj := t.Row(i), t.Row(j)
 		d := 0
 		for c := range ri {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"kanon/internal/metric"
 	"kanon/internal/obs"
@@ -13,17 +14,19 @@ import (
 // GreedyBalls runs the greedy cover over the ball family without
 // materializing it, which is what makes Theorem 4.2's algorithm scale.
 // It is exactly equivalent to Greedy(n, Balls(mat, k,
-// WeightRadiusBound)) (the tests cross-check costs) but stores only one
-// sorted neighbor order per center, so memory is O(n²) small words
-// instead of O(n² ) full member slices, and each round re-evaluates at
-// most a few centers.
+// WeightRadiusBound)) (the tests cross-check costs) but stores at most
+// one sorted neighbor order per center, so memory is O(n²) small words
+// instead of O(n²) full member slices, and each round re-evaluates at
+// most a few centers. Under a matrix-free kernel not even the orders
+// are cached: each center evaluation recomputes its distance row into
+// pooled scratch, keeping the whole cover at O(n·workers) memory.
 //
 // Correctness of the laziness: for a fixed center, every ball's ratio
 // weight/uncovered is nondecreasing as the covered region grows, hence
 // so is the center's best ratio. A priority queue keyed by last-known
 // best ratio therefore yields the true global minimum once the popped
 // center's recomputed key is no worse than the next key in the queue.
-func GreedyBalls(mat *metric.Matrix, k int) ([]Set, error) {
+func GreedyBalls(mat metric.Kernel, k int) ([]Set, error) {
 	return GreedyBallsParallel(mat, k, 0)
 }
 
@@ -32,7 +35,7 @@ func GreedyBalls(mat *metric.Matrix, k int) ([]Set, error) {
 // order precomputation is sharded — the greedy selection loop is
 // inherently sequential — so the chosen cover is byte-identical for
 // every worker count.
-func GreedyBallsParallel(mat *metric.Matrix, k, workers int) ([]Set, error) {
+func GreedyBallsParallel(mat metric.Kernel, k, workers int) ([]Set, error) {
 	return GreedyBallsParallelTraced(mat, k, workers, nil)
 }
 
@@ -42,7 +45,7 @@ func GreedyBallsParallel(mat *metric.Matrix, k, workers int) ([]Set, error) {
 // and counters for greedy rounds run (cover.greedy_rounds), center
 // re-evaluations (cover.balls_considered), and sets picked
 // (cover.sets_picked). Tracing never changes the chosen cover.
-func GreedyBallsParallelTraced(mat *metric.Matrix, k, workers int, sp *obs.Span) ([]Set, error) {
+func GreedyBallsParallelTraced(mat metric.Kernel, k, workers int, sp *obs.Span) ([]Set, error) {
 	return GreedyBallsCtx(context.Background(), mat, k, workers, sp)
 }
 
@@ -51,7 +54,7 @@ func GreedyBallsParallelTraced(mat *metric.Matrix, k, workers int, sp *obs.Span)
 // precompute and once per selection round, so covers over large tables
 // abort promptly when the caller cancels or times out. The returned
 // error wraps ctx.Err().
-func GreedyBallsCtx(ctx context.Context, mat *metric.Matrix, k, workers int, sp *obs.Span) ([]Set, error) {
+func GreedyBallsCtx(ctx context.Context, mat metric.Kernel, k, workers int, sp *obs.Span) ([]Set, error) {
 	n := mat.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("cover: k = %d < 1", k)
@@ -60,35 +63,43 @@ func GreedyBallsCtx(ctx context.Context, mat *metric.Matrix, k, workers int, sp 
 		return nil, fmt.Errorf("cover: n = %d < k = %d", n, k)
 	}
 
-	// ord[c] holds the other rows sorted by distance from c (ties by
-	// index, matching Balls for reproducible cross-checks). Built by
-	// the counting-sort kernel, one center per worker: O(n + m) per
-	// center instead of the comparison sort's O(n log n).
-	ns := sp.Start("cover.neighbor-order")
-	ord := make([][]int32, n)
-	forEachIndex(n, workers, func(c int) {
-		if ctx.Err() != nil {
-			return // drain remaining centers cheaply; checked below
+	// Dense matrices cache one neighbor order per center (ord[c]: the
+	// other rows sorted by distance from c, ties by index, matching
+	// Balls for reproducible cross-checks) — the cache costs at most
+	// the matrix's own O(n²) footprint again, and makes re-evaluations
+	// pure lookups. Matrix-free kernels skip the cache entirely: every
+	// center evaluation recomputes its distance row and order into
+	// pooled scratch, keeping the cover at O(n·workers) memory — the
+	// point of running matrix-free.
+	var ord [][]int32
+	if _, dense := mat.(*metric.Matrix); dense {
+		ns := sp.Start("cover.neighbor-order")
+		ord = make([][]int32, n)
+		forEachIndex(n, workers, func(c int) {
+			if ctx.Err() != nil {
+				return // drain remaining centers cheaply; checked below
+			}
+			s := getScratch(n)
+			neighborOrder(mat, c, s)
+			o := make([]int32, n)
+			copy(o, s.ord)
+			putScratch(s)
+			ord[c] = o
+		})
+		ns.End()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cover: neighbor order: %w", err)
 		}
-		s := getScratch(n)
-		neighborOrder(mat, c, s)
-		o := make([]int32, n)
-		copy(o, s.ord)
-		putScratch(s)
-		ord[c] = o
-	})
-	ns.End()
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("cover: neighbor order: %w", err)
 	}
 
 	gs := sp.Start("cover.greedy")
 	defer gs.End()
-	rounds, considered := 0, 0
+	rounds := 0
+	var considered atomic.Int64
 	var chosen []Set
 	defer func() {
 		sp.Counter("cover.greedy_rounds").Add(int64(rounds))
-		sp.Counter("cover.balls_considered").Add(int64(considered))
+		sp.Counter("cover.balls_considered").Add(considered.Load())
 		sp.Counter("cover.sets_picked").Add(int64(len(chosen)))
 	}()
 	ballRadius := sp.Histogram("cover.ball_radius")
@@ -100,12 +111,27 @@ func GreedyBallsCtx(ctx context.Context, mat *metric.Matrix, k, workers int, sp 
 	covered := make([]bool, n)
 	remaining := n
 
-	// bestBall returns the minimum-ratio ball centered at c against the
-	// current covered set: its (weight, uncovered, prefix length), or
-	// ok=false if no ball of c contains an uncovered element.
-	bestBall := func(c int) (w, unc, end int, ok bool) {
-		considered++
-		o := ord[c]
+	// evalCenter returns the minimum-ratio ball centered at c against
+	// the current covered set, or ok=false if no ball of c contains an
+	// uncovered element. It fills s.dist with c's distance row (and,
+	// without the dense cache, s.ord with c's neighbor order) as a side
+	// effect the caller may consume.
+	evalCenter := func(c int, s *ballScratch) (w, unc, end int, ok bool) {
+		considered.Add(1)
+		var o []int32
+		if ord != nil {
+			o = ord[c]
+			if rf, has := mat.(metric.RowFiller); has {
+				rf.DistRow(c, s.dist)
+			} else {
+				for v := 0; v < n; v++ {
+					s.dist[v] = int32(mat.Dist(c, v))
+				}
+			}
+		} else {
+			neighborOrder(mat, c, s)
+			o = s.ord
+		}
 		uncCount := 0
 		bw, bu, be := 0, 0, 0
 		for e := 0; e < n; e++ {
@@ -116,10 +142,10 @@ func GreedyBallsCtx(ctx context.Context, mat *metric.Matrix, k, workers int, sp 
 			if size < k || uncCount == 0 {
 				continue
 			}
-			if size < n && mat.Dist(c, int(o[e+1])) == mat.Dist(c, int(o[e])) {
+			if size < n && s.dist[o[e+1]] == s.dist[o[e]] {
 				continue // not a distance boundary
 			}
-			weight := 2 * mat.Dist(c, int(o[e]))
+			weight := 2 * int(s.dist[o[e]])
 			if !ok || better(weight, uncCount, bw, bu) {
 				bw, bu, be, ok = weight, uncCount, size, true
 			}
@@ -127,14 +153,37 @@ func GreedyBallsCtx(ctx context.Context, mat *metric.Matrix, k, workers int, sp 
 		return bw, bu, be, ok
 	}
 
+	// Initial heap: every center evaluated against the empty cover.
+	// Evaluations are independent (covered is all-false), so they shard
+	// across workers; entries are assembled in center order, keeping
+	// the heap — and hence the chosen cover — byte-identical for every
+	// worker count.
+	entries := make([]centerEntry, n)
+	valid := make([]bool, n)
+	forEachIndex(n, workers, func(c int) {
+		if ctx.Err() != nil {
+			return // drain remaining centers cheaply; checked below
+		}
+		s := getScratch(n)
+		if w, unc, end, ok := evalCenter(c, s); ok {
+			entries[c] = centerEntry{center: c, weight: w, unc: unc, end: end}
+			valid[c] = true
+		}
+		putScratch(s)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cover: ball greedy: %w", err)
+	}
 	pq := make(centerHeap, 0, n)
 	for c := 0; c < n; c++ {
-		if w, unc, end, ok := bestBall(c); ok {
-			pq = append(pq, centerEntry{center: c, weight: w, unc: unc, end: end})
+		if valid[c] {
+			pq = append(pq, entries[c])
 		}
 	}
 	heap.Init(&pq)
 
+	scratch := getScratch(n)
+	defer putScratch(scratch)
 	for remaining > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("cover: ball greedy: %w", err)
@@ -144,7 +193,7 @@ func GreedyBallsCtx(ctx context.Context, mat *metric.Matrix, k, workers int, sp 
 		}
 		rounds++
 		top := heap.Pop(&pq).(centerEntry)
-		w, unc, end, ok := bestBall(top.center)
+		w, unc, end, ok := evalCenter(top.center, scratch)
 		if !ok {
 			continue
 		}
@@ -153,9 +202,15 @@ func GreedyBallsCtx(ctx context.Context, mat *metric.Matrix, k, workers int, sp 
 			heap.Push(&pq, fresh)
 			continue
 		}
+		// scratch.ord still holds top.center's order from the eval just
+		// above when running without the dense cache.
+		o := scratch.ord
+		if ord != nil {
+			o = ord[top.center]
+		}
 		members := make([]int, end)
 		for i := 0; i < end; i++ {
-			v := int(ord[top.center][i])
+			v := int(o[i])
 			members[i] = v
 			if !covered[v] {
 				covered[v] = true
@@ -169,7 +224,7 @@ func GreedyBallsCtx(ctx context.Context, mat *metric.Matrix, k, workers int, sp 
 		roundSize.Observe(int64(unc))
 		progress.Add(int64(unc))
 		if remaining > 0 {
-			if w2, unc2, end2, ok2 := bestBall(top.center); ok2 {
+			if w2, unc2, end2, ok2 := evalCenter(top.center, scratch); ok2 {
 				heap.Push(&pq, centerEntry{center: top.center, weight: w2, unc: unc2, end: end2})
 			}
 		}

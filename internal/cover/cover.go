@@ -317,7 +317,7 @@ func ReduceTraced(n int, chosen []Set, k int, sp *obs.Span) (*core.Partition, er
 
 // DiameterSum sums true diameters of the chosen sets — the Phase 1
 // objective value under actual diameters (weights may be upper bounds).
-func DiameterSum(mat *metric.Matrix, sets []Set) int {
+func DiameterSum(mat metric.Kernel, sets []Set) int {
 	total := 0
 	for _, s := range sets {
 		total += mat.Diameter(s.Members)

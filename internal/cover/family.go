@@ -15,14 +15,14 @@ import (
 // accidental blow-ups (pass 0 for the default of 5 million). Use the
 // ball family when this errors — that trade-off is exactly the paper's
 // §4.3.
-func Exhaustive(mat *metric.Matrix, k, maxSets int) ([]Set, error) {
+func Exhaustive(mat metric.Kernel, k, maxSets int) ([]Set, error) {
 	return ExhaustiveTraced(mat, k, maxSets, nil)
 }
 
 // ExhaustiveTraced is Exhaustive with instrumentation under the given
 // parent span: a "cover.family.exhaustive" span around the enumeration
 // and a cover.sets_generated counter for the candidate sets emitted.
-func ExhaustiveTraced(mat *metric.Matrix, k, maxSets int, sp *obs.Span) ([]Set, error) {
+func ExhaustiveTraced(mat metric.Kernel, k, maxSets int, sp *obs.Span) ([]Set, error) {
 	return ExhaustiveCtx(context.Background(), mat, k, maxSets, sp)
 }
 
@@ -30,7 +30,7 @@ func ExhaustiveTraced(mat *metric.Matrix, k, maxSets int, sp *obs.Span) ([]Set, 
 // polled every 1024 enumerated sets, so the O(|V|^{2k−1}) enumeration
 // aborts promptly when the caller cancels or times out. The returned
 // error wraps ctx.Err().
-func ExhaustiveCtx(ctx context.Context, mat *metric.Matrix, k, maxSets int, sp *obs.Span) ([]Set, error) {
+func ExhaustiveCtx(ctx context.Context, mat metric.Kernel, k, maxSets int, sp *obs.Span) ([]Set, error) {
 	fs := sp.Start("cover.family.exhaustive")
 	defer fs.End()
 	n := mat.Len()
@@ -130,7 +130,7 @@ const (
 // are identical once degenerate radii are removed, so the advice is
 // moot — this constructor exists to substantiate that claim and for the
 // E10 ablation.
-func BallsWitness(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
+func BallsWitness(mat metric.Kernel, k int, w BallWeight) ([]Set, error) {
 	return BallsWitnessParallel(mat, k, w, 0)
 }
 
@@ -139,7 +139,7 @@ func BallsWitness(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
 // independent, so per-center results are computed concurrently and
 // concatenated in center order — the output is identical for every
 // worker count.
-func BallsWitnessParallel(mat *metric.Matrix, k int, w BallWeight, workers int) ([]Set, error) {
+func BallsWitnessParallel(mat metric.Kernel, k int, w BallWeight, workers int) ([]Set, error) {
 	n := mat.Len()
 	if k < 1 {
 		return nil, fmt.Errorf("cover: k = %d < 1", k)
@@ -212,7 +212,7 @@ func mergeCenters(perCenter [][]Set) []Set {
 // and enumerating witnesses c' produce the same sets. The paper's advice
 // to "substitute whichever collection is smaller" is therefore moot
 // after deduplication — E10 confirms.
-func Balls(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
+func Balls(mat metric.Kernel, k int, w BallWeight) ([]Set, error) {
 	return BallsParallel(mat, k, w, 0)
 }
 
@@ -221,7 +221,7 @@ func Balls(mat *metric.Matrix, k int, w BallWeight) ([]Set, error) {
 // the counting-sort radius kernel (ballsForCenter) on one worker; the
 // per-center results are concatenated in center order, so the family is
 // byte-identical for every worker count.
-func BallsParallel(mat *metric.Matrix, k int, w BallWeight, workers int) ([]Set, error) {
+func BallsParallel(mat metric.Kernel, k int, w BallWeight, workers int) ([]Set, error) {
 	return BallsParallelTraced(mat, k, w, workers, nil)
 }
 
@@ -230,7 +230,7 @@ func BallsParallel(mat *metric.Matrix, k int, w BallWeight, workers int) ([]Set,
 // construction and a cover.sets_generated counter for the Lemma 4.2
 // candidate balls emitted. The family is identical with and without a
 // span.
-func BallsParallelTraced(mat *metric.Matrix, k int, w BallWeight, workers int, sp *obs.Span) ([]Set, error) {
+func BallsParallelTraced(mat metric.Kernel, k int, w BallWeight, workers int, sp *obs.Span) ([]Set, error) {
 	return BallsCtx(context.Background(), mat, k, w, workers, sp)
 }
 
@@ -238,7 +238,7 @@ func BallsParallelTraced(mat *metric.Matrix, k int, w BallWeight, workers int, s
 // checked once per center, so family construction over large tables
 // aborts promptly when the caller cancels or times out. The returned
 // error wraps ctx.Err().
-func BallsCtx(ctx context.Context, mat *metric.Matrix, k int, w BallWeight, workers int, sp *obs.Span) ([]Set, error) {
+func BallsCtx(ctx context.Context, mat metric.Kernel, k int, w BallWeight, workers int, sp *obs.Span) ([]Set, error) {
 	fs := sp.Start("cover.family.balls")
 	defer fs.End()
 	n := mat.Len()

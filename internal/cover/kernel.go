@@ -42,14 +42,23 @@ func putScratch(s *ballScratch) { scratchPool.Put(s) }
 // heavily weighted columns) fall back to the comparison sort rather
 // than allocating giant bucket arrays; both paths produce the identical
 // order.
-func neighborOrder(mat *metric.Matrix, c int, s *ballScratch) {
+func neighborOrder(mat metric.Kernel, c int, s *ballScratch) {
 	n := mat.Len()
 	maxd := 0
-	for v := 0; v < n; v++ {
-		d := mat.Dist(c, v)
-		s.dist[v] = int32(d)
-		if d > maxd {
-			maxd = d
+	if rf, ok := mat.(metric.RowFiller); ok {
+		rf.DistRow(c, s.dist)
+		for _, d := range s.dist {
+			if int(d) > maxd {
+				maxd = int(d)
+			}
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			d := mat.Dist(c, v)
+			s.dist[v] = int32(d)
+			if d > maxd {
+				maxd = d
+			}
 		}
 	}
 	if maxd > countingSortCutoff(n) {
@@ -105,20 +114,33 @@ func countingSortCutoff(n int) int {
 // A ball's member list is materialized by one O(n) threshold scan of
 // the distance row (already sorted by index), so no per-ball sort is
 // needed. In WeightTrueDiameter mode the diameter is maintained
-// incrementally while the prefix grows — extending by ord[e] costs an
-// O(e) scan — so a center pays O(n²) total instead of recomputing
-// Diameter from scratch per ball (O(Σ end²)).
-func ballsForCenter(mat *metric.Matrix, k int, w BallWeight, c int, s *ballScratch) []Set {
+// incrementally while the prefix grows — extending by ord[e] costs at
+// most an O(e) scan — so a center pays O(n²) total instead of
+// recomputing Diameter from scratch per ball (O(Σ end²)). The scan is
+// pruned by the triangle inequality: d(a, x) ≤ r_a + r_x, so members
+// with r_a ≤ diam − r_x cannot raise the diameter, and the radii
+// ascend along ord, so only a binary-searched suffix of the prefix is
+// visited; once diam reaches the metric's bound the sweep stops
+// entirely. Pruning never changes the computed diameters.
+func ballsForCenter(mat metric.Kernel, k int, w BallWeight, c int, s *ballScratch) []Set {
 	n := mat.Len()
 	neighborOrder(mat, c, s)
 	var sets []Set
 	diam := 0
+	dmax := mat.MaxDist()
 	for end := 1; end <= n; end++ {
-		if w == WeightTrueDiameter && end > 1 {
+		if w == WeightTrueDiameter && end > 1 && diam < dmax {
 			x := int(s.ord[end-1])
-			for i := 0; i < end-1; i++ {
+			lo := 0
+			if thr := int32(diam) - s.dist[x]; thr >= 0 {
+				lo = sort.Search(end-1, func(i int) bool { return s.dist[s.ord[i]] > thr })
+			}
+			for i := lo; i < end-1; i++ {
 				if d := mat.Dist(int(s.ord[i]), x); d > diam {
 					diam = d
+					if diam >= dmax {
+						break
+					}
 				}
 			}
 		}

@@ -1,0 +1,75 @@
+package cover
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kanon/internal/dataset"
+	"kanon/internal/metric"
+)
+
+// TestGreedyBallsKernelEquivalence pins the lazy (matrix-free) greedy
+// ball path to the dense one: the chosen cover must be byte-identical
+// across kernels, for every worker count, on both clustered and
+// near-uniform data. This is the cover-layer half of the repo-wide
+// cross-kernel byte-identity contract.
+func TestGreedyBallsKernelEquivalence(t *testing.T) {
+	for _, seed := range []int64{5, 23} {
+		for _, n := range []int{30, 120} {
+			for _, k := range []int{2, 4} {
+				rng := rand.New(rand.NewSource(seed))
+				tab := dataset.Census(rng, n, 6)
+				mat := metric.NewMatrix(tab)
+				bit, err := metric.NewBitKernelCtx(context.Background(), tab)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := GreedyBallsCtx(context.Background(), mat, k, 1, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 3, 0} {
+					got, err := GreedyBallsCtx(context.Background(), bit, k, workers, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("seed=%d n=%d k=%d workers=%d: lazy cover differs from dense", seed, n, k, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBallsFamilyKernelEquivalence does the same for the materialized
+// families, including the true-diameter weighting whose pruned sweep
+// must reproduce the dense diameters exactly.
+func TestBallsFamilyKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tab := dataset.Census(rng, 70, 6)
+	mat := metric.NewMatrix(tab)
+	bit, err := metric.NewBitKernelCtx(context.Background(), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []BallWeight{WeightRadiusBound, WeightTrueDiameter} {
+		for _, k := range []int{2, 3} {
+			want, err := BallsCtx(context.Background(), mat, k, w, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				got, err := BallsCtx(context.Background(), bit, k, w, workers, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("weighting=%v k=%d workers=%d: bitset family differs from dense", w, k, workers)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -44,7 +45,10 @@ func BranchBoundTraced(t *relation.Table, k int, maxNodes int64, sp *obs.Span) (
 	if maxNodes <= 0 {
 		maxNodes = 50_000_000
 	}
-	mat := metric.NewMatrix(t)
+	// Auto kernel selection: the (k−1)-NN warm-up is the only metric
+	// consumer here, so large instances get the matrix-free kernel's
+	// tiled counting-sort pass instead of an O(n²) matrix fill.
+	mat, _ := metric.NewKernelCtx(context.Background(), t, metric.Auto, 0)
 	nnLB := mat.KthNearest(k - 1)
 
 	// Greedy initial incumbent: lexicographic chunks — cheap, valid.
@@ -215,7 +219,7 @@ func LowerBoundNN(t *relation.Table, k int) int {
 	if k < 2 {
 		return 0
 	}
-	mat := metric.NewMatrix(t)
+	mat, _ := metric.NewKernelCtx(context.Background(), t, metric.Auto, 0)
 	total := 0
 	for _, v := range mat.KthNearest(k - 1) {
 		total += v

@@ -224,7 +224,7 @@ func solveCost(ctx context.Context, t *relation.Table, k int, groupCost func([]i
 }
 
 // groupCostFunc returns the per-group cost for the objective.
-func groupCostFunc(t *relation.Table, mat *metric.Matrix, obj Objective) func([]int) int {
+func groupCostFunc(t *relation.Table, mat metric.Kernel, obj Objective) func([]int) int {
 	switch obj {
 	case Stars:
 		return func(g []int) int { return core.Anon(t, g) }

@@ -19,6 +19,7 @@
 package generalize
 
 import (
+	"context"
 	"fmt"
 
 	"kanon/internal/core"
@@ -244,6 +245,16 @@ func Distance(t *relation.Table, s Scheme, i, j int) int {
 // generalization metric and generalizes each group, yielding a
 // k-anonymous generalized release.
 func Anonymize(t *relation.Table, k int, s Scheme) (*Result, error) {
+	return AnonymizeCtx(context.Background(), t, k, s, 1)
+}
+
+// AnonymizeCtx is Anonymize with cancellation and parallelism: the
+// O(n²) hierarchy-distance matrix fill polls ctx per row and shards
+// rows across workers (0 means all CPUs), and the greedy cover polls
+// per round, so a cancelled run aborts promptly. The release is
+// byte-identical for every worker count; a non-nil error wraps
+// ctx.Err().
+func AnonymizeCtx(ctx context.Context, t *relation.Table, k int, s Scheme, workers int) (*Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("generalize: k = %d < 1", k)
 	}
@@ -260,8 +271,11 @@ func Anonymize(t *relation.Table, k int, s Scheme) (*Result, error) {
 		}
 		return Apply(t, p, s, k)
 	}
-	mat := metric.NewMatrixFunc(t.Len(), func(i, j int) int { return Distance(t, s, i, j) })
-	chosen, err := cover.GreedyBalls(mat, k)
+	mat, err := metric.NewMatrixFuncCtx(ctx, t.Len(), workers, func(i, j int) int { return Distance(t, s, i, j) })
+	if err != nil {
+		return nil, fmt.Errorf("generalize: %w", err)
+	}
+	chosen, err := cover.GreedyBallsCtx(ctx, mat, k, workers, nil)
 	if err != nil {
 		return nil, fmt.Errorf("generalize: %w", err)
 	}

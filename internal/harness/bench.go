@@ -20,6 +20,7 @@ import (
 	"kanon/internal/core"
 	"kanon/internal/dataset"
 	"kanon/internal/exact"
+	"kanon/internal/metric"
 	"kanon/internal/pattern"
 	"kanon/internal/relation"
 	"kanon/internal/stream"
@@ -44,6 +45,13 @@ type BenchCase struct {
 	// WallNS is the case's wall time in nanoseconds (monotonic clock),
 	// best of BenchReps runs.
 	WallNS int64 `json:"wall_ns"`
+	// PeakAllocBytes is the heap allocated during the case — the
+	// runtime.MemStats.TotalAlloc delta across one run, minimum over
+	// the reps, after a forced GC. It upper-bounds the case's working
+	// set, so it exposes O(n²) materialization: a dense n×n matrix
+	// shows up as ≥ 2n² bytes here, the matrix-free kernel as O(n·m/64).
+	// benchdiff reports it as informational only; it never gates.
+	PeakAllocBytes int64 `json:"peak_alloc_bytes,omitempty"`
 }
 
 // BenchReport is the suite's self-describing output: environment,
@@ -101,7 +109,10 @@ type benchSpec struct {
 	name    string
 	n, m, k int
 	quickN  int // n under Config.Quick
-	run     func(t *relation.Table, k, workers int) (cost int, err error)
+	// kern pins the case to one distance-kernel backend; metric.Auto
+	// (the zero value) defers to Config.Kernel.
+	kern metric.Choice
+	run  func(t *relation.Table, k, workers int, kern metric.Choice) (cost int, err error)
 }
 
 // benchSpecs returns the pinned suite. Every solver family appears:
@@ -111,8 +122,15 @@ type benchSpec struct {
 // seconds — small enough for CI, large enough that a real regression
 // in a hot path moves the needle.
 func benchSpecs() []benchSpec {
-	ball := func(t *relation.Table, k, workers int) (int, error) {
-		r, err := algo.GreedyBall(t, k, &algo.Options{Workers: workers})
+	ball := func(t *relation.Table, k, workers int, kern metric.Choice) (int, error) {
+		r, err := algo.GreedyBall(t, k, &algo.Options{Workers: workers, Kernel: kern})
+		if err != nil {
+			return 0, err
+		}
+		return r.Cost, nil
+	}
+	stream_ := func(t *relation.Table, k, workers int, kern metric.Choice) (int, error) {
+		r, err := stream.Anonymize(t, k, &stream.Options{BlockRows: 512, Workers: workers, Kernel: kern})
 		if err != nil {
 			return 0, err
 		}
@@ -121,14 +139,14 @@ func benchSpecs() []benchSpec {
 	return []benchSpec{
 		{name: "ball_planted", n: 1200, m: 8, k: 3, quickN: 300, run: ball},
 		{name: "ball_census", n: 1500, m: 6, k: 4, quickN: 300, run: ball},
-		{name: "ball_diam", n: 600, m: 8, k: 3, quickN: 200, run: func(t *relation.Table, k, workers int) (int, error) {
-			r, err := algo.GreedyBall(t, k, &algo.Options{TrueDiameterWeights: true, Workers: workers})
+		{name: "ball_diam", n: 600, m: 8, k: 3, quickN: 200, run: func(t *relation.Table, k, workers int, kern metric.Choice) (int, error) {
+			r, err := algo.GreedyBall(t, k, &algo.Options{TrueDiameterWeights: true, Workers: workers, Kernel: kern})
 			if err != nil {
 				return 0, err
 			}
 			return r.Cost, nil
 		}},
-		{name: "ball_weighted", n: 800, m: 6, k: 3, quickN: 200, run: func(t *relation.Table, k, workers int) (int, error) {
+		{name: "ball_weighted", n: 800, m: 6, k: 3, quickN: 200, run: func(t *relation.Table, k, workers int, kern metric.Choice) (int, error) {
 			w := make(core.Weights, t.Degree())
 			for j := range w {
 				w[j] = 1 + j%3
@@ -139,34 +157,35 @@ func benchSpecs() []benchSpec {
 			}
 			return r.WeightedCost, nil
 		}},
-		{name: "exhaustive", n: 60, m: 6, k: 2, quickN: 40, run: func(t *relation.Table, k, workers int) (int, error) {
-			r, err := algo.GreedyExhaustive(t, k, &algo.Options{Workers: workers})
+		{name: "exhaustive", n: 60, m: 6, k: 2, quickN: 40, run: func(t *relation.Table, k, workers int, kern metric.Choice) (int, error) {
+			r, err := algo.GreedyExhaustive(t, k, &algo.Options{Workers: workers, Kernel: kern})
 			if err != nil {
 				return 0, err
 			}
 			return r.Cost, nil
 		}},
-		{name: "pattern", n: 800, m: 10, k: 3, quickN: 200, run: func(t *relation.Table, k, workers int) (int, error) {
+		{name: "pattern", n: 800, m: 10, k: 3, quickN: 200, run: func(t *relation.Table, k, workers int, kern metric.Choice) (int, error) {
 			r, err := pattern.Anonymize(t, k)
 			if err != nil {
 				return 0, err
 			}
 			return r.Cost, nil
 		}},
-		{name: "exact_dp", n: 18, m: 5, k: 3, quickN: 14, run: func(t *relation.Table, k, workers int) (int, error) {
+		{name: "exact_dp", n: 18, m: 5, k: 3, quickN: 14, run: func(t *relation.Table, k, workers int, kern metric.Choice) (int, error) {
 			r, err := exact.Solve(t, k, exact.Stars)
 			if err != nil {
 				return 0, err
 			}
 			return r.Value, nil
 		}},
-		{name: "stream", n: 8000, m: 8, k: 3, quickN: 1500, run: func(t *relation.Table, k, workers int) (int, error) {
-			r, err := stream.Anonymize(t, k, &stream.Options{BlockRows: 512, Workers: workers})
-			if err != nil {
-				return 0, err
-			}
-			return r.Cost, nil
-		}},
+		{name: "stream", n: 8000, m: 8, k: 3, quickN: 1500, run: stream_},
+		// The two large-n cases pin the matrix-free kernel: at these
+		// sizes a dense matrix would cost 800 MB (ball_bitset) and make
+		// the case a memory benchmark instead of a kernel benchmark.
+		// Their peak_alloc_bytes in the baseline documents the
+		// O(n·m/64) footprint.
+		{name: "ball_bitset", n: 20000, m: 8, k: 3, quickN: 2000, kern: metric.Bitset, run: ball},
+		{name: "stream_bitset", n: 100000, m: 8, k: 3, quickN: 5000, kern: metric.Bitset, run: stream_},
 	}
 }
 
@@ -205,12 +224,21 @@ func RunBenchSuite(cfg Config, slowdown float64) (*BenchReport, error) {
 			n = spec.quickN
 		}
 		t := benchTable(spec, n, rep.Seed, i)
+		kern := spec.kern
+		if kern == metric.Auto {
+			kern = cfg.Kernel
+		}
 		var cost int
-		var best int64
+		var best, bestAlloc int64
+		var ms0, ms1 runtime.MemStats
 		for r := 0; r < BenchReps; r++ {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
 			start := time.Now()
-			c, err := spec.run(t, spec.k, cfg.Workers)
+			c, err := spec.run(t, spec.k, cfg.Workers, kern)
 			el := time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&ms1)
+			alloc := int64(ms1.TotalAlloc - ms0.TotalAlloc)
 			if err != nil {
 				return nil, fmt.Errorf("harness: bench case %s: %w", spec.name, err)
 			}
@@ -222,14 +250,18 @@ func RunBenchSuite(cfg Config, slowdown float64) (*BenchReport, error) {
 			if r == 0 || el < best {
 				best = el
 			}
+			if r == 0 || alloc < bestAlloc {
+				bestAlloc = alloc
+			}
 		}
 		rep.Cases = append(rep.Cases, BenchCase{
-			Name:   spec.name,
-			N:      n,
-			M:      spec.m,
-			K:      spec.k,
-			Cost:   cost,
-			WallNS: int64(float64(best) * slowdown),
+			Name:           spec.name,
+			N:              n,
+			M:              spec.m,
+			K:              spec.k,
+			Cost:           cost,
+			WallNS:         int64(float64(best) * slowdown),
+			PeakAllocBytes: bestAlloc,
 		})
 	}
 	return rep, nil

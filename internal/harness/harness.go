@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"kanon/internal/metric"
 )
 
 // Config tunes experiment scale.
@@ -26,6 +28,10 @@ type Config struct {
 	// (0 = all CPUs, 1 = sequential). E3 and E8 additionally sweep it
 	// where the comparison is the point of the experiment.
 	Workers int
+	// Kernel selects the distance-kernel backend for the metric-driven
+	// solvers (metric.Auto sizes it to each instance). Bench cases
+	// pinned to a specific backend ignore it.
+	Kernel metric.Choice
 }
 
 // DefaultSeed is the corpus seed used for EXPERIMENTS.md.

@@ -52,6 +52,8 @@ type RunManifest struct {
 	Seed       int64         `json:"seed"`
 	Workers    int           `json:"workers"`
 	Quick      bool          `json:"quick"`
+	// Kernel is the configured distance-kernel backend's short name.
+	Kernel string `json:"kernel,omitempty"`
 	// StartUnixNS is the run's wall-clock start (Unix nanoseconds).
 	StartUnixNS int64 `json:"start_unix_ns"`
 	// WallNS is the whole run's duration, set by Finish.
@@ -77,6 +79,7 @@ func NewManifest(cfg Config) *RunManifest {
 		Seed:        cfg.EffectiveSeed(),
 		Workers:     cfg.Workers,
 		Quick:       cfg.Quick,
+		Kernel:      cfg.Kernel.String(),
 		StartUnixNS: now.UnixNano(),
 		start:       now,
 	}

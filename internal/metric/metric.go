@@ -101,6 +101,90 @@ func NewMatrixFunc(n int, dist func(i, j int) int) *Matrix {
 	return m
 }
 
+// NewMatrixFuncCtx is NewMatrixFunc with cancellation and parallelism:
+// the fill polls ctx once per row and shards rows across workers (0 or
+// negative means all CPUs), so the generalization and weighted paths
+// abort as promptly as NewMatrixCtx does. Because an arbitrary metric's
+// range is unknown up front, the fill stages into int32 and narrows to
+// int16 afterwards when every distance fits; the result is identical to
+// NewMatrixFunc for every worker count. A non-nil error wraps
+// ctx.Err().
+func NewMatrixFuncCtx(ctx context.Context, n, workers int, dist func(i, j int) int) (*Matrix, error) {
+	wide := make([]int32, n*n)
+	var sharedMax atomic.Int64
+	fill := func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		localMax := 0
+		for j := i + 1; j < n; j++ {
+			v := dist(i, j)
+			if v < 0 || v > math.MaxInt32 {
+				panic(fmt.Sprintf("metric: distance d(%d,%d) = %d outside [0, MaxInt32]", i, j, v))
+			}
+			if v > localMax {
+				localMax = v
+			}
+			wide[i*n+j] = int32(v)
+			wide[j*n+i] = int32(v)
+		}
+		for {
+			cur := sharedMax.Load()
+			if int64(localMax) <= cur || sharedMax.CompareAndSwap(cur, int64(localMax)) {
+				return nil
+			}
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	var firstErr error
+	if workers <= 1 || n < parallelThreshold {
+		for i := 0; i < n && firstErr == nil; i++ {
+			firstErr = fill(i)
+		}
+	} else {
+		// Interleave rows across workers like NewMatrixCtx: row i costs
+		// ~(n−i) pairs, so striding balances the load queue-free.
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += workers {
+					if errs[w] = fill(i); errs[w] != nil {
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("metric: distance matrix: %w", firstErr)
+	}
+	m := &Matrix{n: n, maxD: int(sharedMax.Load())}
+	if m.maxD > maxNarrow {
+		m.wide = wide
+		return m, nil
+	}
+	m.d = make([]int16, n*n)
+	for i, v := range wide {
+		m.d[i] = int16(v)
+	}
+	return m, nil
+}
+
 // set stores d(i, j) = d(j, i) = v, widening the backing array the
 // first time a value exceeds the narrow range.
 func (m *Matrix) set(i, j, v int) {
@@ -255,6 +339,20 @@ func (m *Matrix) MaxDist() int { return m.maxD }
 // exceeded math.MaxInt16).
 func (m *Matrix) Wide() bool { return m.wide != nil }
 
+// DistRow copies row center of the matrix into out — the RowFiller
+// fast path the cover package's radius kernels use instead of n Dist
+// calls.
+func (m *Matrix) DistRow(center int, out []int32) {
+	if m.wide != nil {
+		copy(out, m.wide[center*m.n:(center+1)*m.n])
+		return
+	}
+	row := m.d[center*m.n : (center+1)*m.n]
+	for v, d := range row {
+		out[v] = int32(d)
+	}
+}
+
 // Diameter returns the diameter of the index set using precomputed
 // distances.
 func (m *Matrix) Diameter(indices []int) int {
@@ -305,6 +403,25 @@ func (m *Matrix) KthNearest(r int) []int {
 	if r <= 0 {
 		return out
 	}
+	// Counting sort over maxD+1 buckets: one O(n) histogram pass per
+	// row instead of the O(r·n) selection scan. Metrics whose range
+	// dwarfs n (heavily weighted columns) fall back to selection rather
+	// than allocating giant bucket arrays.
+	if m.maxD <= 8*m.n+1024 {
+		cnt := make([]int32, m.maxD+1)
+		for i := 0; i < m.n; i++ {
+			for j := range cnt {
+				cnt[j] = 0
+			}
+			for j := 0; j < m.n; j++ {
+				if j != i {
+					cnt[m.Dist(i, j)]++
+				}
+			}
+			out[i] = kthFromCounts(cnt, r)
+		}
+		return out
+	}
 	buf := make([]int, 0, m.n-1)
 	for i := 0; i < m.n; i++ {
 		buf = buf[:0]
@@ -313,8 +430,6 @@ func (m *Matrix) KthNearest(r int) []int {
 				buf = append(buf, m.Dist(i, j))
 			}
 		}
-		// Selection of the r-th smallest; n is small enough that a
-		// partial insertion pass beats sorting allocations.
 		out[i] = kthSmallest(buf, r)
 	}
 	return out

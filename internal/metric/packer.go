@@ -1,0 +1,63 @@
+package metric
+
+import (
+	"math/bits"
+
+	"kanon/internal/relation"
+)
+
+// RadixPacker assigns every (column, symbol) pair a mixed-radix weight
+// so that a row's projection onto any column subset hashes perfectly
+// into a uint64. Column j with alphabet Σ_j gets radix |Σ_j|+1 (slot 0
+// for relation.Star, slot c+1 for code c) and positional weight
+// w_j = Π_{i<j}(|Σ_i|+1); a projection key is Σ_{j∈P} w_j·slot_j.
+// Uniqueness of the mixed-radix representation makes keys collide
+// exactly when the projections agree — excluded columns contribute the
+// zero digit for both rows being compared, so they never mix with
+// in-pattern stars. The pattern solver uses this in place of byte-string
+// bucket keys, turning each of its 2^m bucket passes from string
+// hashing and allocation into integer map inserts.
+type RadixPacker struct {
+	m      int
+	digits []uint64 // n×m, digits[i*m+j] = w_j · slot(row_i[j])
+}
+
+// NewRadixPacker precomputes the per-row digits for t, or returns nil
+// when the full-width radix product overflows uint64 (astronomically
+// wide or high-cardinality tables); callers then keep their generic
+// bucketing path.
+func NewRadixPacker(t *relation.Table) *RadixPacker {
+	n, m := t.Len(), t.Degree()
+	sch := t.Schema()
+	weights := make([]uint64, m)
+	w := uint64(1)
+	for j := 0; j < m; j++ {
+		weights[j] = w
+		radix := uint64(sch.Attribute(j).AlphabetSize() + 1)
+		hi, lo := bits.Mul64(w, radix)
+		if hi != 0 {
+			return nil
+		}
+		w = lo
+	}
+	p := &RadixPacker{m: m, digits: make([]uint64, n*m)}
+	for i := 0; i < n; i++ {
+		row := t.Row(i)
+		d := p.digits[i*m : (i+1)*m]
+		for j, code := range row {
+			d[j] = weights[j] * uint64(slotOf(code))
+		}
+	}
+	return p
+}
+
+// ProjectionKey returns the perfect-hash key of row i projected onto
+// the columns set in the pattern bitmask.
+func (p *RadixPacker) ProjectionKey(i int, pattern uint) uint64 {
+	d := p.digits[i*p.m : (i+1)*p.m]
+	key := uint64(0)
+	for pat := pattern; pat != 0; pat &= pat - 1 {
+		key += d[bits.TrailingZeros(pat)]
+	}
+	return key
+}

@@ -31,6 +31,7 @@ import (
 
 	"kanon/internal/core"
 	"kanon/internal/cover"
+	"kanon/internal/metric"
 	"kanon/internal/obs"
 	"kanon/internal/relation"
 )
@@ -89,27 +90,59 @@ func AnonymizeCtx(ctx context.Context, t *relation.Table, k int, sp *obs.Span) (
 
 	fs := sp.Start("pattern.family")
 	var family []cover.Set
-	for pat := 0; pat < 1<<uint(m); pat++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("pattern: family: %w", err)
+	emit := func(g []int, starCols int) {
+		if len(g) < k {
+			return
 		}
-		starCols := m - bits.OnesCount(uint(pat))
-		buckets := map[string][]int{}
-		var order []string
-		for i := 0; i < n; i++ {
-			key := patternKey(t.Row(i), pat)
-			if _, ok := buckets[key]; !ok {
-				order = append(order, key)
+		// Weight = total stars for this group: |g| rows × starCols.
+		family = append(family, cover.Set{Members: g, Weight: len(g) * starCols})
+	}
+	if pk := metric.NewRadixPacker(t); pk != nil {
+		// Fast path: each row's projection onto the pattern hashes
+		// perfectly into a uint64 (mixed-radix digits precomputed per
+		// row), so the 2^m bucket passes do integer map operations
+		// instead of building and hashing byte-string keys. Buckets are
+		// emitted in first-occurrence order — the exact order the
+		// string path produces — so the family, and therefore the
+		// greedy cover, is byte-identical.
+		buckets := map[uint64][]int{}
+		var order []uint64
+		for pat := 0; pat < 1<<uint(m); pat++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pattern: family: %w", err)
 			}
-			buckets[key] = append(buckets[key], i)
+			starCols := m - bits.OnesCount(uint(pat))
+			clear(buckets)
+			order = order[:0]
+			for i := 0; i < n; i++ {
+				key := pk.ProjectionKey(i, uint(pat))
+				if _, ok := buckets[key]; !ok {
+					order = append(order, key)
+				}
+				buckets[key] = append(buckets[key], i)
+			}
+			for _, key := range order {
+				emit(buckets[key], starCols)
+			}
 		}
-		for _, key := range order {
-			g := buckets[key]
-			if len(g) < k {
-				continue
+	} else {
+		for pat := 0; pat < 1<<uint(m); pat++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pattern: family: %w", err)
 			}
-			// Weight = total stars for this group: |g| rows × starCols.
-			family = append(family, cover.Set{Members: g, Weight: len(g) * starCols})
+			starCols := m - bits.OnesCount(uint(pat))
+			buckets := map[string][]int{}
+			var order []string
+			for i := 0; i < n; i++ {
+				key := patternKey(t.Row(i), pat)
+				if _, ok := buckets[key]; !ok {
+					order = append(order, key)
+				}
+				buckets[key] = append(buckets[key], i)
+			}
+			for _, key := range order {
+				emit(buckets[key], starCols)
+			}
 		}
 	}
 

@@ -61,17 +61,25 @@ type JobRequest struct {
 	Timeout time.Duration
 	// Trace collects the phase-span tree into the job's status.
 	Trace bool
+	// Kernel selects the distance-kernel backend; output is identical
+	// for every choice. Meaningful only when KernelSet is true —
+	// otherwise Submit fills in the server's configured default.
+	Kernel kanon.Kernel
+	// KernelSet records whether the submission named a kernel
+	// explicitly (the zero kanon.Kernel is the valid "auto", so
+	// presence cannot be read off the value alone).
+	KernelSet bool
 }
 
 // ParseJobRequest validates the query parameters of a submission:
-// k (required), algo, workers, block, refine, seed, timeout, trace.
-// Unknown parameters are rejected so typos fail loudly instead of
-// silently running with defaults.
+// k (required), algo, workers, block, refine, seed, timeout, trace,
+// kernel. Unknown parameters are rejected so typos fail loudly instead
+// of silently running with defaults.
 func ParseJobRequest(q url.Values) (JobRequest, error) {
 	req := JobRequest{Algorithm: kanon.AlgoGreedyBall}
 	for key := range q {
 		switch key {
-		case "k", "algo", "workers", "block", "refine", "seed", "timeout", "trace":
+		case "k", "algo", "workers", "block", "refine", "seed", "timeout", "trace", "kernel":
 		default:
 			return req, fmt.Errorf("unknown parameter %q", key)
 		}
@@ -133,6 +141,13 @@ func ParseJobRequest(q url.Values) (JobRequest, error) {
 		}
 		req.Trace = b
 	}
+	if v := q.Get("kernel"); v != "" {
+		kern, err := kanon.ParseKernel(v)
+		if err != nil {
+			return req, err
+		}
+		req.Kernel, req.KernelSet = kern, true
+	}
 	return req, nil
 }
 
@@ -189,6 +204,7 @@ func (j *Job) manifest() *store.Manifest {
 		State:       string(j.state),
 		K:           j.Req.K,
 		Algo:        j.Req.Algorithm.String(),
+		Kernel:      j.Req.Kernel.String(),
 		Workers:     j.Req.Workers,
 		BlockRows:   j.Req.BlockRows,
 		Refine:      j.Req.Refine,
@@ -218,9 +234,15 @@ func (j *Job) manifest() *store.Manifest {
 
 // requestFromManifest rebuilds the request a manifest records — the
 // recovery path's inverse of manifest(). The manifest was validated on
-// decode; only the algorithm name still needs parsing.
+// decode; only the algorithm and kernel names still need parsing. A
+// manifest written before the kernel field existed has an empty name,
+// which parses to the auto kernel.
 func requestFromManifest(m *store.Manifest) (JobRequest, error) {
 	algo, err := kanon.ParseAlgorithm(m.Algo)
+	if err != nil {
+		return JobRequest{}, err
+	}
+	kern, err := kanon.ParseKernel(m.Kernel)
 	if err != nil {
 		return JobRequest{}, err
 	}
@@ -232,6 +254,8 @@ func requestFromManifest(m *store.Manifest) (JobRequest, error) {
 		Refine:    m.Refine,
 		Seed:      m.Seed,
 		Timeout:   time.Duration(m.TimeoutMS) * time.Millisecond,
+		Kernel:    kern,
+		KernelSet: true,
 	}, nil
 }
 
@@ -242,8 +266,11 @@ type Status struct {
 	State State  `json:"state"`
 	K     int    `json:"k"`
 	Algo  string `json:"algo"`
-	Rows  int    `json:"rows"`
-	Cols  int    `json:"cols"`
+	// Kernel is the resolved distance-kernel backend the job runs
+	// under (the submission's choice, or the server default).
+	Kernel string `json:"kernel"`
+	Rows   int    `json:"rows"`
+	Cols   int    `json:"cols"`
 	// Cost is the suppression objective; present once succeeded.
 	Cost *int `json:"cost,omitempty"`
 	// Error is the failure or cancellation reason, if terminal and not
@@ -266,6 +293,7 @@ func (j *Job) Status() Status {
 		State:       j.state,
 		K:           j.Req.K,
 		Algo:        j.Req.Algorithm.String(),
+		Kernel:      j.Req.Kernel.String(),
 		Rows:        len(j.rows),
 		Cols:        len(j.header),
 		SubmittedAt: j.submitted,

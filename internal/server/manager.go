@@ -11,6 +11,7 @@ import (
 
 	"kanon"
 	"kanon/internal/core"
+	"kanon/internal/metric"
 	"kanon/internal/obs"
 	"kanon/internal/relation"
 	"kanon/internal/store"
@@ -36,6 +37,10 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the hint returned with 429 responses. Default 1s.
 	RetryAfter time.Duration
+	// Kernel is the distance-kernel backend for jobs whose submission
+	// does not name one. The zero value (kanon.KernelAuto) sizes the
+	// choice to each job's table; output is identical either way.
+	Kernel kanon.Kernel
 	// Log receives structured job lifecycle events (with each job's ID
 	// as run_id); nil is silent.
 	Log *slog.Logger
@@ -293,6 +298,13 @@ func (m *Manager) Submit(header []string, rows [][]string, req JobRequest) (*Job
 	if err := validateInstance(req, len(rows)); err != nil {
 		return nil, err
 	}
+	// Resolve the kernel default at admission so the choice is frozen
+	// into the job's manifest: a recovered job re-runs with the kernel
+	// it was admitted under even if the server restarts with a
+	// different -kernel default.
+	if !req.KernelSet {
+		req.Kernel, req.KernelSet = m.cfg.Kernel, true
+	}
 	job := &Job{
 		ID:        obs.NewRunID(),
 		Req:       req,
@@ -499,6 +511,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*kanon.Result, int, er
 	}
 	res, err := kanon.AnonymizeContext(ctx, job.header, job.rows, req.K, &kanon.Options{
 		Algorithm: req.Algorithm,
+		Kernel:    req.Kernel,
 		Seed:      req.Seed,
 		Refine:    req.Refine,
 		Workers:   req.Workers,
@@ -526,6 +539,7 @@ func streamResult(ctx context.Context, job *Job, ckpt stream.Checkpoint) (*kanon
 		BlockRows:  job.Req.BlockRows,
 		Refine:     job.Req.Refine,
 		Workers:    job.Req.Workers,
+		Kernel:     kernelChoice(job.Req.Kernel),
 		Checkpoint: ckpt,
 	})
 	if err != nil {
@@ -544,6 +558,17 @@ func streamResult(ctx context.Context, job *Job, ckpt stream.Checkpoint) (*kanon
 		Groups: groups.Groups,
 		Cost:   sr.Cost,
 	}, sr.BlocksResumed, nil
+}
+
+// kernelChoice maps the public kernel enum to the internal choice the
+// stream layer takes; the facade does this conversion itself on the
+// non-stream path. Kernel names parse by construction.
+func kernelChoice(k kanon.Kernel) metric.Choice {
+	c, err := metric.ParseChoice(k.String())
+	if err != nil {
+		return metric.Auto
+	}
+	return c
 }
 
 // janitor evicts terminal jobs whose result TTL has expired.

@@ -47,6 +47,10 @@ type Manifest struct {
 	K int `json:"k"`
 	// Algo is the algorithm's short name (kanon.ParseAlgorithm format).
 	Algo string `json:"algo"`
+	// Kernel is the distance-kernel's short name (kanon.ParseKernel
+	// format). Manifests written before the field existed decode it as
+	// "", which parses to the auto kernel.
+	Kernel string `json:"kernel,omitempty"`
 	// Workers, BlockRows, Refine, and Seed replay the request's knobs.
 	Workers   int   `json:"workers,omitempty"`
 	BlockRows int   `json:"block_rows,omitempty"`

@@ -221,7 +221,9 @@ func TestCheckpointSaveErrorAborts(t *testing.T) {
 
 type failingSink struct{}
 
-func (failingSink) Load(lo, hi int) ([][]string, *BlockStat, bool, error) { return nil, nil, false, nil }
+func (failingSink) Load(lo, hi int) ([][]string, *BlockStat, bool, error) {
+	return nil, nil, false, nil
+}
 func (failingSink) Save(stat BlockStat, rows [][]string) error {
 	return fmt.Errorf("disk full")
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"kanon/internal/algo"
+	"kanon/internal/metric"
 	"kanon/internal/obs"
 	"kanon/internal/refine"
 	"kanon/internal/relation"
@@ -59,6 +60,10 @@ type Options struct {
 	// negative) means runtime.NumCPU(), 1 forces the sequential path.
 	// Output and errors are identical for every worker count.
 	Workers int
+	// Kernel selects the distance-kernel backend of the default
+	// per-block algorithm (metric.Auto, Dense, or Bitset); ignored when
+	// Algo is set. The release is byte-identical for every choice.
+	Kernel metric.Choice
 	// Algo runs per block; nil means algo.GreedyBall with defaults. A
 	// custom Algo must be safe for concurrent calls when Workers != 1
 	// (the default GreedyBall is).
@@ -253,7 +258,7 @@ func Anonymize(t *relation.Table, k int, opt *Options) (*Result, error) {
 		if opt.Algo != nil {
 			r, err = opt.Algo(sub, k)
 		} else {
-			r, err = algo.GreedyBall(sub, k, &algo.Options{Ctx: ctx, Trace: bs})
+			r, err = algo.GreedyBall(sub, k, &algo.Options{Ctx: ctx, Trace: bs, Kernel: opt.Kernel})
 		}
 		if err != nil {
 			errs[bi] = fmt.Errorf("stream: block [%d,%d): %w", lo, hi, err)

@@ -41,6 +41,7 @@ import (
 	"kanon/internal/baseline"
 	"kanon/internal/core"
 	"kanon/internal/exact"
+	"kanon/internal/metric"
 	"kanon/internal/obs"
 	"kanon/internal/pattern"
 	"kanon/internal/refine"
@@ -117,11 +118,67 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("kanon: unknown algorithm %q", name)
 }
 
+// Kernel selects the distance-kernel backend of the metric-driven
+// algorithms. Every backend returns identical distances, so the
+// anonymized output is byte-identical across kernels — the choice only
+// trades time against memory.
+type Kernel int
+
+const (
+	// KernelAuto (the default) picks KernelDense for small tables and
+	// KernelBitset above the internal size threshold.
+	KernelAuto Kernel = iota
+	// KernelDense precomputes the O(n²) distance matrix: fastest
+	// lookups, quadratic memory.
+	KernelDense
+	// KernelBitset computes distances on the fly from bit-packed rows
+	// via popcount: O(n·m/64) memory, scales to hundreds of thousands
+	// of rows.
+	KernelBitset
+)
+
+// String returns the kernel's short name (as accepted by the CLI).
+func (k Kernel) String() string { return k.choice().String() }
+
+// ParseKernel maps a short name ("auto", "dense", "bitset") back to a
+// Kernel.
+func ParseKernel(name string) (Kernel, error) {
+	c, err := metric.ParseChoice(name)
+	if err != nil {
+		return 0, fmt.Errorf("kanon: unknown kernel %q", name)
+	}
+	switch c {
+	case metric.Dense:
+		return KernelDense, nil
+	case metric.Bitset:
+		return KernelBitset, nil
+	}
+	return KernelAuto, nil
+}
+
+// choice maps the public enum to the internal metric choice.
+func (k Kernel) choice() metric.Choice {
+	switch k {
+	case KernelDense:
+		return metric.Dense
+	case KernelBitset:
+		return metric.Bitset
+	}
+	return metric.Auto
+}
+
 // Options tunes Anonymize. The zero value selects AlgoGreedyBall with
 // paper-faithful settings.
 type Options struct {
 	// Algorithm selects the strategy; default AlgoGreedyBall.
 	Algorithm Algorithm
+	// Kernel selects the distance-kernel backend of the metric-driven
+	// algorithms (AlgoGreedyBall, AlgoGreedyExhaustive); KernelAuto
+	// (the default) sizes the choice to the table. Algorithms that do
+	// not consult the metric, and the weighted-ball path (whose metric
+	// is dense by construction), ignore it. Output is byte-identical
+	// for every kernel.
+	Kernel Kernel
 	// Seed feeds AlgoRandom's shuffle (ignored elsewhere).
 	Seed int64
 	// SplitSorted uses the similarity-aware oversize-group split in the
@@ -274,6 +331,7 @@ func AnonymizeContext(ctx context.Context, header []string, rows [][]string, k i
 			SplitSorted:         opts.SplitSorted,
 			TrueDiameterWeights: opts.TrueDiameterWeights,
 			Workers:             opts.Workers,
+			Kernel:              opts.Kernel.choice(),
 			Trace:               root,
 			Log:                 ev,
 		})
@@ -282,7 +340,7 @@ func AnonymizeContext(ctx context.Context, header []string, rows [][]string, k i
 		}
 		p = r.Partition
 	case AlgoGreedyExhaustive:
-		r, err := algo.GreedyExhaustive(t, k, &algo.Options{Ctx: ctx, SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root, Log: ev})
+		r, err := algo.GreedyExhaustive(t, k, &algo.Options{Ctx: ctx, SplitSorted: opts.SplitSorted, Workers: opts.Workers, Kernel: opts.Kernel.choice(), Trace: root, Log: ev})
 		if err != nil {
 			return nil, err
 		}
