@@ -1,0 +1,323 @@
+// Command kanon-router is a thin HTTP front end for a kanond cluster:
+// one stable address in front of N nodes sharing a data directory.
+//
+// Usage:
+//
+//	kanon-router -addr :8080 -peers http://node-a:8081,http://node-b:8082
+//
+// Submissions (POST /v1/jobs) go to the peer advertising the most free
+// worker slots on its /healthz; peers that are down or draining are
+// skipped, and a rejected submission fails over to the next-freest peer.
+// Reads (status, results) and cancels go to any live peer — cluster
+// nodes answer for every job in the shared store, not just their own —
+// so the router holds no state at all: no queue, no job table, nothing
+// to lose. Its own /healthz aggregates the per-node payloads into a
+// cluster capacity picture.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "kanon-router:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until a signal (or a close of the
+// test-only stop channel). ready, if non-nil, receives the bound
+// address.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready chan<- string) error {
+	fs := flag.NewFlagSet("kanon-router", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	peers := fs.String("peers", "", "comma-separated base URLs of the kanond nodes (required)")
+	timeout := fs.Duration("peer-timeout", 30*time.Second, "per-peer request timeout")
+	maxBody := fs.Int64("max-body", 32<<20, "request body limit in bytes (buffered for submit failover)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rt, err := newRouter(*peers, *timeout, *maxBody)
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{Handler: rt}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(stdout, "kanon-router listening on %s, %d peers\n", ln.Addr(), len(rt.peers))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+	case <-stop:
+	}
+	// The router is stateless; nothing needs draining beyond in-flight
+	// responses.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}
+
+// peerHealth mirrors the fields of kanond's /healthz the router
+// balances on.
+type peerHealth struct {
+	Status   string `json:"status"`
+	Node     string `json:"node"`
+	Capacity int    `json:"capacity"`
+	Free     int    `json:"free"`
+	Running  int    `json:"running"`
+	Queued   int    `json:"queued"`
+	Claimed  int    `json:"claimed"`
+}
+
+// router forwards requests to the healthiest peer. It is stateless:
+// every routing decision is made from live /healthz probes.
+type router struct {
+	peers   []string
+	client  *http.Client
+	maxBody int64
+}
+
+func newRouter(peerList string, timeout time.Duration, maxBody int64) (*router, error) {
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		p = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(p), "/"))
+		if p == "" {
+			continue
+		}
+		if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+			return nil, fmt.Errorf("peer %q: want an http(s) base URL", p)
+		}
+		peers = append(peers, p)
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("no peers: pass -peers http://host:port[,...]")
+	}
+	return &router{
+		peers:   peers,
+		client:  &http.Client{Timeout: timeout},
+		maxBody: maxBody,
+	}, nil
+}
+
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+		rt.routeSubmit(w, r)
+	case r.URL.Path == "/healthz":
+		rt.aggregateHealth(w)
+	default:
+		// Status, results, cancels, metrics, debug: any live peer can
+		// answer (job reads go through the shared store on every node).
+		rt.forwardAny(w, r)
+	}
+}
+
+// probe fetches one peer's health. Unreachable peers come back with
+// Status "unreachable" rather than an error, so callers can rank and
+// report them uniformly.
+func (rt *router) probe(peer string) peerHealth {
+	resp, err := rt.client.Get(peer + "/healthz")
+	if err != nil {
+		return peerHealth{Status: "unreachable"}
+	}
+	defer resp.Body.Close()
+	var h peerHealth
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return peerHealth{Status: "unreachable"}
+	}
+	return h
+}
+
+// rankedPeers probes every peer and orders the admitting ones freest
+// first; draining or unreachable peers are excluded.
+func (rt *router) rankedPeers() []string {
+	type ranked struct {
+		peer string
+		h    peerHealth
+	}
+	var ok []ranked
+	for _, p := range rt.peers {
+		if h := rt.probe(p); h.Status == "ok" {
+			ok = append(ok, ranked{p, h})
+		}
+	}
+	sort.SliceStable(ok, func(i, j int) bool { return ok[i].h.Free > ok[j].h.Free })
+	out := make([]string, len(ok))
+	for i, r := range ok {
+		out[i] = r.peer
+	}
+	return out
+}
+
+// routeSubmit buffers the body (so it can be replayed) and offers the
+// submission to admitting peers, freest first, until one accepts it.
+// Admission rejections that a sibling might not repeat (429, 503) fail
+// over; anything else — including 4xx validation errors, which every
+// peer would repeat verbatim — is relayed as-is.
+func (rt *router) routeSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	peers := rt.rankedPeers()
+	if len(peers) == 0 {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no admitting peers"))
+		return
+	}
+	var lastCode int
+	var lastBody []byte
+	var lastHdr http.Header
+	for _, peer := range peers {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			peer+"/v1/jobs?"+r.URL.RawQuery, bytes.NewReader(body))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue // peer died between probe and submit: next
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			lastCode, lastBody, lastHdr = resp.StatusCode, b, resp.Header
+			continue
+		}
+		relay(w, resp.StatusCode, resp.Header, b)
+		return
+	}
+	if lastCode != 0 {
+		relay(w, lastCode, lastHdr, lastBody)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, errors.New("every peer refused the submission"))
+}
+
+// forwardAny relays the request to the first peer that answers at all —
+// for reads any node's answer is authoritative, and 404 from a live
+// peer means the job is gone everywhere, not "try the next one".
+func (rt *router) forwardAny(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Body != nil {
+		body, _ = io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBody))
+	}
+	for _, peer := range rt.peers {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method,
+			peer+r.URL.Path+query(r), bytes.NewReader(body))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		relay(w, resp.StatusCode, resp.Header, b)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, errors.New("no reachable peers"))
+}
+
+// aggregateHealth renders the cluster capacity picture: per-peer
+// payloads plus totals. 200 while any peer admits work.
+func (rt *router) aggregateHealth(w http.ResponseWriter) {
+	type entry struct {
+		Peer string `json:"peer"`
+		peerHealth
+	}
+	out := struct {
+		Status   string  `json:"status"`
+		Capacity int     `json:"capacity"`
+		Free     int     `json:"free"`
+		Running  int     `json:"running"`
+		Queued   int     `json:"queued"`
+		Claimed  int     `json:"claimed"`
+		Peers    []entry `json:"peers"`
+	}{Status: "unavailable"}
+	for _, p := range rt.peers {
+		h := rt.probe(p)
+		out.Peers = append(out.Peers, entry{Peer: p, peerHealth: h})
+		if h.Status != "ok" {
+			continue
+		}
+		out.Status = "ok"
+		out.Capacity += h.Capacity
+		out.Free += h.Free
+		out.Running += h.Running
+		// Queued/Claimed are cluster-wide store scans, identical on every
+		// node; report the max rather than a multiple-counted sum.
+		out.Queued = max(out.Queued, h.Queued)
+		out.Claimed = max(out.Claimed, h.Claimed)
+	}
+	code := http.StatusOK
+	if out.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// query re-renders the request's query string, ?-prefixed when present.
+func query(r *http.Request) string {
+	if r.URL.RawQuery == "" {
+		return ""
+	}
+	return "?" + r.URL.RawQuery
+}
+
+// relay copies a peer response (selected headers, code, body) out.
+func relay(w http.ResponseWriter, code int, hdr http.Header, body []byte) {
+	for _, k := range []string{"Content-Type", "Location", "Retry-After"} {
+		if v := hdr.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// writeError answers a JSON error envelope, matching kanond's shape.
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

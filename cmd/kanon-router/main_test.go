@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeNode is an httptest stand-in for one kanond: a fixed /healthz
+// payload, counted submissions, and canned job answers.
+type fakeNode struct {
+	name    string
+	health  peerHealth
+	submits atomic.Int64
+	srv     *httptest.Server
+}
+
+func newFakeNode(t *testing.T, name string, free int, status string) *fakeNode {
+	t.Helper()
+	n := &fakeNode{name: name, health: peerHealth{
+		Status: status, Node: name, Capacity: 4, Free: free, Queued: 2, Claimed: 1,
+	}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		code := http.StatusOK
+		if n.health.Status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(n.health)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		n.submits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Location", "/v1/jobs/job-on-"+name)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":"job-on-%s","state":"queued","bytes":%d}`, name, len(body))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"id":%q,"state":"succeeded","node":%q}`, r.PathValue("id"), name)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":%q,"state":"canceled"}`, r.PathValue("id"))
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func newTestRouter(t *testing.T, nodes ...*fakeNode) *router {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.srv.URL
+	}
+	rt, err := newRouter(strings.Join(urls, ","), 2*time.Second, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestSubmitGoesToFreestPeer: the submission lands on the peer
+// advertising the most free slots, not the first one listed.
+func TestSubmitGoesToFreestPeer(t *testing.T) {
+	busy := newFakeNode(t, "busy", 0, "ok")
+	free := newFakeNode(t, "free", 3, "ok")
+	rt := newTestRouter(t, busy, free)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs?k=3", strings.NewReader("a\n1\n2\n3\n")))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if free.submits.Load() != 1 || busy.submits.Load() != 0 {
+		t.Fatalf("submits: free=%d busy=%d, want 1/0", free.submits.Load(), busy.submits.Load())
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/jobs/job-on-free" {
+		t.Errorf("Location = %q", loc)
+	}
+	if !strings.Contains(rec.Body.String(), `"bytes":8`) {
+		t.Errorf("body not forwarded intact: %s", rec.Body)
+	}
+}
+
+// TestSubmitSkipsDrainingAndDeadPeers: draining and unreachable peers
+// never see the submission.
+func TestSubmitSkipsDrainingAndDeadPeers(t *testing.T) {
+	draining := newFakeNode(t, "draining", 4, "draining")
+	dead := newFakeNode(t, "dead", 4, "ok")
+	ok := newFakeNode(t, "ok", 1, "ok")
+	dead.srv.Close()
+	rt := newTestRouter(t, draining, dead, ok)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs?k=2", strings.NewReader("x\n1\n2\n")))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if ok.submits.Load() != 1 || draining.submits.Load() != 0 {
+		t.Fatalf("submits: ok=%d draining=%d", ok.submits.Load(), draining.submits.Load())
+	}
+}
+
+// TestSubmitAllPeersDown: with nothing admitting, the router answers
+// 503 itself instead of hanging or crashing.
+func TestSubmitAllPeersDown(t *testing.T) {
+	dead := newFakeNode(t, "dead", 4, "ok")
+	dead.srv.Close()
+	rt := newTestRouter(t, dead)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs?k=2", strings.NewReader("x\n1\n2\n")))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
+	}
+}
+
+// TestReadsForwardToAnyLivePeer: status reads skip dead peers and relay
+// the first live answer verbatim.
+func TestReadsForwardToAnyLivePeer(t *testing.T) {
+	dead := newFakeNode(t, "dead", 4, "ok")
+	live := newFakeNode(t, "live", 0, "ok") // busy but reachable: reads still work
+	dead.srv.Close()
+	rt := newTestRouter(t, dead, live)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/j-123", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"node":"live"`) {
+		t.Fatalf("status %d body %s", rec.Code, rec.Body)
+	}
+
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("DELETE", "/v1/jobs/j-123", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("cancel status %d", rec.Code)
+	}
+}
+
+// TestAggregateHealth: capacity sums, store depths take the max (every
+// node reports the same cluster-wide scan), and one admitting peer
+// keeps the cluster "ok".
+func TestAggregateHealth(t *testing.T) {
+	a := newFakeNode(t, "a", 3, "ok")
+	b := newFakeNode(t, "b", 1, "ok")
+	down := newFakeNode(t, "down", 4, "ok")
+	down.srv.Close()
+	rt := newTestRouter(t, a, b, down)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var h struct {
+		Status   string `json:"status"`
+		Capacity int    `json:"capacity"`
+		Free     int    `json:"free"`
+		Queued   int    `json:"queued"`
+		Claimed  int    `json:"claimed"`
+		Peers    []struct {
+			Status string `json:"status"`
+		} `json:"peers"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Capacity != 8 || h.Free != 4 || h.Queued != 2 || h.Claimed != 1 {
+		t.Fatalf("aggregate = %+v", h)
+	}
+	if len(h.Peers) != 3 || h.Peers[2].Status != "unreachable" {
+		t.Fatalf("peers = %+v", h.Peers)
+	}
+}
+
+// TestNewRouterRejectsBadPeers: configuration errors fail at startup,
+// not at the first request.
+func TestNewRouterRejectsBadPeers(t *testing.T) {
+	if _, err := newRouter("", time.Second, 1); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := newRouter("node-a:8080", time.Second, 1); err == nil {
+		t.Error("schemeless peer accepted")
+	}
+	rt, err := newRouter(" http://a/ , http://b ", time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.peers) != 2 || rt.peers[0] != "http://a" || rt.peers[1] != "http://b" {
+		t.Fatalf("peers = %v", rt.peers)
+	}
+}

@@ -42,14 +42,16 @@ func TestMain(m *testing.M) {
 
 // startHelper re-execs the test binary as a kanond server over dataDir
 // and returns the child plus its bound address (scraped from the
-// kanond_listening log event).
-func startHelper(t *testing.T, dataDir string) (*exec.Cmd, string) {
+// kanond_listening log event). extra flags are appended — the cluster
+// e2e passes -node-id and lease knobs through here.
+func startHelper(t *testing.T, dataDir string, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
 	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-drain", "2s", "-log=true"}
+	args = append(args, extra...)
 	cmd := exec.Command(exe)
 	cmd.Env = append(os.Environ(),
 		"KANOND_HELPER=1",

@@ -14,6 +14,14 @@
 // result, and per-block checkpoints for streamed jobs); after a crash,
 // a restart with -recover (the default) re-admits unfinished jobs and
 // resumes streamed jobs from their last completed block.
+//
+// With -data-dir AND -node-id, kanond runs in cluster mode: any number
+// of kanond processes sharing the same data directory (each with a
+// distinct -node-id) drain one queue together. Jobs are claimed under
+// renewable leases with fencing tokens; when a node dies, its jobs
+// become stealable one -lease-ttl after its last renewal, and streamed
+// jobs continue from the dead node's committed block checkpoints —
+// byte-identically. Any node answers status/result/cancel for any job.
 package main
 
 import (
@@ -59,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	kernelName := fs.String("kernel", "auto", "default distance kernel for jobs that omit ?kernel=: auto, dense, or bitset (output is identical)")
 	dataDir := fs.String("data-dir", "", "persist jobs (requests, manifests, results, block checkpoints) under this directory; empty keeps everything in memory")
 	recoverJobs := fs.Bool("recover", true, "with -data-dir, re-admit jobs found queued or running on disk at startup and resume their block checkpoints")
+	nodeID := fs.String("node-id", "", "with -data-dir, join the cluster sharing that directory under this identity; empty runs single-node")
+	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "cluster mode: lease duration per claimed job — the crash-failover delay before peers steal a dead node's work")
+	claimInterval := fs.Duration("claim-interval", 0, "cluster mode: poll interval for foreign work and expired leases (0 = lease-ttl/5, clamped to [50ms, 2s])")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget before running jobs are cancelled")
 	logEvents := fs.Bool("log", true, "emit structured JSON lifecycle events to stderr")
 	version := fs.Bool("version", false, "print build provenance and exit")
@@ -85,6 +96,14 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 			return err
 		}
 	}
+	if *nodeID != "" {
+		if st == nil {
+			return errors.New("-node-id requires -data-dir (the shared directory is the cluster)")
+		}
+		if err := store.ValidateNodeID(*nodeID); err != nil {
+			return err
+		}
+	}
 	srv := server.New(server.Config{
 		QueueCapacity: *queue,
 		Workers:       *workers,
@@ -95,6 +114,9 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 		Log:           logger,
 		Store:         st,
 		Recover:       *recoverJobs,
+		NodeID:        *nodeID,
+		LeaseTTL:      *leaseTTL,
+		ClaimInterval: *claimInterval,
 	})
 	hs := &http.Server{Handler: srv}
 

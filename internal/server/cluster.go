@@ -1,0 +1,689 @@
+// Cluster mode: lease-based job claiming over a shared store.
+//
+// When Config carries both a Store and a NodeID, the manager stops
+// dispatching through its in-memory channel and instead runs a claim
+// loop against the store: the on-disk manifests ARE the queue, and N
+// kanond processes sharing the data directory drain it together. Each
+// node claims the oldest claimable job (queued, or running with an
+// expired lease — crash-failover work stealing), runs it under a lease
+// it renews at TTL/3, and commits every persisted transition through
+// the store's fenced operations, so a node that lost its lease can
+// never clobber the new owner's state. Stolen stream jobs resume from
+// the dead node's committed block checkpoints, byte-identically —
+// block bounds and per-block algorithms are deterministic, so the
+// release never depends on which node (or how many, across a steal)
+// computed it.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"kanon"
+	"kanon/internal/store"
+)
+
+// cluster reports whether the config puts the manager in cluster mode.
+func (c Config) cluster() bool { return c.Store != nil && c.NodeID != "" }
+
+// pokeClaim nudges the claim loop without blocking — called after a
+// local submission and after a slot frees, so claims happen at those
+// edges instead of waiting out the poll interval.
+func (m *Manager) pokeClaim() {
+	select {
+	case m.claimPoke <- struct{}{}:
+	default:
+	}
+}
+
+// claimLoop is the cluster-mode dispatcher: one goroutine per node that
+// claims work whenever a slot is free and the store has claimable jobs.
+// It wakes on submissions (poke), freed slots (poke), and a ticker that
+// bounds how long a foreign job — or an expired lease left by a crashed
+// peer — can wait for this node to notice it.
+func (m *Manager) claimLoop() {
+	defer close(m.claimDone)
+	tick := time.NewTicker(m.cfg.ClaimInterval)
+	defer tick.Stop()
+	for {
+		m.claimAvailable()
+		select {
+		case <-m.claimStop:
+			return
+		case <-m.claimPoke:
+		case <-tick.C:
+		}
+	}
+}
+
+// claimAvailable claims and launches jobs while this node has free
+// worker slots and the store has claimable work.
+func (m *Manager) claimAvailable() {
+	for {
+		select {
+		case <-m.slots:
+		default:
+			return // all workers busy
+		}
+		job, man, stolen := m.claimOne()
+		if job == nil {
+			m.slots <- struct{}{}
+			return
+		}
+		m.mu.Lock()
+		m.runningLocal[job.ID] = true
+		m.mu.Unlock()
+		m.runWG.Add(1)
+		go func() {
+			defer func() {
+				m.mu.Lock()
+				delete(m.runningLocal, job.ID)
+				m.mu.Unlock()
+				m.slots <- struct{}{}
+				m.runWG.Done()
+				m.pokeClaim()
+			}()
+			m.runClaimed(job, man, stolen)
+		}()
+	}
+}
+
+// claimOne scans the store oldest-submission-first and claims the first
+// claimable job: queued, or running with an expired (or absent) lease.
+// Jobs already running on this node are skipped — a node never steals
+// from itself; its own renewal loop arbitrates its leases.
+func (m *Manager) claimOne() (*Job, *store.Manifest, bool) {
+	manifests, _, err := m.cfg.Store.Jobs()
+	if err != nil {
+		m.logBare(slog.LevelWarn, "claim_scan_failed", slog.String("error", err.Error()))
+		return nil, nil, false
+	}
+	now := time.Now()
+	for _, man := range manifests {
+		if !man.Recoverable() {
+			continue
+		}
+		if man.State == store.StateRunning && man.Claim != nil && now.Before(man.Claim.Expires) {
+			continue // live lease elsewhere
+		}
+		m.mu.Lock()
+		mine := m.runningLocal[man.ID]
+		m.mu.Unlock()
+		if mine {
+			continue
+		}
+		claimed, stolen, err := m.cfg.Store.ClaimJob(man.ID, m.cfg.NodeID, m.cfg.LeaseTTL, now)
+		if err != nil {
+			continue // lost the race, job reaped, or store hiccup — move on
+		}
+		if claimed.CancelRequested {
+			// A cancellation landed while the job sat unclaimed; honor it
+			// instead of running doomed work.
+			m.finalizeClaimedCancel(man.ID, claimed.Fence, now)
+			continue
+		}
+		job, err := m.adoptJob(claimed)
+		if err != nil {
+			// We hold the claim but cannot run the job (request spool
+			// unreadable). Fail it durably rather than releasing it into
+			// an endless claim/fail ping-pong across the cluster.
+			m.failClaimOnDisk(claimed, err)
+			continue
+		}
+		return job, claimed, stolen
+	}
+	return nil, nil, false
+}
+
+// adoptJob returns the in-memory job for a claimed manifest, building
+// one from the request spool when the job was submitted on another node
+// (or on a previous life of this one).
+func (m *Manager) adoptJob(man *store.Manifest) (*Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[man.ID]
+	m.mu.Unlock()
+	if ok {
+		return j, nil
+	}
+	header, rows, err := m.cfg.Store.ReadRequest(man.ID)
+	if err != nil {
+		return nil, err
+	}
+	req, err := requestFromManifest(man)
+	if err != nil {
+		return nil, err
+	}
+	j = &Job{
+		ID:        man.ID,
+		Req:       req,
+		header:    header,
+		rows:      rows,
+		state:     StateQueued,
+		submitted: man.SubmittedAt,
+		done:      make(chan struct{}),
+	}
+	m.mu.Lock()
+	m.jobs[man.ID] = j
+	m.mu.Unlock()
+	return j, nil
+}
+
+// finalizeClaimedCancel commits a claimed-then-found-cancelled job to
+// its terminal state, on disk and (if known locally) in memory.
+func (m *Manager) finalizeClaimedCancel(id string, fence uint64, now time.Time) {
+	_, err := m.cfg.Store.UpdateClaimed(id, m.cfg.NodeID, fence, func(sm *store.Manifest) error {
+		sm.State = store.StateCanceled
+		sm.Error = context.Canceled.Error()
+		t := now
+		sm.FinishedAt = &t
+		return nil
+	})
+	if err != nil {
+		m.logBare(slog.LevelWarn, "job_persist_failed",
+			slog.String("run_id", id), slog.String("error", err.Error()))
+		return
+	}
+	m.canceled.Inc()
+	if j, ok := m.Get(id); ok {
+		j.mu.Lock()
+		if !j.state.Terminal() {
+			j.state = StateCanceled
+			j.err = context.Canceled
+			j.finished = now
+			j.expires = now.Add(m.cfg.ResultTTL)
+			close(j.done)
+		}
+		j.mu.Unlock()
+		m.log(j, slog.LevelInfo, "job_canceled", slog.String("while", "queued"))
+	}
+}
+
+// failClaimOnDisk marks a claimed-but-unrunnable job failed so it stops
+// being claimable.
+func (m *Manager) failClaimOnDisk(man *store.Manifest, cause error) {
+	_, err := m.cfg.Store.UpdateClaimed(man.ID, m.cfg.NodeID, man.Fence, func(sm *store.Manifest) error {
+		sm.State = store.StateFailed
+		sm.Error = fmt.Sprintf("unrunnable on %s: %v", m.cfg.NodeID, cause)
+		t := time.Now()
+		sm.FinishedAt = &t
+		return nil
+	})
+	if err != nil {
+		m.logBare(slog.LevelWarn, "job_persist_failed",
+			slog.String("run_id", man.ID), slog.String("error", err.Error()))
+	}
+	m.failed.Inc()
+	m.logBare(slog.LevelWarn, "job_failed",
+		slog.String("run_id", man.ID), slog.String("error", cause.Error()))
+}
+
+// runClaimed executes one claimed job end to end under its lease:
+// in-memory transition, renewal ticker, the anonymization itself, and
+// the fenced terminal commit. Every outcome that is not "we still own
+// the lease and finished" degrades safely: a lost lease discards local
+// state (the thief owns the job now), a drain deadline releases the
+// job back to the queue for a peer to finish.
+func (m *Manager) runClaimed(job *Job, man *store.Manifest, stolen bool) {
+	fence := man.Fence
+	job.mu.Lock()
+	timeout := m.cfg.JobTimeout
+	if job.Req.Timeout > 0 && job.Req.Timeout < timeout {
+		timeout = job.Req.Timeout
+	}
+	ctx, cancel := context.WithTimeout(m.baseCtx, timeout)
+	defer cancel()
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	job.fence = fence
+	job.claimNode = m.cfg.NodeID
+	wait := job.started.Sub(job.submitted)
+	job.mu.Unlock()
+
+	m.running.Add(1)
+	defer m.running.Add(-1)
+	m.queueWait.ObserveDuration(wait)
+	m.leasesClaimed.Inc()
+	if stolen {
+		m.leasesStolen.Inc()
+	}
+	m.log(job, slog.LevelInfo, "lease_claimed",
+		slog.Uint64("fence", fence), slog.Bool("stolen", stolen),
+		slog.String("algo", job.Req.Algorithm.String()), slog.Int("k", job.Req.K))
+	m.log(job, slog.LevelInfo, "job_started", slog.Duration("queue_wait", wait))
+
+	var lost, userCancel atomic.Bool
+	renewStop := make(chan struct{})
+	renewDone := make(chan struct{})
+	go m.renewLoop(job, fence, cancel, &lost, &userCancel, renewStop, renewDone)
+
+	res, resumed, err := m.execute(ctx, job)
+	close(renewStop)
+	<-renewDone
+
+	job.mu.Lock()
+	userCanceled := job.userCanceled || userCancel.Load()
+	job.mu.Unlock()
+
+	switch {
+	case err == nil:
+		m.commitClaimedSuccess(job, fence, res, resumed, &lost)
+	case errors.Is(err, context.Canceled) && lost.Load():
+		m.abandonLost(job)
+	case errors.Is(err, context.Canceled) && !userCanceled:
+		// Shutdown drain deadline: hand the job back to the cluster.
+		m.releaseClaimed(job, fence)
+	case errors.Is(err, context.Canceled):
+		m.commitClaimedTerminal(job, fence, StateCanceled, err, &lost)
+		if !lost.Load() {
+			m.canceled.Inc()
+			m.log(job, slog.LevelInfo, "job_canceled", slog.String("while", "running"))
+		}
+	default:
+		// Deadline exhaustion and instance errors both land here; the
+		// error text tells them apart.
+		m.commitClaimedTerminal(job, fence, StateFailed, err, &lost)
+		if !lost.Load() {
+			m.failed.Inc()
+			m.log(job, slog.LevelWarn, "job_failed", slog.String("error", err.Error()))
+		}
+	}
+}
+
+// renewLoop extends the job's lease at TTL/3 until stopped. A fenced
+// renewal means the lease was stolen: the loop flags the loss and
+// cancels the run so the stale node stops burning CPU on work it no
+// longer owns. Renewals also carry back cross-node cancellation
+// requests. Transient store errors are logged and retried — the lease
+// survives until its deadline, so one slow fsync does not forfeit it.
+func (m *Manager) renewLoop(job *Job, fence uint64, cancel context.CancelFunc, lost, userCancel *atomic.Bool, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	interval := m.cfg.LeaseTTL / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		man, err := m.cfg.Store.RenewLease(job.ID, m.cfg.NodeID, fence, m.cfg.LeaseTTL, time.Now())
+		if errors.Is(err, store.ErrFenced) {
+			lost.Store(true)
+			m.leasesLost.Inc()
+			m.log(job, slog.LevelWarn, "lease_lost", slog.Uint64("fence", fence))
+			cancel()
+			return
+		}
+		if err != nil {
+			m.log(job, slog.LevelWarn, "lease_renew_failed", slog.String("error", err.Error()))
+			continue
+		}
+		m.leasesRenewed.Inc()
+		if man.CancelRequested && !userCancel.Load() {
+			userCancel.Store(true)
+			m.log(job, slog.LevelInfo, "job_cancel_requested", slog.String("while", "running"))
+			cancel()
+			// Keep renewing: holding the lease through the unwind stops a
+			// peer from stealing a job that is about to be cancelled.
+		}
+	}
+}
+
+// commitClaimedSuccess spools the result and flips the manifest to
+// succeeded under the fence, then mirrors the outcome in memory. The
+// result is spooled before the manifest flip (a succeeded manifest
+// always has a readable result); a fenced commit downgrades the whole
+// outcome to "lost" — the thief is authoritative now, and since jobs
+// are deterministic its result is byte-identical to ours anyway.
+func (m *Manager) commitClaimedSuccess(job *Job, fence uint64, res *kanon.Result, resumed int, lost *atomic.Bool) {
+	if err := m.cfg.Store.WriteResult(job.ID, res.Header, res.Rows); err != nil {
+		// Lease intact but the spool failed: leave the manifest running.
+		// The lease expires, a node re-claims, and the deterministic job
+		// re-runs — durability degraded to retry, not to a phantom result.
+		m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
+		m.abandonLost(job)
+		return
+	}
+	now := time.Now()
+	_, err := m.cfg.Store.UpdateClaimed(job.ID, m.cfg.NodeID, fence, func(sm *store.Manifest) error {
+		sm.State = store.StateSucceeded
+		c := res.Cost
+		sm.Cost = &c
+		t := now
+		sm.FinishedAt = &t
+		return nil
+	})
+	if errors.Is(err, store.ErrFenced) {
+		lost.Store(true)
+		m.leasesLost.Inc()
+		m.log(job, slog.LevelWarn, "lease_lost", slog.Uint64("fence", fence))
+		m.abandonLost(job)
+		return
+	}
+	if err != nil {
+		m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
+		m.abandonLost(job)
+		return
+	}
+	job.mu.Lock()
+	job.state = StateSucceeded
+	job.result = res
+	job.finished = now
+	job.expires = now.Add(m.cfg.ResultTTL)
+	dur := job.finished.Sub(job.started)
+	close(job.done)
+	job.mu.Unlock()
+	m.succeeded.Inc()
+	m.jobDur.ObserveDuration(dur)
+	m.jobCost.Observe(int64(res.Cost))
+	if resumed > 0 {
+		m.blocksResumed.Add(int64(resumed))
+		m.log(job, slog.LevelInfo, "job_blocks_resumed", slog.Int("blocks_resumed", resumed))
+	}
+	m.log(job, slog.LevelInfo, "job_done", slog.Int("cost", res.Cost), slog.Duration("wall", dur),
+		slog.Int("blocks_resumed", resumed))
+}
+
+// commitClaimedTerminal commits a failed/canceled outcome under the
+// fence and mirrors it in memory; a fenced commit becomes a loss.
+func (m *Manager) commitClaimedTerminal(job *Job, fence uint64, state State, cause error, lost *atomic.Bool) {
+	now := time.Now()
+	_, err := m.cfg.Store.UpdateClaimed(job.ID, m.cfg.NodeID, fence, func(sm *store.Manifest) error {
+		sm.State = string(state)
+		sm.Error = cause.Error()
+		t := now
+		sm.FinishedAt = &t
+		return nil
+	})
+	if errors.Is(err, store.ErrFenced) {
+		lost.Store(true)
+		m.leasesLost.Inc()
+		m.log(job, slog.LevelWarn, "lease_lost", slog.Uint64("fence", fence))
+		m.abandonLost(job)
+		return
+	}
+	if err != nil {
+		m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
+	}
+	job.mu.Lock()
+	job.state = state
+	job.err = cause
+	job.finished = now
+	job.expires = now.Add(m.cfg.ResultTTL)
+	dur := job.finished.Sub(job.started)
+	close(job.done)
+	job.mu.Unlock()
+	m.jobDur.ObserveDuration(dur)
+}
+
+// abandonLost resets the local view of a job whose lease this node no
+// longer holds: in memory it goes back to queued (the new owner's
+// manifest is authoritative, and StatusOf reads through to it), nothing
+// is written to disk, and the done channel stays open — the job is not
+// finished, it is just no longer ours.
+func (m *Manager) abandonLost(job *Job) {
+	job.mu.Lock()
+	job.state = StateQueued
+	job.started = time.Time{}
+	job.cancel = nil
+	job.claimNode = ""
+	job.mu.Unlock()
+	m.log(job, slog.LevelInfo, "job_abandoned")
+}
+
+// releaseClaimed hands a job this node cannot finish (shutdown drain
+// deadline) back to the cluster: state queued, claim cleared, fenced so
+// the release cannot clobber a faster thief.
+func (m *Manager) releaseClaimed(job *Job, fence uint64) {
+	_, err := m.cfg.Store.ReleaseJob(job.ID, m.cfg.NodeID, fence)
+	switch {
+	case errors.Is(err, store.ErrFenced):
+		m.leasesLost.Inc()
+		m.log(job, slog.LevelWarn, "lease_lost", slog.Uint64("fence", fence))
+	case err != nil:
+		m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
+	default:
+		m.leasesReleased.Inc()
+		m.log(job, slog.LevelInfo, "lease_released", slog.Uint64("fence", fence))
+	}
+	m.abandonLost(job)
+}
+
+// submitCluster is Submit's cluster-mode tail: admission against the
+// store-wide queue depth, durable enqueue, and a poke at the claim
+// loop. The manifest on disk is the queue entry; no channel is fed.
+func (m *Manager) submitCluster(job *Job) (*Job, error) {
+	if depth := m.storeQueuedDepth(); depth >= m.cfg.QueueCapacity {
+		m.rejected.Inc()
+		return nil, fmt.Errorf("%w (cluster backlog %d)", ErrQueueFull, depth)
+	}
+	if err := m.cfg.Store.CreateJob(job.manifest(), job.header, job.rows); err != nil {
+		m.rejected.Inc()
+		m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.rejected.Inc()
+		if err := m.cfg.Store.Delete(job.ID); err != nil {
+			m.log(job, slog.LevelWarn, "job_reap_failed", slog.String("error", err.Error()))
+		}
+		return nil, ErrDraining
+	}
+	m.jobs[job.ID] = job
+	m.mu.Unlock()
+	m.submitted.Inc()
+	m.log(job, slog.LevelInfo, "job_queued",
+		slog.Int("k", job.Req.K), slog.String("algo", job.Req.Algorithm.String()),
+		slog.Int("rows", len(job.rows)), slog.Int("cols", len(job.header)))
+	m.pokeClaim()
+	return job, nil
+}
+
+// storeQueuedDepth counts queued manifests across the cluster — the
+// shared backlog admission control measures against.
+func (m *Manager) storeQueuedDepth() int {
+	manifests, _, err := m.cfg.Store.Jobs()
+	if err != nil {
+		return 0 // admission stays open if the scan hiccups; Submit's persist will fail loudly instead
+	}
+	n := 0
+	for _, man := range manifests {
+		if man.State == store.StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// ClusterDepths scans the store for the cluster-wide queue picture:
+// queued (unclaimed backlog) and claimed (running under a live or
+// expired lease, anywhere). Zero values outside cluster mode.
+func (m *Manager) ClusterDepths() (queued, claimed int) {
+	if !m.cfg.cluster() {
+		return 0, 0
+	}
+	manifests, _, err := m.cfg.Store.Jobs()
+	if err != nil {
+		return 0, 0
+	}
+	for _, man := range manifests {
+		switch man.State {
+		case store.StateQueued:
+			queued++
+		case store.StateRunning:
+			claimed++
+		}
+	}
+	return queued, claimed
+}
+
+// StatusOf resolves a job's status with cluster read-through: a local
+// job answers from memory, but a non-terminal local view is checked
+// against the manifest (the job may have been claimed, finished, or
+// cancelled by another node); unknown IDs fall back to the store
+// entirely, so any node can answer for any job in the cluster.
+func (m *Manager) StatusOf(id string) (Status, bool) {
+	j, ok := m.Get(id)
+	if ok {
+		st := j.Status()
+		if m.cfg.cluster() && !st.State.Terminal() {
+			if man, err := m.cfg.Store.ReadManifest(id); err == nil && string(st.State) != man.State {
+				return statusFromManifest(man), true
+			}
+		}
+		return st, true
+	}
+	if m.cfg.cluster() {
+		if man, err := m.cfg.Store.ReadManifest(id); err == nil {
+			return statusFromManifest(man), true
+		}
+	}
+	return Status{}, false
+}
+
+// ResultBytes resolves a succeeded job's release with cluster
+// read-through: from the local result when this node ran the job, else
+// from the store's result spool (succeeded manifests always have one).
+func (m *Manager) ResultBytes(id string) (header []string, rows [][]string, err error) {
+	if j, ok := m.Get(id); ok {
+		if res, ok := j.Result(); ok {
+			return res.Header, res.Rows, nil
+		}
+	}
+	if m.cfg.cluster() {
+		return m.cfg.Store.ReadResult(id)
+	}
+	return nil, nil, errUnknownJob
+}
+
+// CancelByID requests cancellation with cluster semantics: a job
+// running on this node is cancelled directly; anything else goes
+// through the store, which cancels queued jobs on the spot and flags
+// running ones for their lease holder to notice at the next renewal.
+// Outside cluster mode it defers to the legacy in-memory path.
+func (m *Manager) CancelByID(id string) (Status, bool) {
+	if !m.cfg.cluster() {
+		j, ok := m.Cancel(id)
+		if !ok {
+			return Status{}, false
+		}
+		return j.Status(), true
+	}
+	if j, ok := m.Get(id); ok {
+		j.mu.Lock()
+		if j.state == StateRunning && j.cancel != nil && j.claimNode == m.cfg.NodeID {
+			j.userCanceled = true
+			cancel := j.cancel
+			j.mu.Unlock()
+			cancel()
+			m.log(j, slog.LevelInfo, "job_cancel_requested", slog.String("while", "running"))
+			return j.Status(), true
+		}
+		j.mu.Unlock()
+	}
+	man, err := m.cfg.Store.RequestCancel(id, context.Canceled.Error(), time.Now())
+	if err != nil {
+		return Status{}, false
+	}
+	if man.State == store.StateCanceled {
+		// Cancelled while queued: mirror it into the local copy, if any.
+		if j, ok := m.Get(id); ok {
+			j.mu.Lock()
+			if !j.state.Terminal() {
+				j.state = StateCanceled
+				j.err = context.Canceled
+				j.finished = time.Now()
+				j.expires = j.finished.Add(m.cfg.ResultTTL)
+				close(j.done)
+			}
+			j.mu.Unlock()
+			m.canceled.Inc()
+			m.log(j, slog.LevelInfo, "job_canceled", slog.String("while", "queued"))
+		}
+	}
+	return m.statusAfterCancel(id, man), true
+}
+
+// statusAfterCancel prefers the local (possibly mid-unwind) view over
+// the manifest snapshot RequestCancel returned.
+func (m *Manager) statusAfterCancel(id string, man *store.Manifest) Status {
+	if st, ok := m.StatusOf(id); ok {
+		return st
+	}
+	return statusFromManifest(man)
+}
+
+// statusFromManifest renders a Status for a job this node never held
+// in memory — the read-through path.
+func statusFromManifest(man *store.Manifest) Status {
+	st := Status{
+		ID:          man.ID,
+		State:       State(man.State),
+		K:           man.K,
+		Algo:        man.Algo,
+		Kernel:      man.Kernel,
+		Rows:        man.Rows,
+		Cols:        man.Cols,
+		Cost:        man.Cost,
+		Error:       man.Error,
+		SubmittedAt: man.SubmittedAt,
+		StartedAt:   man.StartedAt,
+		FinishedAt:  man.FinishedAt,
+	}
+	if man.Kernel == "" {
+		st.Kernel = kanon.KernelAuto.String()
+	}
+	st.Node = man.Node
+	if man.StartedAt != nil {
+		st.QueueWaitMS = man.StartedAt.Sub(man.SubmittedAt).Milliseconds()
+		if man.FinishedAt != nil {
+			st.DurationMS = man.FinishedAt.Sub(*man.StartedAt).Milliseconds()
+		}
+	}
+	return st
+}
+
+// reapClusterTerminal is the cluster janitor sweep: every node scans
+// the shared store and reaps terminal jobs whose TTL has lapsed —
+// including jobs finished by nodes that no longer exist. ReapTerminal
+// re-checks state under the per-job lock, so a reap can never race a
+// claim or a recovery read into deleting live work.
+func (m *Manager) reapClusterTerminal(now time.Time) {
+	manifests, _, err := m.cfg.Store.Jobs()
+	if err != nil {
+		return
+	}
+	cutoff := now.Add(-m.cfg.ResultTTL)
+	for _, man := range manifests {
+		if !man.Terminal() || man.FinishedAt == nil || man.FinishedAt.After(cutoff) {
+			continue
+		}
+		reaped, err := m.cfg.Store.ReapTerminal(man.ID, cutoff)
+		if err != nil {
+			m.logBare(slog.LevelWarn, "job_reap_failed",
+				slog.String("run_id", man.ID), slog.String("error", err.Error()))
+			continue
+		}
+		if reaped {
+			m.logBare(slog.LevelDebug, "job_reaped", slog.String("run_id", man.ID))
+		}
+	}
+}
+
+// logBare emits a structured event that is not tied to a local Job.
+func (m *Manager) logBare(level slog.Level, msg string, attrs ...slog.Attr) {
+	if m.cfg.Log == nil {
+		return
+	}
+	m.cfg.Log.LogAttrs(context.Background(), level, msg, attrs...)
+}

@@ -190,6 +190,14 @@ type Job struct {
 	expires   time.Time
 	cancel    func() // non-nil once running; cancels the job's context
 	done      chan struct{}
+
+	// Cluster-mode lease bookkeeping: the fencing token and node of the
+	// claim this run holds, and whether cancellation was requested by a
+	// user (as opposed to a drain deadline, which releases the job back
+	// to the queue instead of cancelling it terminally).
+	fence        uint64
+	claimNode    string
+	userCanceled bool
 }
 
 // manifest snapshots the job's lifecycle as a durable store record.
@@ -273,6 +281,9 @@ type Status struct {
 	Cols   int    `json:"cols"`
 	// Cost is the suppression objective; present once succeeded.
 	Cost *int `json:"cost,omitempty"`
+	// Node is the cluster node whose lease covers (or covered) the
+	// job's run; empty outside cluster mode and before the first claim.
+	Node string `json:"node,omitempty"`
 	// Error is the failure or cancellation reason, if terminal and not
 	// succeeded.
 	Error       string       `json:"error,omitempty"`
@@ -296,6 +307,7 @@ func (j *Job) Status() Status {
 		Kernel:      j.Req.Kernel.String(),
 		Rows:        len(j.rows),
 		Cols:        len(j.header),
+		Node:        j.claimNode,
 		SubmittedAt: j.submitted,
 	}
 	if !j.started.IsZero() {

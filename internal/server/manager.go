@@ -54,7 +54,27 @@ type Config struct {
 	// order, ahead of capacity limits) and stream jobs resume from
 	// their last completed block checkpoint. Terminal jobs are reloaded
 	// so their status and results stay retrievable across restarts.
+	// Cluster mode (NodeID set) supersedes this: recovery there is the
+	// claim loop's normal behavior, running continuously instead of
+	// once at startup.
 	Recover bool
+	// NodeID, with a Store, switches the manager to cluster mode: the
+	// on-disk manifests become the queue, jobs are claimed under
+	// renewable leases with fencing tokens, and any number of kanond
+	// processes with distinct NodeIDs sharing the data directory drain
+	// the backlog together, stealing work from crashed peers once their
+	// leases expire. Empty keeps the single-node in-memory dispatch.
+	NodeID string
+	// LeaseTTL is how long a claimed job's lease lasts between
+	// renewals (which happen at TTL/3). It is the crash-failover knob:
+	// a dead node's jobs become stealable one TTL after its last
+	// renewal. Default 15s.
+	LeaseTTL time.Duration
+	// ClaimInterval bounds how long a node waits before re-scanning the
+	// store for claimable work it was not poked about (foreign
+	// submissions, expired leases). Default LeaseTTL/5, clamped to
+	// [50ms, 2s].
+	ClaimInterval time.Duration
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -76,6 +96,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.ClaimInterval <= 0 {
+		c.ClaimInterval = c.LeaseTTL / 5
+		if c.ClaimInterval < 50*time.Millisecond {
+			c.ClaimInterval = 50 * time.Millisecond
+		}
+		if c.ClaimInterval > 2*time.Second {
+			c.ClaimInterval = 2 * time.Second
+		}
 	}
 	return c
 }
@@ -113,6 +145,16 @@ type Manager struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 
+	// Cluster-mode runtime (nil / unused outside cluster mode): worker
+	// slots as a token bucket, the claim loop's lifecycle channels, the
+	// set of jobs running on this node, and the in-flight run group.
+	slots        chan struct{}
+	claimPoke    chan struct{}
+	claimStop    chan struct{}
+	claimDone    chan struct{}
+	runningLocal map[string]bool
+	runWG        sync.WaitGroup
+
 	// Hoisted instruments (obs lookup takes the registry lock).
 	qDepth        *obs.Gauge
 	running       *obs.Gauge
@@ -127,20 +169,31 @@ type Manager struct {
 	queueWait     *obs.Histogram
 	jobDur        *obs.Histogram
 	jobCost       *obs.Histogram
+
+	// Lease instruments (cluster mode).
+	leasesClaimed  *obs.Counter
+	leasesStolen   *obs.Counter
+	leasesRenewed  *obs.Counter
+	leasesLost     *obs.Counter
+	leasesReleased *obs.Counter
 }
 
 // NewManager starts the worker pool and the TTL janitor. When the
 // config carries a Store with Recover set, jobs found queued or running
 // on disk are re-admitted before the workers start — the queue is sized
 // to hold the whole recovered backlog even past QueueCapacity, so a
-// restart never sheds work it already accepted. Call Shutdown to stop.
+// restart never sheds work it already accepted. In cluster mode
+// (Store + NodeID) the channel dispatch is replaced by the claim loop:
+// no startup recovery pass is needed, because claiming queued jobs and
+// stealing expired leases IS recovery, running continuously. Call
+// Shutdown to stop.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 
 	// Scan the store before sizing the queue: the recovered backlog
 	// must fit even if it exceeds the configured capacity.
 	var recoverable, terminal []*Job
-	if cfg.Store != nil && cfg.Recover {
+	if cfg.Store != nil && cfg.Recover && !cfg.cluster() {
 		recoverable, terminal = loadPersistedJobs(cfg)
 	}
 	queueCap := cfg.QueueCapacity
@@ -151,29 +204,47 @@ func NewManager(cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	tr := obs.New()
 	m := &Manager{
-		cfg:           cfg,
-		tr:            tr,
-		baseCtx:       ctx,
-		baseCancel:    cancel,
-		jobs:          make(map[string]*Job),
-		queue:         make(chan *Job, queueCap),
-		janitorStop:   make(chan struct{}),
-		janitorDone:   make(chan struct{}),
-		qDepth:        tr.Gauge("server.queue_depth"),
-		running:       tr.Gauge("server.jobs_running"),
-		submitted:     tr.Counter("server.jobs_submitted"),
-		succeeded:     tr.Counter("server.jobs_succeeded"),
-		failed:        tr.Counter("server.jobs_failed"),
-		canceled:      tr.Counter("server.jobs_canceled"),
-		rejected:      tr.Counter("server.jobs_rejected"),
-		expired:       tr.Counter("server.jobs_expired"),
-		recovered:     tr.Counter("server.jobs_recovered"),
-		blocksResumed: tr.Counter("server.blocks_resumed"),
-		queueWait:     tr.Histogram("server.queue_wait_ns"),
-		jobDur:        tr.Histogram("server.job_duration_ns"),
-		jobCost:       tr.Histogram("server.job_cost"),
+		cfg:            cfg,
+		tr:             tr,
+		baseCtx:        ctx,
+		baseCancel:     cancel,
+		jobs:           make(map[string]*Job),
+		janitorStop:    make(chan struct{}),
+		janitorDone:    make(chan struct{}),
+		qDepth:         tr.Gauge("server.queue_depth"),
+		running:        tr.Gauge("server.jobs_running"),
+		submitted:      tr.Counter("server.jobs_submitted"),
+		succeeded:      tr.Counter("server.jobs_succeeded"),
+		failed:         tr.Counter("server.jobs_failed"),
+		canceled:       tr.Counter("server.jobs_canceled"),
+		rejected:       tr.Counter("server.jobs_rejected"),
+		expired:        tr.Counter("server.jobs_expired"),
+		recovered:      tr.Counter("server.jobs_recovered"),
+		blocksResumed:  tr.Counter("server.blocks_resumed"),
+		queueWait:      tr.Histogram("server.queue_wait_ns"),
+		jobDur:         tr.Histogram("server.job_duration_ns"),
+		jobCost:        tr.Histogram("server.job_cost"),
+		leasesClaimed:  tr.Counter("server.leases_claimed"),
+		leasesStolen:   tr.Counter("server.leases_stolen"),
+		leasesRenewed:  tr.Counter("server.leases_renewed"),
+		leasesLost:     tr.Counter("server.leases_lost"),
+		leasesReleased: tr.Counter("server.leases_released"),
 	}
 	tr.Gauge("server.workers").Set(int64(cfg.Workers))
+	if cfg.cluster() {
+		m.slots = make(chan struct{}, cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			m.slots <- struct{}{}
+		}
+		m.claimPoke = make(chan struct{}, 1)
+		m.claimStop = make(chan struct{})
+		m.claimDone = make(chan struct{})
+		m.runningLocal = make(map[string]bool)
+		go m.claimLoop()
+		go m.janitor()
+		return m
+	}
+	m.queue = make(chan *Job, queueCap)
 	for _, j := range terminal {
 		m.jobs[j.ID] = j
 	}
@@ -313,6 +384,9 @@ func (m *Manager) Submit(header []string, rows [][]string, req JobRequest) (*Job
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+	}
+	if m.cfg.cluster() {
+		return m.submitCluster(job)
 	}
 	// Persist before the job becomes visible to workers: otherwise a
 	// fast worker's "running" manifest could be overwritten by this
@@ -593,7 +667,13 @@ func (m *Manager) janitor() {
 	}
 }
 
-// evictExpired removes terminal jobs past their expiry.
+// evictExpired removes terminal jobs past their expiry. The disk side
+// goes through ReapTerminal, which re-checks the manifest under the
+// per-job mutation lock before deleting: reaping and claiming (or a
+// recovery read) serialize on the same lock, so a janitor whose view
+// of a job races a concurrent claim — the manifest-mtime race — can no
+// longer delete live work, it simply finds the job non-terminal and
+// leaves it alone.
 func (m *Manager) evictExpired(now time.Time) {
 	m.mu.Lock()
 	var evicted []*Job
@@ -610,13 +690,16 @@ func (m *Manager) evictExpired(now time.Time) {
 	for _, j := range evicted {
 		m.expired.Inc()
 		if m.cfg.Store != nil {
-			// The janitor reaps the job's directory along with its
-			// in-memory record; an expired job leaves no disk residue.
-			if err := m.cfg.Store.Delete(j.ID); err != nil {
+			if _, err := m.cfg.Store.ReapTerminal(j.ID, now); err != nil {
 				m.log(j, slog.LevelWarn, "job_reap_failed", slog.String("error", err.Error()))
 			}
 		}
 		m.log(j, slog.LevelDebug, "job_expired")
+	}
+	if m.cfg.cluster() {
+		// Cluster sweep: reap expired terminal jobs this node never held
+		// in memory (finished by peers, possibly dead ones).
+		m.reapClusterTerminal(now)
 	}
 }
 
@@ -624,7 +707,17 @@ func (m *Manager) evictExpired(now time.Time) {
 // expires, then cancels whatever is left and waits for the workers to
 // exit. It returns ctx.Err() if the deadline forced cancellation, nil
 // on a clean drain. Safe to call more than once.
+//
+// In cluster mode the drain covers only locally claimed jobs: the
+// claim loop stops (no new claims), running jobs get the drain budget
+// to finish, and any still running at the deadline are cancelled and
+// released back to the shared queue — fenced, so the release cannot
+// clobber a peer that already stole the lease. Locally submitted jobs
+// still queued stay queued on disk for the rest of the cluster.
 func (m *Manager) Shutdown(ctx context.Context) error {
+	if m.cfg.cluster() {
+		return m.shutdownCluster(ctx)
+	}
 	m.mu.Lock()
 	first := !m.draining
 	if first {
@@ -650,6 +743,42 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	m.finalizeQueued()
+	if first {
+		close(m.janitorStop)
+	}
+	<-m.janitorDone
+	m.baseCancel()
+	return err
+}
+
+// shutdownCluster is Shutdown's cluster-mode body: stop claiming,
+// drain locally running jobs, cancel-and-release the stragglers.
+func (m *Manager) shutdownCluster(ctx context.Context) error {
+	m.mu.Lock()
+	first := !m.draining
+	if first {
+		m.draining = true
+		close(m.claimStop)
+	}
+	m.mu.Unlock()
+	<-m.claimDone
+
+	runsDone := make(chan struct{})
+	go func() {
+		m.runWG.Wait()
+		close(runsDone)
+	}()
+	var err error
+	select {
+	case <-runsDone:
+	case <-ctx.Done():
+		// Deadline: cancel the base context. Each running job unwinds at
+		// its next context poll and, not being user-cancelled, is
+		// released back to the shared queue for a peer to finish.
+		m.baseCancel()
+		<-runsDone
+		err = ctx.Err()
+	}
 	if first {
 		close(m.janitorStop)
 	}
@@ -703,6 +832,56 @@ func (m *Manager) JobCounts() (total, active int) {
 		j.mu.Unlock()
 	}
 	return len(m.jobs), active
+}
+
+// Health is the /healthz payload: liveness plus the capacity picture a
+// front-end router balances on. Jobs/Active count this node's in-memory
+// jobs (the legacy payload); Capacity/Free/Running describe this node's
+// worker pool; Queued/Claimed are the cluster-wide backlog read from
+// the shared store (zero outside cluster mode, where Queued falls back
+// to the local queue depth).
+type Health struct {
+	Status   string `json:"status"`
+	Node     string `json:"node,omitempty"`
+	Jobs     int    `json:"jobs"`
+	Active   int    `json:"active"`
+	Capacity int    `json:"capacity"`
+	Free     int    `json:"free"`
+	Running  int    `json:"running"`
+	Queued   int    `json:"queued"`
+	Claimed  int    `json:"claimed"`
+}
+
+// Health snapshots the node for /healthz.
+func (m *Manager) Health() Health {
+	total, active := m.JobCounts()
+	h := Health{Status: "ok", Jobs: total, Active: active, Capacity: m.cfg.Workers}
+	if m.Draining() {
+		h.Status = "draining"
+	}
+	if m.cfg.cluster() {
+		h.Node = m.cfg.NodeID
+		h.Free = len(m.slots)
+		m.mu.Lock()
+		h.Running = len(m.runningLocal)
+		m.mu.Unlock()
+		h.Queued, h.Claimed = m.ClusterDepths()
+		return h
+	}
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateRunning:
+			h.Running++
+		case StateQueued:
+			h.Queued++
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	h.Free = max(0, h.Capacity-h.Running)
+	return h
 }
 
 // log emits one job lifecycle event with the job ID as run_id.

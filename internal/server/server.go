@@ -107,63 +107,70 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
-// handleStatus serves a job's lifecycle snapshot.
+// handleStatus serves a job's lifecycle snapshot. In cluster mode the
+// lookup reads through to the shared store, so any node answers for
+// any job in the cluster — including jobs submitted to, or finished
+// by, a node that no longer exists.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.m.Get(r.PathValue("id"))
+	st, ok := s.m.StatusOf(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errUnknownJob)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Status())
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleResult streams the anonymized CSV of a succeeded job. A job in
 // any other state answers 409 with its status, so pollers can
-// distinguish "not yet" from "never".
+// distinguish "not yet" from "never". Cluster mode serves foreign
+// results from the store's result spool.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.m.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	st, ok := s.m.StatusOf(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, errUnknownJob)
 		return
 	}
-	res, ok := job.Result()
-	if !ok {
-		writeJSON(w, http.StatusConflict, job.Status())
+	if st.State != StateSucceeded {
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	header, rows, err := s.m.ResultBytes(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	// Write errors past this point mean the client went away; there is
 	// nothing useful to do with them.
-	_ = relation.WriteCSVRows(w, res.Header, res.Rows)
+	_ = relation.WriteCSVRows(w, header, rows)
 }
 
 // handleCancel requests cancellation and answers with the job's
-// (possibly still running) status.
+// (possibly still running) status. In cluster mode the request reaches
+// jobs anywhere: queued jobs cancel on the spot wherever they were
+// submitted, and a job running on another node is flagged through the
+// store for its lease holder to notice at the next renewal.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.m.Cancel(r.PathValue("id"))
+	st, ok := s.m.CancelByID(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errUnknownJob)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, job.Status())
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 // handleHealthz reports liveness: 200 while admitting, 503 once
-// draining, either way with the current job counts.
+// draining, either way with the node's capacity picture — the payload
+// a front-end router balances on.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	total, active := s.m.JobCounts()
+	h := s.m.Health()
 	code := http.StatusOK
-	status := "ok"
-	if s.m.Draining() {
+	if h.Status != "ok" {
 		code = http.StatusServiceUnavailable
-		status = "draining"
 	}
-	writeJSON(w, code, map[string]any{
-		"status": status,
-		"jobs":   total,
-		"active": active,
-	})
+	writeJSON(w, code, h)
 }
 
 var errUnknownJob = errors.New("unknown job id")

@@ -1,0 +1,313 @@
+// Lease-based job claiming: the primitives that let N kanond processes
+// share one data directory and drain a single queue.
+//
+// The manifest is still the single source of truth; what cluster mode
+// adds is a Claim record inside it (node ID, fencing token, lease
+// deadline) and a way to transition it atomically *across processes*.
+// temp+fsync+rename alone gives atomic replacement but not mutual
+// exclusion — two nodes could both read an unclaimed manifest and both
+// rename a "claimed by me" version over it, each believing it won. So
+// every claim-path mutation runs as a locked read-modify-write:
+//
+//  1. acquire <job>/manifest.lock with O_CREATE|O_EXCL — exactly one
+//     process can create the file, so exactly one mutator is inside
+//  2. re-read the manifest under the lock and check the transition is
+//     still legal (the queued job is still queued, the lease really is
+//     expired, the caller's fencing token is still current)
+//  3. commit via the existing temp+fsync+rename primitive
+//  4. release the lock by removing it
+//
+// A process that crashes between 1 and 4 leaves a stale lock; claimers
+// break locks older than Store.lockStale (default 30s — mutations hold
+// the lock for microseconds), so a crash stalls a job briefly instead
+// of wedging it forever.
+//
+// Fencing: every successful claim increments the manifest's Fence.
+// RenewLease, UpdateClaimed, and ReleaseJob all verify (node, fence)
+// under the lock before writing, so a node whose lease was stolen gets
+// ErrFenced instead of silently clobbering the new owner's state — the
+// stale writer becomes a no-op. The one write the fence does not gate
+// is spool content (results, block checkpoints), and it does not need
+// to: jobs are deterministic, so a stale owner racing the new one
+// writes byte-identical files through unique temp names.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Claim-path errors. Callers branch on these: ErrNotClaimable means
+// "someone else holds it, move on", ErrFenced means "you lost the
+// lease, stop writing".
+var (
+	// ErrNotClaimable means the job is not in a claimable state: it is
+	// terminal, or another node holds an unexpired lease on it.
+	ErrNotClaimable = errors.New("store: job not claimable")
+	// ErrFenced means the caller's fencing token is no longer current —
+	// its lease expired and another node claimed the job. The caller
+	// must treat the job as no longer its own and discard local writes.
+	ErrFenced = errors.New("store: lease lost to a newer claim")
+	// ErrLockBusy means the per-job mutation lock stayed contended past
+	// the acquisition deadline. Transient; callers may retry.
+	ErrLockBusy = errors.New("store: job mutation lock busy")
+)
+
+// lockAcquireTimeout bounds how long a mutation waits for the per-job
+// lock before giving up with ErrLockBusy. Lock holds are microseconds;
+// hitting this means something is deeply wrong (or a stale lock is
+// waiting out lockStale).
+const lockAcquireTimeout = 10 * time.Second
+
+// lockJob acquires the per-job mutation lock, returning the unlock
+// function. The lock is a file created with O_EXCL — the one primitive
+// that arbitrates between processes sharing the directory. Stale locks
+// (older than lockStale, i.e. abandoned by a crash) are broken.
+func (s *Store) lockJob(id string) (func(), error) {
+	path := filepath.Join(s.jobDir(id), "manifest.lock")
+	deadline := time.Now().Add(lockAcquireTimeout)
+	for {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_ = f.Close()
+			return func() { _ = os.Remove(path) }, nil
+		}
+		if !os.IsExist(err) {
+			// Typically ENOENT: the job directory was reaped while we
+			// were trying — surface that as the job being gone.
+			return nil, fmt.Errorf("store: locking job %s: %w", id, err)
+		}
+		if info, serr := os.Stat(path); serr == nil && time.Since(info.ModTime()) > s.lockStale {
+			// Abandoned by a crashed process. Removal may race another
+			// breaker; whoever's O_EXCL create wins next loop is the
+			// single winner either way.
+			_ = os.Remove(path)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, ErrLockBusy
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// mutate applies fn to the job's manifest as one locked
+// read-modify-write. fn sees the freshest committed manifest; if it
+// returns an error nothing is written. The committed manifest is
+// returned on success.
+func (s *Store) mutate(id string, fn func(*Manifest) error) (*Manifest, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	unlock, err := s.lockJob(id)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	m, err := DecodeManifest(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := fn(m); err != nil {
+		return nil, err
+	}
+	out, err := EncodeManifest(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(filepath.Join(s.jobDir(id), "manifest.json"), out); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// checkOwner verifies the caller still holds the job's lease. Called
+// under the mutation lock, so the check and the subsequent write are
+// one atomic step.
+func checkOwner(m *Manifest, node string, fence uint64) error {
+	if m.Claim == nil || m.Claim.Node != node || m.Fence != fence {
+		return fmt.Errorf("%w (job %s: holder %s fence %d, caller %s fence %d)",
+			ErrFenced, m.ID, claimNode(m), m.Fence, node, fence)
+	}
+	return nil
+}
+
+// claimNode names the current lease holder, for error text.
+func claimNode(m *Manifest) string {
+	if m.Claim == nil {
+		return "<none>"
+	}
+	return m.Claim.Node
+}
+
+// ClaimJob atomically claims a job for node: a queued job, or a running
+// job whose lease has expired (crash-failover steal) or was never
+// leased (an orphan from a pre-cluster crash). On success the manifest
+// is running, fenced one higher than before, and leased to node until
+// now+ttl; stolen reports whether the claim displaced a previous
+// holder. Any other state returns ErrNotClaimable.
+func (s *Store) ClaimJob(id, node string, ttl time.Duration, now time.Time) (m *Manifest, stolen bool, err error) {
+	if err := ValidateNodeID(node); err != nil {
+		return nil, false, err
+	}
+	if ttl <= 0 {
+		return nil, false, fmt.Errorf("store: lease ttl %v, want > 0", ttl)
+	}
+	m, err = s.mutate(id, func(m *Manifest) error {
+		switch {
+		case m.State == StateQueued:
+		case m.State == StateRunning && m.Claim == nil:
+			stolen = true // orphaned mid-run by a crashed pre-cluster server
+		case m.State == StateRunning && !now.Before(m.Claim.Expires):
+			stolen = true
+		default:
+			return fmt.Errorf("%w (job %s: state %s, holder %s until %v)",
+				ErrNotClaimable, m.ID, m.State, claimNode(m), claimExpiry(m))
+		}
+		m.State = StateRunning
+		m.Fence++
+		m.Claim = &Claim{Node: node, Expires: now.Add(ttl)}
+		m.Node = node // survives the claim, so terminal status names its runner
+		t := now
+		m.StartedAt = &t
+		m.FinishedAt = nil
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return m, stolen, nil
+}
+
+// claimExpiry is the holder's lease deadline, for error text.
+func claimExpiry(m *Manifest) time.Time {
+	if m.Claim == nil {
+		return time.Time{}
+	}
+	return m.Claim.Expires
+}
+
+// RenewLease extends the lease of a job the caller owns to now+ttl.
+// It returns the committed manifest so the owner also observes
+// cross-node signals riding on it (CancelRequested). ErrFenced if the
+// lease was stolen.
+func (s *Store) RenewLease(id, node string, fence uint64, ttl time.Duration, now time.Time) (*Manifest, error) {
+	return s.mutate(id, func(m *Manifest) error {
+		if err := checkOwner(m, node, fence); err != nil {
+			return err
+		}
+		m.Claim.Expires = now.Add(ttl)
+		return nil
+	})
+}
+
+// UpdateClaimed applies a fenced manifest mutation — how a lease holder
+// persists a job transition (typically to a terminal state). fn runs
+// only if the caller still owns the lease; if fn leaves the job in any
+// non-running state the claim record is cleared (the lease dies with
+// the run; the fence survives as a high-water mark).
+func (s *Store) UpdateClaimed(id, node string, fence uint64, fn func(*Manifest) error) (*Manifest, error) {
+	return s.mutate(id, func(m *Manifest) error {
+		if err := checkOwner(m, node, fence); err != nil {
+			return err
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
+		if m.State != StateRunning {
+			m.Claim = nil
+		}
+		return nil
+	})
+}
+
+// ReleaseJob returns a job the caller owns to the queue: state queued,
+// claim cleared, start time reset — as if never claimed, except the
+// fence keeps growing so writes issued under the released lease stay
+// fenced off. Used when a node must give up work it cannot finish
+// (graceful shutdown with jobs still running); any node, including the
+// releaser, may claim the job again.
+func (s *Store) ReleaseJob(id, node string, fence uint64) (*Manifest, error) {
+	return s.mutate(id, func(m *Manifest) error {
+		if err := checkOwner(m, node, fence); err != nil {
+			return err
+		}
+		m.State = StateQueued
+		m.Claim = nil
+		m.Node = "" // back on the queue, the job is nobody's again
+		m.StartedAt = nil
+		return nil
+	})
+}
+
+// RequestCancel asks for a job's cancellation from anywhere in the
+// cluster. A queued job is cancelled on the spot (terminal, with
+// reason); a running job gets CancelRequested set, which its lease
+// holder observes at the next renewal and unwinds; a terminal job is
+// untouched. The committed manifest is returned either way.
+func (s *Store) RequestCancel(id, reason string, now time.Time) (*Manifest, error) {
+	return s.mutate(id, func(m *Manifest) error {
+		switch m.State {
+		case StateQueued:
+			m.State = StateCanceled
+			m.Error = reason
+			t := now
+			m.FinishedAt = &t
+			m.Claim = nil
+		case StateRunning:
+			m.CancelRequested = true
+		}
+		return nil
+	})
+}
+
+// ReapTerminal removes a job's directory iff its manifest is terminal
+// and it finished at or before cutoff. The check and the removal happen
+// under the job's mutation lock, so a reap can never race a concurrent
+// claim or recovery read into resurrecting (or half-deleting) the job:
+// claimers serialized behind the lock find the directory gone and move
+// on. Jobs that are absent, non-terminal, or too fresh report
+// reaped=false with no error; an undecodable manifest is an error (the
+// janitor should warn, not silently destroy evidence).
+func (s *Store) ReapTerminal(id string, cutoff time.Time) (reaped bool, err error) {
+	if err := ValidateID(id); err != nil {
+		return false, err
+	}
+	unlock, err := s.lockJob(id)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil // already gone
+		}
+		return false, err
+	}
+	defer unlock()
+	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "manifest.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("store: %w", err)
+	}
+	m, err := DecodeManifest(b)
+	if err != nil {
+		return false, err
+	}
+	if !m.Terminal() || m.FinishedAt == nil || m.FinishedAt.After(cutoff) {
+		return false, nil
+	}
+	// RemoveAll takes the lock file with the directory; the deferred
+	// unlock's Remove then fails with ENOENT, which it ignores. Any
+	// mutator waiting on the lock next sees ENOENT from its O_EXCL
+	// create and reports the job gone.
+	if err := os.RemoveAll(s.jobDir(id)); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	return true, nil
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"testing"
+	"time"
 )
 
 // FuzzJobManifest drives the manifest decoder — the one file the
@@ -60,6 +61,84 @@ func FuzzJobManifest(f *testing.F) {
 			m2.Rows != m.Rows || m2.Cols != m.Cols || m2.BlockRows != m.BlockRows ||
 			m2.Seed != m.Seed || !m2.SubmittedAt.Equal(m.SubmittedAt) {
 			t.Fatalf("round trip changed fields:\n%+v\n%+v", m, m2)
+		}
+	})
+}
+
+// FuzzClaimManifest drives the strict decoder with hostile lease
+// records — the cluster-mode analogue of FuzzJobManifest. Any manifest
+// the decoder accepts must carry a claim the claim machinery can act on
+// safely: only running jobs leased, the holder's node ID directory- and
+// label-safe, a real deadline, a fence ≥ 1 — and the fencing rules must
+// hold over it: the recorded holder passes checkOwner, every other
+// (node, fence) pair is fenced out, and the claim survives an
+// encode/decode round trip bit-for-bit.
+func FuzzClaimManifest(f *testing.F) {
+	mk := func(mut func(*Manifest)) []byte {
+		m := testManifest("seed-claim")
+		m.State = StateRunning
+		m.Fence = 3
+		m.Claim = &Claim{Node: "node-a", Expires: time.Date(2026, 8, 1, 10, 0, 0, 0, time.UTC)}
+		mut(m)
+		b, err := EncodeManifest(m)
+		if err != nil {
+			return nil
+		}
+		return b
+	}
+	if b := mk(func(m *Manifest) {}); b != nil {
+		f.Add(b)
+	}
+	if b := mk(func(m *Manifest) { m.CancelRequested = true }); b != nil {
+		f.Add(b)
+	}
+	// Hostile shapes the decoder must reject or normalize: leases on
+	// non-running jobs, traversal node IDs, zero deadlines, fence 0.
+	f.Add([]byte(`{"version":"kanon-job/1","id":"x","state":"queued","k":2,"algo":"ball","rows":4,"cols":1,"submitted_at":"2026-01-01T00:00:00Z","claim":{"node":"n1","expires":"2026-01-01T00:01:00Z"},"fence":1}`))
+	f.Add([]byte(`{"version":"kanon-job/1","id":"x","state":"running","k":2,"algo":"ball","rows":4,"cols":1,"submitted_at":"2026-01-01T00:00:00Z","claim":{"node":"../../etc","expires":"2026-01-01T00:01:00Z"},"fence":1}`))
+	f.Add([]byte(`{"version":"kanon-job/1","id":"x","state":"running","k":2,"algo":"ball","rows":4,"cols":1,"submitted_at":"2026-01-01T00:00:00Z","claim":{"node":"n1","expires":"0001-01-01T00:00:00Z"},"fence":1}`))
+	f.Add([]byte(`{"version":"kanon-job/1","id":"x","state":"running","k":2,"algo":"ball","rows":4,"cols":1,"submitted_at":"2026-01-01T00:00:00Z","claim":{"node":"n1","expires":"2026-01-01T00:01:00Z"}}`))
+	f.Add([]byte(`{"version":"kanon-job/1","id":"x","state":"running","k":2,"algo":"ball","rows":4,"cols":1,"submitted_at":"2026-01-01T00:00:00Z","claim":{"node":""},"fence":18446744073709551615}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Claim == nil {
+			return
+		}
+		if m.State != StateRunning {
+			t.Fatalf("accepted a lease on a %s job", m.State)
+		}
+		if err := ValidateNodeID(m.Claim.Node); err != nil {
+			t.Fatalf("accepted unsafe lease node %q: %v", m.Claim.Node, err)
+		}
+		if m.Claim.Expires.IsZero() {
+			t.Fatal("accepted a lease without a deadline")
+		}
+		if m.Fence < 1 {
+			t.Fatalf("accepted a leased job with fence %d", m.Fence)
+		}
+		if err := checkOwner(m, m.Claim.Node, m.Fence); err != nil {
+			t.Fatalf("recorded holder does not pass checkOwner: %v", err)
+		}
+		if err := checkOwner(m, m.Claim.Node+"x", m.Fence); err == nil {
+			t.Fatal("foreign node passed checkOwner")
+		}
+		if err := checkOwner(m, m.Claim.Node, m.Fence+1); err == nil {
+			t.Fatal("stale fence passed checkOwner")
+		}
+		b, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("accepted claim does not re-encode: %v", err)
+		}
+		m2, err := DecodeManifest(b)
+		if err != nil {
+			t.Fatalf("re-encoded claim does not decode: %v", err)
+		}
+		if m2.Fence != m.Fence || m2.Claim.Node != m.Claim.Node ||
+			!m2.Claim.Expires.Equal(m.Claim.Expires) || m2.CancelRequested != m.CancelRequested {
+			t.Fatalf("round trip changed the lease:\n%+v\n%+v", m.Claim, m2.Claim)
 		}
 	})
 }

@@ -70,6 +70,34 @@ type Manifest struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Fence is the job's monotonically increasing fencing token. Every
+	// successful claim (including a steal) increments it, so a node that
+	// lost its lease can be recognized — and rejected — by comparing the
+	// token it was issued against the current one. It only grows; it is
+	// never reset, even when the claim is released.
+	Fence uint64 `json:"fence,omitempty"`
+	// Claim, when non-nil, records the lease: which node currently owns
+	// the job and until when. Only running jobs carry a claim; a claim
+	// whose Expires has passed is stealable by any node.
+	Claim *Claim `json:"claim,omitempty"`
+	// Node is the last node to hold the job's lease. Unlike Claim it
+	// survives terminal transitions (so status can report who ran the
+	// job) and is cleared only when a release hands the job back to the
+	// queue, where it is nobody's again.
+	Node string `json:"node,omitempty"`
+	// CancelRequested asks the lease holder to cancel the job. Any node
+	// can set it (DELETE may land anywhere in the cluster); the owner
+	// notices at its next lease renewal and unwinds promptly.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+}
+
+// Claim is the lease record of a claimed (running) job.
+type Claim struct {
+	// Node identifies the kanond process holding the lease.
+	Node string `json:"node"`
+	// Expires is the lease deadline. The owner renews it while the job
+	// runs; once it passes, any node may steal the claim.
+	Expires time.Time `json:"expires"`
 }
 
 // Recoverable reports whether the manifest describes work lost to a
@@ -113,6 +141,25 @@ func (m *Manifest) validate() error {
 	}
 	if m.SubmittedAt.IsZero() {
 		return fmt.Errorf("store: manifest missing submitted_at")
+	}
+	if m.Node != "" {
+		if err := ValidateNodeID(m.Node); err != nil {
+			return err
+		}
+	}
+	if m.Claim != nil {
+		if m.State != StateRunning {
+			return fmt.Errorf("store: %s job carries a claim; only running jobs may", m.State)
+		}
+		if err := ValidateNodeID(m.Claim.Node); err != nil {
+			return err
+		}
+		if m.Claim.Expires.IsZero() {
+			return fmt.Errorf("store: claim missing lease deadline")
+		}
+		if m.Fence < 1 {
+			return fmt.Errorf("store: claimed job has fence %d, want >= 1", m.Fence)
+		}
 	}
 	return nil
 }
@@ -163,6 +210,17 @@ func ValidateID(id string) error {
 		default:
 			return fmt.Errorf("store: job id %q has unsafe byte %q at %d", id, c, i)
 		}
+	}
+	return nil
+}
+
+// ValidateNodeID vets a cluster node identifier found in a lease
+// record. Node IDs share the job-ID character rules: they appear in
+// logs, metrics labels, and manifests read by other nodes, so the same
+// "no path bytes, no control bytes" discipline applies.
+func ValidateNodeID(node string) error {
+	if err := ValidateID(node); err != nil {
+		return fmt.Errorf("store: invalid node id: %w", err)
 	}
 	return nil
 }

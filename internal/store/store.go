@@ -31,16 +31,25 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"kanon/internal/relation"
 	"kanon/internal/stream"
 )
 
 // Store is a disk-backed job store rooted at one data directory. All
-// methods are safe for concurrent use: distinct jobs touch distinct
-// directories, and same-job writes are atomic renames.
+// methods are safe for concurrent use — including use by other
+// processes sharing the directory: distinct jobs touch distinct
+// directories, same-job writes are atomic renames, and the claim
+// operations (claim.go) serialize read-modify-write manifest
+// transitions through a per-job lock file.
 type Store struct {
 	dir string
+	// lockStale is how old a per-job mutation lock may grow before it is
+	// presumed abandoned by a crashed process and broken. Mutations hold
+	// the lock for microseconds, so the default (30s) is generous; tests
+	// shrink it via SetLockStale.
+	lockStale time.Duration
 }
 
 // Open ensures the data directory (and its jobs/ subdirectory) exists
@@ -52,7 +61,16 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, lockStale: 30 * time.Second}, nil
+}
+
+// SetLockStale overrides how old an abandoned per-job mutation lock may
+// grow before claim operations break it. Production never needs this;
+// tests use it to exercise crash-failover without waiting 30s.
+func (s *Store) SetLockStale(d time.Duration) {
+	if d > 0 {
+		s.lockStale = d
+	}
 }
 
 // Dir returns the data directory the store was opened on.
@@ -294,19 +312,24 @@ func writeCSVAtomic(path string, header []string, rows [][]string) error {
 
 // writeFileAtomic writes data to a same-directory temp file, fsyncs,
 // and renames it over path — the only write primitive in the store, so
-// every on-disk file is either absent or complete.
+// every on-disk file is either absent or complete. The temp name is
+// unique per writer: in cluster mode two nodes may race to write the
+// same (deterministic, byte-identical) spool, and a shared temp name
+// would let their writes interleave into a torn file before the rename.
 func writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	tmp := f.Name()
 	_, werr := f.Write(data)
+	merr := f.Chmod(0o644)
 	serr := f.Sync()
 	cerr := f.Close()
-	if err := errors.Join(werr, serr, cerr); err != nil {
+	if err := errors.Join(werr, merr, serr, cerr); err != nil {
 		_ = os.Remove(tmp)
-		return fmt.Errorf("store: writing %s: %w", filepath.Base(path), err)
+		return fmt.Errorf("store: writing %s: %w", base, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		_ = os.Remove(tmp)
