@@ -31,7 +31,14 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"kanon/internal/obs"
 )
+
+// buildVersion identifies this router binary in /healthz, alongside
+// the per-peer versions — one request shows whether a rolling upgrade
+// left the cluster mixed.
+var buildVersion = obs.ReadBuild().String()
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, nil); err != nil {
@@ -95,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 type peerHealth struct {
 	Status   string `json:"status"`
 	Node     string `json:"node"`
+	Version  string `json:"version,omitempty"`
 	Capacity int    `json:"capacity"`
 	Free     int    `json:"free"`
 	Running  int    `json:"running"`
@@ -138,9 +146,11 @@ func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rt.routeSubmit(w, r)
 	case r.URL.Path == "/healthz":
 		rt.aggregateHealth(w)
+	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
+		rt.aggregateMetrics(w)
 	default:
-		// Status, results, cancels, metrics, debug: any live peer can
-		// answer (job reads go through the shared store on every node).
+		// Status, results, cancels, debug: any live peer can answer
+		// (job reads go through the shared store on every node).
 		rt.forwardAny(w, r)
 	}
 }
@@ -265,13 +275,14 @@ func (rt *router) aggregateHealth(w http.ResponseWriter) {
 	}
 	out := struct {
 		Status   string  `json:"status"`
+		Version  string  `json:"version,omitempty"`
 		Capacity int     `json:"capacity"`
 		Free     int     `json:"free"`
 		Running  int     `json:"running"`
 		Queued   int     `json:"queued"`
 		Claimed  int     `json:"claimed"`
 		Peers    []entry `json:"peers"`
-	}{Status: "unavailable"}
+	}{Status: "unavailable", Version: buildVersion}
 	for _, p := range rt.peers {
 		h := rt.probe(p)
 		out.Peers = append(out.Peers, entry{Peer: p, peerHealth: h})
@@ -294,6 +305,42 @@ func (rt *router) aggregateHealth(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(out)
+}
+
+// aggregateMetrics renders one Prometheus exposition for the whole
+// cluster: every reachable peer's telemetry snapshot (its /debug/obs
+// payload), merged with a `node` label distinguishing the series. A
+// single scrape target therefore covers N nodes without any peer
+// needing to know about the others. Peers that are down are skipped;
+// if none answer, the scrape fails loudly with 503 rather than
+// masquerading as an empty-but-healthy cluster.
+func (rt *router) aggregateMetrics(w http.ResponseWriter) {
+	var nodes []obs.NodeSnapshot
+	for _, p := range rt.peers {
+		node := rt.probe(p).Node
+		if node == "" {
+			// Single-node peers report no node id; label by address so
+			// the series still separate per peer.
+			node = strings.TrimPrefix(strings.TrimPrefix(p, "http://"), "https://")
+		}
+		resp, err := rt.client.Get(p + "/debug/obs")
+		if err != nil {
+			continue
+		}
+		var snap obs.Snapshot
+		err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		nodes = append(nodes, obs.NodeSnapshot{Node: node, Snap: &snap})
+	}
+	if len(nodes) == 0 {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no reachable peers"))
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = obs.WritePrometheusNodes(w, "kanon", nodes)
 }
 
 // query re-renders the request's query string, ?-prefixed when present.

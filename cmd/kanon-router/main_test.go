@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"kanon/internal/obs"
 )
 
 // fakeNode is an httptest stand-in for one kanond: a fixed /healthz
@@ -48,6 +50,13 @@ func newFakeNode(t *testing.T, name string, free int, status string) *fakeNode {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusAccepted)
 		fmt.Fprintf(w, `{"id":%q,"state":"canceled"}`, r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&obs.Snapshot{
+			Counters: map[string]int64{"server.jobs_succeeded": int64(free)},
+			Gauges:   map[string]obs.GaugeStat{"server.jobs_running": {Last: 1, Max: 2}},
+		})
 	})
 	n.srv = httptest.NewServer(mux)
 	t.Cleanup(n.srv.Close)
@@ -161,6 +170,7 @@ func TestAggregateHealth(t *testing.T) {
 	}
 	var h struct {
 		Status   string `json:"status"`
+		Version  string `json:"version"`
 		Capacity int    `json:"capacity"`
 		Free     int    `json:"free"`
 		Queued   int    `json:"queued"`
@@ -175,8 +185,66 @@ func TestAggregateHealth(t *testing.T) {
 	if h.Status != "ok" || h.Capacity != 8 || h.Free != 4 || h.Queued != 2 || h.Claimed != 1 {
 		t.Fatalf("aggregate = %+v", h)
 	}
+	if h.Version == "" {
+		t.Error("router /healthz missing its build version")
+	}
 	if len(h.Peers) != 3 || h.Peers[2].Status != "unreachable" {
 		t.Fatalf("peers = %+v", h.Peers)
+	}
+}
+
+// TestAggregateMetrics: the router's /metrics merges every reachable
+// peer's telemetry into one lintable exposition where each sample
+// carries its node label — one scrape target for the whole cluster.
+func TestAggregateMetrics(t *testing.T) {
+	a := newFakeNode(t, "node-a", 3, "ok")
+	b := newFakeNode(t, "node-b", 1, "ok")
+	down := newFakeNode(t, "down", 4, "ok")
+	down.srv.Close()
+	rt := newTestRouter(t, a, b, down)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	out := rec.Body.String()
+	if err := obs.LintPrometheus(rec.Body.Bytes()); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`kanon_server_jobs_succeeded_total{node="node-a"} 3`,
+		`kanon_server_jobs_succeeded_total{node="node-b"} 1`,
+		`kanon_server_jobs_running{node="node-a"} 1`,
+		`kanon_server_jobs_running_max{node="node-b"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "down") {
+		t.Errorf("unreachable peer leaked into the exposition:\n%s", out)
+	}
+	// One family head covers both nodes.
+	if got := strings.Count(out, "# TYPE kanon_server_jobs_succeeded_total counter"); got != 1 {
+		t.Errorf("family head appears %d times, want 1:\n%s", got, out)
+	}
+}
+
+// TestAggregateMetricsAllPeersDown: an unreachable cluster is a failed
+// scrape (503), never an empty-but-200 exposition.
+func TestAggregateMetricsAllPeersDown(t *testing.T) {
+	dead := newFakeNode(t, "dead", 4, "ok")
+	dead.srv.Close()
+	rt := newTestRouter(t, dead)
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", rec.Code)
 	}
 }
 

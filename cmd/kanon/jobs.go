@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"kanon/internal/obs"
+)
+
+// runJobsCmd implements the `kanon jobs` subcommand family — the CLI
+// view onto a running kanond's (or kanon-router's) per-job
+// observability artifacts:
+//
+//	kanon jobs events -server http://host:8080 -id JOB [-json]
+//	kanon jobs trace  -server http://host:8080 -id JOB [-json]
+//
+// `events` prints the job's durable lifecycle journal, one line per
+// event; `trace` renders the job's merged span timeline as the same
+// tree -trace prints for local runs. Both read GET /v1/jobs/{id}/...,
+// so against a router (or any cluster node) they narrate jobs that ran
+// anywhere in the cluster, including jobs stolen across nodes.
+func runJobsCmd(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: kanon jobs events|trace -server URL -id JOB [-json]")
+	}
+	sub := args[0]
+	switch sub {
+	case "events", "trace":
+	default:
+		return fmt.Errorf("unknown jobs subcommand %q (want events or trace)", sub)
+	}
+	fs := flag.NewFlagSet("kanon jobs "+sub, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	server := fs.String("server", "http://localhost:8080", "base URL of a kanond node or kanon-router")
+	id := fs.String("id", "", "job id (required)")
+	asJSON := fs.Bool("json", false, "print the raw JSON payload instead of rendering")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("missing required flag -id")
+	}
+	url := strings.TrimSuffix(*server, "/") + "/v1/jobs/" + *id + "/" + sub
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &env) == nil && env.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, env.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if *asJSON {
+		_, err := stdout.Write(append(body, '\n'))
+		return err
+	}
+	switch sub {
+	case "events":
+		var events []obs.JournalEvent
+		if err := json.Unmarshal(body, &events); err != nil {
+			return fmt.Errorf("decoding events: %w", err)
+		}
+		writeEventLines(stdout, events)
+	case "trace":
+		var snap obs.Snapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return fmt.Errorf("decoding trace: %w", err)
+		}
+		if err := snap.WriteTree(stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEventLines renders journal events one per line, timestamp
+// first, with the optional fields (node, fence, phase, detail) only
+// when present — a failover's story reads straight down the page.
+func writeEventLines(w io.Writer, events []obs.JournalEvent) {
+	for _, e := range events {
+		line := fmt.Sprintf("%s  %-20s", e.TS.UTC().Format(time.RFC3339Nano), e.Event)
+		if e.Node != "" {
+			line += " node=" + e.Node
+		}
+		if e.Fence != 0 {
+			line += fmt.Sprintf(" fence=%d", e.Fence)
+		}
+		if e.Phase != "" {
+			line += " phase=" + e.Phase
+		}
+		if e.Detail != "" {
+			line += "  " + e.Detail
+		}
+		fmt.Fprintln(w, strings.TrimRight(line, " "))
+	}
+}

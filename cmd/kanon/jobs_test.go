@@ -1,0 +1,97 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func fakeJobServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/job-1/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`[
+			{"v":"kanon-events/1","ts":"2026-08-07T12:00:00Z","event":"claimed","node":"node-a","fence":1},
+			{"v":"kanon-events/1","ts":"2026-08-07T12:00:20Z","event":"lease_stolen","node":"node-b","fence":2,"detail":"from node-a"},
+			{"v":"kanon-events/1","ts":"2026-08-07T12:00:30Z","event":"succeeded","node":"node-b","fence":2}
+		]`))
+	})
+	mux.HandleFunc("GET /v1/jobs/job-1/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"spans":[
+			{"name":"job@node-a","start_ns":0,"dur_ns":1000000,"wall_ns":100},
+			{"name":"job@node-b","start_ns":0,"dur_ns":2000000,"wall_ns":200}
+		]}`))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error":"unknown job id"}`))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestJobsEventsRender(t *testing.T) {
+	srv := fakeJobServer(t)
+	var out, errb strings.Builder
+	err := runJobsCmd([]string{"events", "-server", srv.URL, "-id", "job-1"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"claimed", "node=node-a", "fence=1", "lease_stolen", "from node-a", "succeeded"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("events output missing %q:\n%s", want, text)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != 3 {
+		t.Errorf("got %d event lines, want 3:\n%s", len(lines), text)
+	}
+}
+
+func TestJobsTraceRender(t *testing.T) {
+	srv := fakeJobServer(t)
+	var out, errb strings.Builder
+	err := runJobsCmd([]string{"trace", "-server", srv.URL, "-id", "job-1"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "job@node-a") || !strings.Contains(text, "job@node-b") {
+		t.Errorf("trace tree missing node segments:\n%s", text)
+	}
+}
+
+func TestJobsJSONPassthrough(t *testing.T) {
+	srv := fakeJobServer(t)
+	var out, errb strings.Builder
+	err := runJobsCmd([]string{"events", "-server", srv.URL, "-id", "job-1", "-json"}, &out, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"event":"lease_stolen"`) {
+		t.Errorf("-json did not pass the payload through:\n%s", out.String())
+	}
+}
+
+func TestJobsErrors(t *testing.T) {
+	srv := fakeJobServer(t)
+	var out, errb strings.Builder
+	if err := runJobsCmd(nil, &out, &errb); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := runJobsCmd([]string{"status"}, &out, &errb); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := runJobsCmd([]string{"events", "-server", srv.URL}, &out, &errb); err == nil {
+		t.Error("missing -id accepted")
+	}
+	err := runJobsCmd([]string{"events", "-server", srv.URL, "-id", "nope"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "unknown job id") {
+		t.Errorf("404 not surfaced as the server's error: %v", err)
+	}
+}

@@ -50,6 +50,11 @@ func main() {
 }
 
 func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	// `kanon jobs ...` is a remote-inspection subcommand, not an
+	// anonymization run; dispatch before the main flag set sees it.
+	if len(args) > 0 && args[0] == "jobs" {
+		return runJobsCmd(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("kanon", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	k := fs.Int("k", 3, "anonymity parameter: every released row is identical to ≥ k−1 others")

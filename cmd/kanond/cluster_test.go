@@ -17,6 +17,7 @@ import (
 
 	"kanon"
 	"kanon/internal/dataset"
+	"kanon/internal/obs"
 	"kanon/internal/relation"
 	"kanon/internal/stream"
 )
@@ -105,6 +106,42 @@ func getResult(t *testing.T, base, id string) []byte {
 		t.Fatalf("result %s: status %d: %s", id, resp.StatusCode, b)
 	}
 	return b
+}
+
+// getEvents fetches a job's decoded lifecycle journal.
+func getEvents(t *testing.T, base, id string) []obs.JournalEvent {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events %s: status %d", id, resp.StatusCode)
+	}
+	var events []obs.JournalEvent
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// getTrace fetches a job's merged span timeline.
+func getTrace(t *testing.T, base, id string) *obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace %s: status %d", id, resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return &snap
 }
 
 // renderCSV flattens an in-process result into the byte form the
@@ -290,6 +327,78 @@ func TestClusterFailoverByteIdentical(t *testing.T) {
 		if !after.Equal(mtime) {
 			t.Errorf("checkpoint %s rewritten after the steal (mtime %v → %v)", name, mtime, after)
 		}
+	}
+
+	// The durable journal must narrate the failover: claimed by the
+	// victim, lease stolen by the survivor, checkpoints resumed — every
+	// surviving node serves the same story about a job whose first owner
+	// no longer exists.
+	for _, n := range nodes {
+		events := getEvents(t, n.base, streamJob.ID)
+		firstClaim := -1
+		for i, e := range events {
+			if e.Event == "claimed" {
+				firstClaim = i
+				break
+			}
+		}
+		if firstClaim < 0 || events[firstClaim].Node != victim.id {
+			t.Fatalf("journal via %s: first claim not by the victim %s: %+v", n.id, victim.id, events)
+		}
+		stoleAt, resumedAt, succeededAt := -1, -1, -1
+		for i, e := range events {
+			switch e.Event {
+			case "lease_stolen":
+				if stoleAt < 0 {
+					stoleAt = i
+					if e.Node == victim.id || e.Node == "" {
+						t.Errorf("lease_stolen recorded by %q, want a surviving peer", e.Node)
+					}
+					if e.Fence <= events[firstClaim].Fence {
+						t.Errorf("steal fence %d not above the victim's claim fence %d",
+							e.Fence, events[firstClaim].Fence)
+					}
+				}
+			case "checkpoint_resumed":
+				resumedAt = i
+			case "succeeded":
+				succeededAt = i
+			}
+		}
+		if stoleAt < firstClaim || resumedAt < stoleAt || succeededAt < resumedAt {
+			t.Fatalf("journal via %s out of order (claim %d, steal %d, resume %d, success %d): %+v",
+				n.id, firstClaim, stoleAt, resumedAt, succeededAt, events)
+		}
+	}
+
+	// The merged trace must cover both segments as one timeline: a root
+	// span per run, naming the victim then the thief, in wall-clock
+	// order.
+	trace := getTrace(t, survivor.base, streamJob.ID)
+	if len(trace.Spans) < 2 {
+		t.Fatalf("merged trace has %d root spans, want the victim's and the thief's: %+v",
+			len(trace.Spans), trace.Spans)
+	}
+	sawVictim, sawThief := false, false
+	lastWall := int64(0)
+	for _, sp := range trace.Spans {
+		if sp.WallNS < lastWall {
+			t.Fatalf("trace roots not in wall-clock order: %+v", trace.Spans)
+		}
+		lastWall = sp.WallNS
+		switch sp.Name {
+		case "job@" + victim.id:
+			sawVictim = true
+			if sawThief {
+				t.Errorf("victim segment after the thief's: %+v", trace.Spans)
+			}
+		case "job@" + final.Node:
+			sawThief = true
+		}
+	}
+	if !sawVictim || !sawThief {
+		t.Fatalf("merged trace does not name both nodes (victim %s, thief %s): %+v",
+			victim.id, final.Node, trace.Spans)
 	}
 
 	// Every combo in the batch — wherever it ran, killed node included —

@@ -71,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "cluster mode: lease duration per claimed job — the crash-failover delay before peers steal a dead node's work")
 	claimInterval := fs.Duration("claim-interval", 0, "cluster mode: poll interval for foreign work and expired leases (0 = lease-ttl/5, clamped to [50ms, 2s])")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget before running jobs are cancelled")
+	metricsOut := fs.String("metrics-out", "", "write the final telemetry snapshot (Prometheus text) to this file on graceful shutdown")
 	logEvents := fs.Bool("log", true, "emit structured JSON lifecycle events to stderr")
 	version := fs.Bool("version", false, "print build provenance and exit")
 	if err := fs.Parse(args); err != nil {
@@ -161,5 +162,25 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	if draineErr != nil {
 		fmt.Fprintf(stderr, "kanond: shutdown forced cancellation: %v\n", draineErr)
 	}
+	if *metricsOut != "" {
+		// The drain is done: this snapshot is the process's final word,
+		// matching the -metrics-out contract of kanon and kanon-bench.
+		if err := writeMetrics(*metricsOut, srv.Manager().Snapshot()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeMetrics dumps a snapshot as Prometheus text exposition.
+func writeMetrics(path string, snap *obs.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WritePrometheus(f, "kanon"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -5,9 +5,13 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"kanon/internal/obs"
 )
 
 func TestVersionFlag(t *testing.T) {
@@ -32,14 +36,17 @@ func TestBadFlags(t *testing.T) {
 
 // TestServeSubmitShutdown boots the real binary loop on an ephemeral
 // port, pushes one job through the full HTTP lifecycle, and shuts the
-// process down via its stop channel.
+// process down via its stop channel — checking the -metrics-out final
+// snapshot and the /healthz build version along the way.
 func TestServeSubmitShutdown(t *testing.T) {
 	stop := make(chan struct{})
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
+	metricsPath := filepath.Join(t.TempDir(), "final.prom")
 	var errb bytes.Buffer
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-log=false", "-drain", "5s"},
+		done <- run([]string{"-addr", "127.0.0.1:0", "-log=false", "-drain", "5s",
+			"-metrics-out", metricsPath},
 			io.Discard, &errb, stop, ready)
 	}()
 	var base string
@@ -99,6 +106,24 @@ func TestServeSubmitShutdown(t *testing.T) {
 		t.Fatalf("result: status %d body %q", rr.StatusCode, body)
 	}
 
+	// The node's /healthz names its build, so a router (or a human) can
+	// spot a mixed-version cluster in one request.
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Version string `json:"version"`
+	}
+	err = json.NewDecoder(hr.Body).Decode(&health)
+	hr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Version == "" {
+		t.Error("/healthz missing the build version")
+	}
+
 	close(stop)
 	select {
 	case err := <-done:
@@ -107,5 +132,18 @@ func TestServeSubmitShutdown(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down")
+	}
+
+	// -metrics-out lands after the drain: the process's final telemetry
+	// word, and it must be valid exposition.
+	final, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("final metrics not written: %v", err)
+	}
+	if err := obs.LintPrometheus(final); err != nil {
+		t.Fatalf("final metrics do not lint: %v\n%s", err, final)
+	}
+	if !strings.Contains(string(final), "kanon_server_jobs_succeeded_total 1") {
+		t.Errorf("final metrics missing the job's success count:\n%s", final)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -23,73 +24,14 @@ const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 // WritePrometheus writes the snapshot as Prometheus text exposition.
 // namespace prefixes every family name ("kanon" unless empty). Families
 // are emitted in sorted order, so output is deterministic for a given
-// snapshot. A nil snapshot writes nothing and reports no error.
+// snapshot. A nil snapshot writes nothing and reports no error. This is
+// the single-node view: it delegates to WritePrometheusNodes with one
+// unlabeled entry.
 func (s *Snapshot) WritePrometheus(w io.Writer, namespace string) error {
 	if s == nil {
 		return nil
 	}
-	if namespace == "" {
-		namespace = "kanon"
-	}
-	e := &promEmitter{w: w, ns: promSanitizeLabelName(namespace), seen: map[string]bool{}}
-
-	for _, name := range sortedKeys(s.Counters) {
-		fam := e.family(name, "_total")
-		e.head(fam, fmt.Sprintf("obs counter %q", name), "counter")
-		e.series(fam, nil, fmt.Sprintf("%d", s.Counters[name]))
-	}
-	for _, name := range sortedKeys(s.Gauges) {
-		g := s.Gauges[name]
-		fam := e.family(name, "")
-		e.head(fam, fmt.Sprintf("obs gauge %q (current value)", name), "gauge")
-		e.series(fam, nil, fmt.Sprintf("%d", g.Last))
-		famMax := e.family(name, "_max")
-		e.head(famMax, fmt.Sprintf("obs gauge %q (high-water mark)", name), "gauge")
-		e.series(famMax, nil, fmt.Sprintf("%d", g.Max))
-	}
-	for _, name := range sortedKeys(s.Histograms) {
-		h := s.Histograms[name]
-		fam := e.familyMulti(name, "_bucket", "_sum", "_count")
-		e.head(fam, fmt.Sprintf("obs histogram %q (log2 buckets)", name), "histogram")
-		cum := int64(0)
-		for _, b := range h.Buckets {
-			cum += b.Count
-			e.series(fam+"_bucket", []promLabel{{"le", fmt.Sprintf("%d", b.Le)}}, fmt.Sprintf("%d", cum))
-		}
-		e.series(fam+"_bucket", []promLabel{{"le", "+Inf"}}, fmt.Sprintf("%d", h.Count))
-		e.series(fam+"_sum", nil, fmt.Sprintf("%d", h.Sum))
-		e.series(fam+"_count", nil, fmt.Sprintf("%d", h.Count))
-	}
-	if len(s.Progress) > 0 {
-		done := e.family("progress_done", "")
-		e.head(done, "obs progress (work units completed)", "gauge")
-		total := e.family("progress_total_units", "")
-		e.head(total, "obs progress (work units planned)", "gauge")
-		for _, name := range sortedKeys(s.Progress) {
-			p := s.Progress[name]
-			e.series(done, []promLabel{{"task", name}}, fmt.Sprintf("%d", p.Done))
-			e.series(total, []promLabel{{"task", name}}, fmt.Sprintf("%d", p.Total))
-		}
-	}
-	if len(s.Spans) > 0 {
-		fam := e.family("span_seconds", "")
-		e.head(fam, "cumulative span duration by name", "gauge")
-		agg := map[string]int64{}
-		var walk func(sp SpanSnapshot)
-		walk = func(sp SpanSnapshot) {
-			agg[sp.Name] += sp.DurNS
-			for _, c := range sp.Children {
-				walk(c)
-			}
-		}
-		for _, r := range s.Spans {
-			walk(r)
-		}
-		for _, name := range sortedKeys(agg) {
-			e.series(fam, []promLabel{{"span", name}}, fmt.Sprintf("%.9f", float64(agg[name])/1e9))
-		}
-	}
-	return e.err
+	return WritePrometheusNodes(w, namespace, []NodeSnapshot{{Snap: s}})
 }
 
 // promLabel is one label pair of a series line.
@@ -330,9 +272,37 @@ func seriesFamily(name string, typed map[string]string) string {
 	return ""
 }
 
-// lintHistograms checks every histogram family: bucket counts are
-// cumulative (nondecreasing in le order as emitted), the +Inf bucket is
-// present and equals _count.
+// lintLabelPair extracts the label pairs of a series line's label set.
+var lintLabelPair = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\\n])*)"`)
+
+// lintHistogramKey derives the per-series-group key for a histogram
+// sample: family plus the canonicalized label set with `le` removed.
+// Cluster expositions emit one bucket ladder per node label, and each
+// ladder must be checked on its own — cumulativity across different
+// label sets is not a format rule.
+func lintHistogramKey(fam, name string) string {
+	_, labels, ok := strings.Cut(name, "{")
+	if !ok {
+		return fam
+	}
+	var pairs []string
+	for _, m := range lintLabelPair.FindAllStringSubmatch(labels, -1) {
+		if m[1] == "le" {
+			continue
+		}
+		pairs = append(pairs, m[1]+"="+m[2])
+	}
+	if len(pairs) == 0 {
+		return fam // {le="..."} alone keys the same ladder as the bare name
+	}
+	sort.Strings(pairs)
+	return fam + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// lintHistograms checks every histogram bucket ladder — one per family
+// and label set (minus `le`): bucket counts are cumulative
+// (nondecreasing in le order as emitted), the +Inf bucket is present
+// and equals the matching _count.
 func lintHistograms(lines []string, typed map[string]string) error {
 	type histState struct {
 		last    int64
@@ -342,11 +312,16 @@ func lintHistograms(lines []string, typed map[string]string) error {
 		hasCnt  bool
 		ordered bool
 	}
-	hists := map[string]*histState{}
-	for fam, t := range typed {
-		if t == "histogram" {
-			hists[fam] = &histState{ordered: true}
+	hists := map[string]*histState{} // ladder key → state
+	var ladders []string             // insertion order, for deterministic errors
+	ladder := func(key string) *histState {
+		h, ok := hists[key]
+		if !ok {
+			h = &histState{ordered: true}
+			hists[key] = h
+			ladders = append(ladders, key)
 		}
+		return h
 	}
 	for _, line := range lines {
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -357,10 +332,10 @@ func lintHistograms(lines []string, typed map[string]string) error {
 		var val int64
 		fmt.Sscanf(strings.TrimSpace(rest), "%d", &val)
 		if base := strings.TrimSuffix(bare, "_bucket"); base != bare {
-			h, ok := hists[base]
-			if !ok {
+			if typed[base] != "histogram" {
 				continue
 			}
+			h := ladder(lintHistogramKey(base, name))
 			if strings.Contains(name, `le="+Inf"`) {
 				h.hasInf = true
 				h.inf = val
@@ -371,24 +346,27 @@ func lintHistograms(lines []string, typed map[string]string) error {
 				h.last = val
 			}
 		} else if base := strings.TrimSuffix(bare, "_count"); base != bare {
-			if h, ok := hists[base]; ok {
-				h.hasCnt = true
-				h.count = val
+			if typed[base] != "histogram" {
+				continue
 			}
+			h := ladder(lintHistogramKey(base, name))
+			h.hasCnt = true
+			h.count = val
 		}
 	}
-	for fam, h := range hists {
+	for _, key := range ladders {
+		h := hists[key]
 		if !h.hasInf {
-			return fmt.Errorf("histogram %q missing +Inf bucket", fam)
+			return fmt.Errorf("histogram %q missing +Inf bucket", key)
 		}
 		if !h.ordered {
-			return fmt.Errorf("histogram %q buckets not cumulative", fam)
+			return fmt.Errorf("histogram %q buckets not cumulative", key)
 		}
 		if h.last > h.inf {
-			return fmt.Errorf("histogram %q bucket count exceeds +Inf bucket", fam)
+			return fmt.Errorf("histogram %q bucket count exceeds +Inf bucket", key)
 		}
 		if h.hasCnt && h.inf != h.count {
-			return fmt.Errorf("histogram %q +Inf bucket %d != count %d", fam, h.inf, h.count)
+			return fmt.Errorf("histogram %q +Inf bucket %d != count %d", key, h.inf, h.count)
 		}
 	}
 	return nil

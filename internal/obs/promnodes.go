@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Cluster-wide Prometheus aggregation: the router fetches one Snapshot
+// per kanond node and renders them as a single exposition where every
+// series carries a node label. Families are shared across nodes —
+// HELP/TYPE once, one sample per node — so a scrape of the router reads
+// like a scrape of the whole cluster. The single-snapshot
+// WritePrometheus delegates here with one unlabeled entry, keeping the
+// legacy output byte-identical.
+
+// NodeSnapshot pairs a node identity with its frozen telemetry.
+type NodeSnapshot struct {
+	Node string
+	Snap *Snapshot
+}
+
+// WritePrometheusNodes writes the snapshots as one Prometheus text
+// exposition, labeling every sample with its node (the label is omitted
+// for an empty node name, which reproduces the single-node format).
+// Entries with nil snapshots are dropped; entries sharing a node name
+// are merged first (Snapshot.Merge), since duplicate series within a
+// family are invalid exposition. Output is deterministic: nodes sort by
+// name, families by instrument name.
+func WritePrometheusNodes(w io.Writer, namespace string, nodes []NodeSnapshot) error {
+	if namespace == "" {
+		namespace = "kanon"
+	}
+	merged := map[string]*Snapshot{}
+	var order []string
+	for _, n := range nodes {
+		if n.Snap == nil {
+			continue
+		}
+		if cur, ok := merged[n.Node]; ok {
+			// Merge into a fresh snapshot so neither caller's is mutated.
+			clone := &Snapshot{}
+			clone.Merge(cur)
+			clone.Merge(n.Snap)
+			merged[n.Node] = clone
+			continue
+		}
+		merged[n.Node] = n.Snap
+		order = append(order, n.Node)
+	}
+	sort.Strings(order)
+
+	e := &promEmitter{w: w, ns: promSanitizeLabelName(namespace), seen: map[string]bool{}}
+	nodeLabel := func(node string, labels ...promLabel) []promLabel {
+		if node == "" {
+			return labels
+		}
+		return append(labels, promLabel{"node", node})
+	}
+
+	for _, name := range unionKeys(order, merged, func(s *Snapshot) []string { return sortedKeys(s.Counters) }) {
+		fam := e.family(name, "_total")
+		e.head(fam, fmt.Sprintf("obs counter %q", name), "counter")
+		for _, node := range order {
+			if v, ok := merged[node].Counters[name]; ok {
+				e.series(fam, nodeLabel(node), fmt.Sprintf("%d", v))
+			}
+		}
+	}
+	for _, name := range unionKeys(order, merged, func(s *Snapshot) []string { return sortedKeys(s.Gauges) }) {
+		fam := e.family(name, "")
+		e.head(fam, fmt.Sprintf("obs gauge %q (current value)", name), "gauge")
+		for _, node := range order {
+			if g, ok := merged[node].Gauges[name]; ok {
+				e.series(fam, nodeLabel(node), fmt.Sprintf("%d", g.Last))
+			}
+		}
+		famMax := e.family(name, "_max")
+		e.head(famMax, fmt.Sprintf("obs gauge %q (high-water mark)", name), "gauge")
+		for _, node := range order {
+			if g, ok := merged[node].Gauges[name]; ok {
+				e.series(famMax, nodeLabel(node), fmt.Sprintf("%d", g.Max))
+			}
+		}
+	}
+	for _, name := range unionKeys(order, merged, func(s *Snapshot) []string { return sortedKeys(s.Histograms) }) {
+		fam := e.familyMulti(name, "_bucket", "_sum", "_count")
+		e.head(fam, fmt.Sprintf("obs histogram %q (log2 buckets)", name), "histogram")
+		for _, node := range order {
+			h, ok := merged[node].Histograms[name]
+			if !ok {
+				continue
+			}
+			cum := int64(0)
+			for _, b := range h.Buckets {
+				cum += b.Count
+				e.series(fam+"_bucket", nodeLabel(node, promLabel{"le", fmt.Sprintf("%d", b.Le)}), fmt.Sprintf("%d", cum))
+			}
+			e.series(fam+"_bucket", nodeLabel(node, promLabel{"le", "+Inf"}), fmt.Sprintf("%d", h.Count))
+			e.series(fam+"_sum", nodeLabel(node), fmt.Sprintf("%d", h.Sum))
+			e.series(fam+"_count", nodeLabel(node), fmt.Sprintf("%d", h.Count))
+		}
+	}
+	progNames := unionKeys(order, merged, func(s *Snapshot) []string { return sortedKeys(s.Progress) })
+	if len(progNames) > 0 {
+		done := e.family("progress_done", "")
+		e.head(done, "obs progress (work units completed)", "gauge")
+		total := e.family("progress_total_units", "")
+		e.head(total, "obs progress (work units planned)", "gauge")
+		for _, name := range progNames {
+			for _, node := range order {
+				if p, ok := merged[node].Progress[name]; ok {
+					e.series(done, nodeLabel(node, promLabel{"task", name}), fmt.Sprintf("%d", p.Done))
+					e.series(total, nodeLabel(node, promLabel{"task", name}), fmt.Sprintf("%d", p.Total))
+				}
+			}
+		}
+	}
+	spanAgg := map[string]map[string]int64{} // node → span name → total ns
+	for _, node := range order {
+		if len(merged[node].Spans) == 0 {
+			continue
+		}
+		agg := map[string]int64{}
+		var walk func(sp SpanSnapshot)
+		walk = func(sp SpanSnapshot) {
+			agg[sp.Name] += sp.DurNS
+			for _, c := range sp.Children {
+				walk(c)
+			}
+		}
+		for _, r := range merged[node].Spans {
+			walk(r)
+		}
+		spanAgg[node] = agg
+	}
+	if len(spanAgg) > 0 {
+		fam := e.family("span_seconds", "")
+		e.head(fam, "cumulative span duration by name", "gauge")
+		names := map[string]bool{}
+		for _, agg := range spanAgg {
+			for name := range agg {
+				names[name] = true
+			}
+		}
+		for _, name := range sortedKeys(names) {
+			for _, node := range order {
+				if ns, ok := spanAgg[node][name]; ok {
+					e.series(fam, nodeLabel(node, promLabel{"span", name}), fmt.Sprintf("%.9f", float64(ns)/1e9))
+				}
+			}
+		}
+	}
+	return e.err
+}
+
+// unionKeys collects the sorted union of one instrument registry's names
+// across every node.
+func unionKeys(order []string, merged map[string]*Snapshot, keys func(*Snapshot) []string) []string {
+	set := map[string]bool{}
+	for _, node := range order {
+		for _, k := range keys(merged[node]) {
+			set[k] = true
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	return sortedKeys(set)
+}

@@ -23,11 +23,16 @@ type Snapshot struct {
 
 // SpanSnapshot is one frozen span. StartNS is the offset from the
 // parent span's start (0 for roots), DurNS the measured duration; both
-// are integer nanoseconds so JSON round-trips exactly.
+// are integer nanoseconds so JSON round-trips exactly. WallNS anchors
+// the span to the wall clock (UnixNano at start) so timelines recorded
+// by different processes — a job's segments before and after a lease
+// steal — can be ordered against each other; within one process,
+// StartNS offsets (monotonic clock) remain the precise ordering.
 type SpanSnapshot struct {
 	Name     string         `json:"name"`
 	StartNS  int64          `json:"start_ns"`
 	DurNS    int64          `json:"dur_ns"`
+	WallNS   int64          `json:"wall_ns,omitempty"`
 	Children []SpanSnapshot `json:"children,omitempty"`
 }
 
@@ -44,13 +49,16 @@ func (t *Tracer) Snapshot() *Snapshot {
 	if t == nil {
 		return nil
 	}
-	now := time.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	snap := &Snapshot{}
 	for _, r := range t.roots {
-		snap.Spans = append(snap.Spans, snapSpan(r, r.start, now))
+		// One time.Now() per root, taken under the lock: a now captured
+		// before the lock lags by however long acquisition stalled, which
+		// made an unfinished span's DurNS shrink between polls.
+		snap.Spans = append(snap.Spans, snapSpan(r, r.start, time.Now()))
 	}
+	now := time.Now()
 	if len(t.counters) > 0 {
 		snap.Counters = make(map[string]int64, len(t.counters))
 		for name, c := range t.counters {
@@ -89,6 +97,7 @@ func snapSpan(s *Span, parentStart, now time.Time) SpanSnapshot {
 		Name:    s.name,
 		StartNS: s.start.Sub(parentStart).Nanoseconds(),
 		DurNS:   d.Nanoseconds(),
+		WallNS:  s.start.UnixNano(),
 	}
 	for _, c := range s.children {
 		out.Children = append(out.Children, snapSpan(c, s.start, now))
@@ -100,13 +109,25 @@ func snapSpan(s *Span, parentStart, now time.Time) SpanSnapshot {
 	return out
 }
 
-// Merge folds other's counters and gauges into s (span trees are left
-// alone — graft those with Span.Attach before snapshotting). Counters
-// sum; gauges keep the larger max and other's last value. Used by the
-// CLI to combine its own whole-run tracer with the facade's Stats.
+// Merge folds other into s. Counters sum; gauges keep the larger max
+// and other's last value; histograms merge bucket-wise; progress keeps
+// the furthest state. Span roots from other are appended and the
+// combined roots ordered by wall-clock anchor, so the two segments of a
+// stolen job — recorded by different processes whose monotonic clocks
+// don't compare — stitch into one chronological timeline. (To nest
+// subtrees under a live span instead, graft with Span.Attach before
+// snapshotting.) Used by the CLI to combine its own whole-run tracer
+// with the facade's Stats, and by the server to stitch cross-node job
+// traces.
 func (s *Snapshot) Merge(other *Snapshot) {
 	if s == nil || other == nil {
 		return
+	}
+	if len(other.Spans) > 0 {
+		s.Spans = append(s.Spans, other.Spans...)
+		sort.SliceStable(s.Spans, func(a, b int) bool {
+			return s.Spans[a].WallNS < s.Spans[b].WallNS
+		})
 	}
 	if len(other.Counters) > 0 && s.Counters == nil {
 		s.Counters = make(map[string]int64, len(other.Counters))

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"kanon"
+	"kanon/internal/obs"
 	"kanon/internal/store"
 )
 
@@ -120,6 +121,19 @@ func (m *Manager) claimOne() (*Job, *store.Manifest, bool) {
 		if err != nil {
 			continue // lost the race, job reaped, or store hiccup — move on
 		}
+		if stolen {
+			// Journal the failover edge: whose lease lapsed, who took over.
+			// The pre-claim manifest names the old owner; Record stamps the
+			// stolen event with this node.
+			oldNode := man.Node
+			if man.Claim != nil {
+				oldNode = man.Claim.Node
+			}
+			jr := m.journal(man.ID)
+			jr.Record(obs.JournalEvent{Event: obs.EvLeaseExpired, Node: oldNode, Fence: man.Fence})
+			jr.Record(obs.JournalEvent{Event: obs.EvLeaseStolen, Fence: claimed.Fence,
+				Detail: fmt.Sprintf("from %s", oldNode)})
+		}
 		if claimed.CancelRequested {
 			// A cancellation landed while the job sat unclaimed; honor it
 			// instead of running doomed work.
@@ -187,6 +201,8 @@ func (m *Manager) finalizeClaimedCancel(id string, fence uint64, now time.Time) 
 			slog.String("run_id", id), slog.String("error", err.Error()))
 		return
 	}
+	m.journal(id).Record(obs.JournalEvent{Event: obs.EvCanceled, Fence: fence,
+		Detail: "cancel requested before the job ran"})
 	m.canceled.Inc()
 	if j, ok := m.Get(id); ok {
 		j.mu.Lock()
@@ -255,15 +271,30 @@ func (m *Manager) runClaimed(job *Job, man *store.Manifest, stolen bool) {
 		slog.Uint64("fence", fence), slog.Bool("stolen", stolen),
 		slog.String("algo", job.Req.Algorithm.String()), slog.Int("k", job.Req.K))
 	m.log(job, slog.LevelInfo, "job_started", slog.Duration("queue_wait", wait))
+	o := m.startJobObs(job)
+	o.journal.Record(obs.JournalEvent{Event: obs.EvClaimed, Fence: fence,
+		Detail: fmt.Sprintf("algo=%s k=%d stolen=%t", job.Req.Algorithm, job.Req.K, stolen)})
+	o.journal.Record(obs.JournalEvent{Event: obs.EvPhaseStart, Phase: "anonymize"})
 
 	var lost, userCancel atomic.Bool
 	renewStop := make(chan struct{})
 	renewDone := make(chan struct{})
 	go m.renewLoop(job, fence, cancel, &lost, &userCancel, renewStop, renewDone)
 
-	res, resumed, err := m.execute(ctx, job)
+	res, resumed, err := m.execute(ctx, job, o)
 	close(renewStop)
 	<-renewDone
+
+	o.journal.Record(obs.JournalEvent{Event: obs.EvPhaseDone, Phase: "anonymize"})
+	// Persist the final timeline only while the lease looks ours: after a
+	// loss the thief owns trace.json, and a late flush would overwrite
+	// its fuller view. (A commit below can still discover a loss after
+	// this flush — the thief's next flush repairs the file; the journal,
+	// being append-only, never has this race.)
+	finalTrace := m.finishJobObs(job, o, !lost.Load())
+	if err == nil && job.Req.Trace && finalTrace != nil {
+		res.Stats = finalTrace
+	}
 
 	job.mu.Lock()
 	userCanceled := job.userCanceled || userCancel.Load()
@@ -318,6 +349,7 @@ func (m *Manager) renewLoop(job *Job, fence uint64, cancel context.CancelFunc, l
 		if errors.Is(err, store.ErrFenced) {
 			lost.Store(true)
 			m.leasesLost.Inc()
+			m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvLeaseLost, Fence: fence})
 			m.log(job, slog.LevelWarn, "lease_lost", slog.Uint64("fence", fence))
 			cancel()
 			return
@@ -327,8 +359,10 @@ func (m *Manager) renewLoop(job *Job, fence uint64, cancel context.CancelFunc, l
 			continue
 		}
 		m.leasesRenewed.Inc()
+		m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvLeaseRenewed, Fence: fence})
 		if man.CancelRequested && !userCancel.Load() {
 			userCancel.Store(true)
+			m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvCancelRequested, Fence: fence})
 			m.log(job, slog.LevelInfo, "job_cancel_requested", slog.String("while", "running"))
 			cancel()
 			// Keep renewing: holding the lease through the unwind stops a
@@ -364,6 +398,7 @@ func (m *Manager) commitClaimedSuccess(job *Job, fence uint64, res *kanon.Result
 	if errors.Is(err, store.ErrFenced) {
 		lost.Store(true)
 		m.leasesLost.Inc()
+		m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvLeaseLost, Fence: fence})
 		m.log(job, slog.LevelWarn, "lease_lost", slog.Uint64("fence", fence))
 		m.abandonLost(job)
 		return
@@ -373,6 +408,8 @@ func (m *Manager) commitClaimedSuccess(job *Job, fence uint64, res *kanon.Result
 		m.abandonLost(job)
 		return
 	}
+	m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvSucceeded, Fence: fence,
+		Detail: fmt.Sprintf("cost=%d", res.Cost)})
 	job.mu.Lock()
 	job.state = StateSucceeded
 	job.result = res
@@ -406,6 +443,7 @@ func (m *Manager) commitClaimedTerminal(job *Job, fence uint64, state State, cau
 	if errors.Is(err, store.ErrFenced) {
 		lost.Store(true)
 		m.leasesLost.Inc()
+		m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvLeaseLost, Fence: fence})
 		m.log(job, slog.LevelWarn, "lease_lost", slog.Uint64("fence", fence))
 		m.abandonLost(job)
 		return
@@ -413,6 +451,11 @@ func (m *Manager) commitClaimedTerminal(job *Job, fence uint64, state State, cau
 	if err != nil {
 		m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
 	}
+	terminalEv := obs.EvFailed
+	if state == StateCanceled {
+		terminalEv = obs.EvCanceled
+	}
+	m.journal(job.ID).Record(obs.JournalEvent{Event: terminalEv, Fence: fence, Detail: cause.Error()})
 	job.mu.Lock()
 	job.state = state
 	job.err = cause
@@ -447,11 +490,14 @@ func (m *Manager) releaseClaimed(job *Job, fence uint64) {
 	switch {
 	case errors.Is(err, store.ErrFenced):
 		m.leasesLost.Inc()
+		m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvLeaseLost, Fence: fence})
 		m.log(job, slog.LevelWarn, "lease_lost", slog.Uint64("fence", fence))
 	case err != nil:
 		m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
 	default:
 		m.leasesReleased.Inc()
+		m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvLeaseReleased, Fence: fence,
+			Detail: "drain: released back to the queue"})
 		m.log(job, slog.LevelInfo, "lease_released", slog.Uint64("fence", fence))
 	}
 	m.abandonLost(job)
@@ -470,6 +516,8 @@ func (m *Manager) submitCluster(job *Job) (*Job, error) {
 		m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
 		return nil, fmt.Errorf("%w: %v", ErrStore, err)
 	}
+	m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvSubmitted,
+		Detail: fmt.Sprintf("algo=%s k=%d rows=%d", job.Req.Algorithm, job.Req.K, len(job.rows))})
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
@@ -586,6 +634,7 @@ func (m *Manager) CancelByID(id string) (Status, bool) {
 			cancel := j.cancel
 			j.mu.Unlock()
 			cancel()
+			m.journal(j.ID).Record(obs.JournalEvent{Event: obs.EvCancelRequested})
 			m.log(j, slog.LevelInfo, "job_cancel_requested", slog.String("while", "running"))
 			return j.Status(), true
 		}
@@ -595,7 +644,12 @@ func (m *Manager) CancelByID(id string) (Status, bool) {
 	if err != nil {
 		return Status{}, false
 	}
+	if man.State != store.StateCanceled {
+		m.journal(id).Record(obs.JournalEvent{Event: obs.EvCancelRequested,
+			Detail: "flagged for the lease holder"})
+	}
 	if man.State == store.StateCanceled {
+		m.journal(id).Record(obs.JournalEvent{Event: obs.EvCanceled, Detail: "while queued"})
 		// Cancelled while queued: mirror it into the local copy, if any.
 		if j, ok := m.Get(id); ok {
 			j.mu.Lock()

@@ -9,6 +9,7 @@ import (
 
 	"kanon"
 	"kanon/internal/exact"
+	"kanon/internal/obs"
 	"kanon/internal/store"
 )
 
@@ -198,6 +199,13 @@ type Job struct {
 	fence        uint64
 	claimNode    string
 	userCanceled bool
+
+	// Observability (store-backed runs): the per-run tracer, live while
+	// this node runs the job, and the trace segments persisted by
+	// earlier runs — captured once at run start so re-flushes never
+	// merge this run's own output back into itself.
+	tracer     *obs.Tracer
+	priorTrace *obs.Snapshot
 }
 
 // manifest snapshots the job's lifecycle as a durable store record.

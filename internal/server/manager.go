@@ -400,6 +400,8 @@ func (m *Manager) Submit(header []string, rows [][]string, req JobRequest) (*Job
 			m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
 			return nil, fmt.Errorf("%w: %v", ErrStore, err)
 		}
+		m.journal(job.ID).Record(obs.JournalEvent{Event: obs.EvSubmitted,
+			Detail: fmt.Sprintf("algo=%s k=%d rows=%d", req.Algorithm, req.K, len(rows))})
 	}
 	unwind := func() {
 		if m.cfg.Store != nil {
@@ -463,11 +465,13 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 		j.mu.Unlock()
 		m.canceled.Inc()
 		m.persist(j)
+		m.journal(j.ID).Record(obs.JournalEvent{Event: obs.EvCanceled, Detail: "while queued"})
 		m.log(j, slog.LevelInfo, "job_canceled", slog.String("while", "queued"))
 	case StateRunning:
 		cancel := j.cancel
 		j.mu.Unlock()
 		cancel()
+		m.journal(j.ID).Record(obs.JournalEvent{Event: obs.EvCancelRequested})
 		m.log(j, slog.LevelInfo, "job_cancel_requested", slog.String("while", "running"))
 	default:
 		j.mu.Unlock()
@@ -508,8 +512,18 @@ func (m *Manager) runJob(job *Job) {
 	m.queueWait.ObserveDuration(wait)
 	m.persist(job)
 	m.log(job, slog.LevelInfo, "job_started", slog.Duration("queue_wait", wait))
+	o := m.startJobObs(job)
+	o.journal.Record(obs.JournalEvent{Event: obs.EvClaimed,
+		Detail: fmt.Sprintf("algo=%s k=%d", job.Req.Algorithm, job.Req.K)})
+	o.journal.Record(obs.JournalEvent{Event: obs.EvPhaseStart, Phase: "anonymize"})
 
-	res, resumed, err := m.execute(ctx, job)
+	res, resumed, err := m.execute(ctx, job, o)
+
+	o.journal.Record(obs.JournalEvent{Event: obs.EvPhaseDone, Phase: "anonymize"})
+	finalTrace := m.finishJobObs(job, o, true)
+	if err == nil && job.Req.Trace && finalTrace != nil {
+		res.Stats = finalTrace
+	}
 
 	job.mu.Lock()
 	job.finished = time.Now()
@@ -529,13 +543,18 @@ func (m *Manager) runJob(job *Job) {
 		job.err = err
 	}
 	state := job.state
-	close(job.done)
 	job.mu.Unlock()
+	// job.done stays open until the terminal bookkeeping below lands:
+	// waiters see a fully committed job — counters bumped, journal
+	// terminal event appended, result spooled, manifest flipped.
+	defer close(job.done)
 
 	m.running.Add(-1)
 	m.jobDur.ObserveDuration(dur)
 	switch state {
 	case StateSucceeded:
+		o.journal.Record(obs.JournalEvent{Event: obs.EvSucceeded,
+			Detail: fmt.Sprintf("cost=%d", res.Cost)})
 		m.succeeded.Inc()
 		m.jobCost.Observe(int64(res.Cost))
 		if resumed > 0 {
@@ -556,10 +575,12 @@ func (m *Manager) runJob(job *Job) {
 		m.log(job, slog.LevelInfo, "job_done", slog.Int("cost", res.Cost), slog.Duration("wall", dur),
 			slog.Int("blocks_resumed", resumed))
 	case StateCanceled:
+		o.journal.Record(obs.JournalEvent{Event: obs.EvCanceled})
 		m.canceled.Inc()
 		m.persist(job)
 		m.log(job, slog.LevelInfo, "job_canceled", slog.String("while", "running"), slog.Duration("wall", dur))
 	default:
+		o.journal.Record(obs.JournalEvent{Event: obs.EvFailed, Detail: err.Error()})
 		m.failed.Inc()
 		m.persist(job)
 		m.log(job, slog.LevelWarn, "job_failed", slog.String("error", err.Error()), slog.Duration("wall", dur))
@@ -569,8 +590,11 @@ func (m *Manager) runJob(job *Job) {
 // execute runs the job's anonymization under ctx: the facade for
 // whole-table jobs, the bounded-memory stream pipeline for block jobs.
 // The second return is how many stream blocks were replayed from the
-// job's checkpoints instead of recomputed.
-func (m *Manager) execute(ctx context.Context, job *Job) (*kanon.Result, int, error) {
+// job's checkpoints instead of recomputed. o carries the run's
+// observability: with a root span (store-backed runs) the compute
+// attaches its phase tree there and checkpoints journal their commits
+// and resumes; the release is byte-identical either way.
+func (m *Manager) execute(ctx context.Context, job *Job, o jobObs) (*kanon.Result, int, error) {
 	req := job.Req
 	if req.BlockRows > 0 {
 		var ckpt stream.Checkpoint
@@ -579,19 +603,24 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*kanon.Result, int, er
 			if err != nil {
 				return nil, 0, err
 			}
-			ckpt = c
+			ckpt = &journalCheckpoint{inner: c, m: m, job: job, jr: o.journal}
 		}
-		return streamResult(ctx, job, ckpt)
+		return streamResult(ctx, job, ckpt, o.root)
 	}
-	res, err := kanon.AnonymizeContext(ctx, job.header, job.rows, req.K, &kanon.Options{
+	opts := &kanon.Options{
 		Algorithm: req.Algorithm,
 		Kernel:    req.Kernel,
 		Seed:      req.Seed,
 		Refine:    req.Refine,
 		Workers:   req.Workers,
-		Trace:     req.Trace,
 		Log:       m.cfg.Log,
-	})
+	}
+	if o.root != nil {
+		opts.Span = o.root // per-job tracer; Stats come from its snapshot
+	} else {
+		opts.Trace = req.Trace
+	}
+	res, err := kanon.AnonymizeContext(ctx, job.header, job.rows, req.K, opts)
 	return res, 0, err
 }
 
@@ -601,7 +630,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*kanon.Result, int, er
 // finished block is spooled, and blocks a prior (crashed) run finished
 // are replayed rather than recomputed — byte-identically, because block
 // bounds and the per-block algorithm are deterministic.
-func streamResult(ctx context.Context, job *Job, ckpt stream.Checkpoint) (*kanon.Result, int, error) {
+func streamResult(ctx context.Context, job *Job, ckpt stream.Checkpoint, sp *obs.Span) (*kanon.Result, int, error) {
 	t := relation.NewTable(relation.NewSchema(job.header...))
 	for _, r := range job.rows {
 		if err := t.AppendStrings(r...); err != nil {
@@ -615,6 +644,7 @@ func streamResult(ctx context.Context, job *Job, ckpt stream.Checkpoint) (*kanon
 		Workers:    job.Req.Workers,
 		Kernel:     kernelChoice(job.Req.Kernel),
 		Checkpoint: ckpt,
+		Trace:      sp,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -841,8 +871,12 @@ func (m *Manager) JobCounts() (total, active int) {
 // the shared store (zero outside cluster mode, where Queued falls back
 // to the local queue depth).
 type Health struct {
-	Status   string `json:"status"`
-	Node     string `json:"node,omitempty"`
+	Status string `json:"status"`
+	Node   string `json:"node,omitempty"`
+	// Version is the node's build identity (module version, VCS
+	// revision, Go toolchain) so cluster health surfaces mixed-version
+	// deployments.
+	Version  string `json:"version,omitempty"`
 	Jobs     int    `json:"jobs"`
 	Active   int    `json:"active"`
 	Capacity int    `json:"capacity"`
@@ -852,10 +886,14 @@ type Health struct {
 	Claimed  int    `json:"claimed"`
 }
 
+// buildVersion is the process's build identity, read once — ReadBuild
+// walks the embedded build info on every call.
+var buildVersion = obs.ReadBuild().String()
+
 // Health snapshots the node for /healthz.
 func (m *Manager) Health() Health {
 	total, active := m.JobCounts()
-	h := Health{Status: "ok", Jobs: total, Active: active, Capacity: m.cfg.Workers}
+	h := Health{Status: "ok", Version: buildVersion, Jobs: total, Active: active, Capacity: m.cfg.Workers}
 	if m.Draining() {
 		h.Status = "draining"
 	}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"kanon"
+	"kanon/internal/obs"
+	"kanon/internal/store"
+)
+
+// getJSON fetches url and decodes the body into out, returning the
+// status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// eventIndex returns the position of the first event with the given
+// name, or -1.
+func eventIndex(events []obs.JournalEvent, name string) int {
+	for i, e := range events {
+		if e.Event == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestJournalLifecycleSingleNode: a store-backed job's journal narrates
+// the whole lifecycle in order — submitted, claimed, phase, checkpoint
+// commits (block streaming), terminal — and both read APIs serve it.
+func TestJournalLifecycleSingleNode(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1, Store: st})
+	jobSt, _ := submit(t, ts, "k=2&block=2", sampleCSV)
+	pollUntil(t, ts, jobSt.ID, 30e9, func(s Status) bool { return s.State == StateSucceeded })
+
+	var events []obs.JournalEvent
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+jobSt.ID+"/events", &events); code != http.StatusOK {
+		t.Fatalf("GET events: %d", code)
+	}
+	order := []string{
+		obs.EvSubmitted, obs.EvClaimed, obs.EvPhaseStart,
+		obs.EvCheckpointCommitted, obs.EvPhaseDone, obs.EvSucceeded,
+	}
+	last := -1
+	for _, name := range order {
+		i := eventIndex(events, name)
+		if i < 0 {
+			t.Fatalf("journal missing %q: %+v", name, events)
+		}
+		if i < last {
+			t.Fatalf("journal out of order: %q at %d after index %d: %+v", name, i, last, events)
+		}
+		last = i
+	}
+
+	var snap obs.Snapshot
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+jobSt.ID+"/trace", &snap); code != http.StatusOK {
+		t.Fatalf("GET trace: %d", code)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "job" {
+		t.Fatalf("trace roots = %+v, want one root named job", snap.Spans)
+	}
+	if snap.Spans[0].WallNS == 0 || snap.Spans[0].DurNS <= 0 {
+		t.Errorf("root span not wall-anchored or empty: %+v", snap.Spans[0])
+	}
+
+	// Unknown IDs are 404 on both endpoints.
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope/events", nil); code != http.StatusNotFound {
+		t.Errorf("events for unknown job: %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope/trace", nil); code != http.StatusNotFound {
+		t.Errorf("trace for unknown job: %d, want 404", code)
+	}
+}
+
+// TestEventsWithoutStore: an in-memory server still answers both
+// endpoints for known jobs — empty list, empty snapshot — rather than
+// pretending the job does not exist.
+func TestEventsWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	jobSt, _ := submit(t, ts, "k=2", sampleCSV)
+	pollUntil(t, ts, jobSt.ID, 30e9, func(s Status) bool { return s.State == StateSucceeded })
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + jobSt.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body[:n])) != "[]" {
+		t.Errorf("events without store: %d %q, want 200 []", resp.StatusCode, body[:n])
+	}
+	var snap obs.Snapshot
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+jobSt.ID+"/trace", &snap); code != http.StatusOK {
+		t.Errorf("trace without store: %d, want 200", code)
+	}
+	if len(snap.Spans) != 0 {
+		t.Errorf("trace without store has spans: %+v", snap.Spans)
+	}
+}
+
+// TestCanceledJobJournalsTerminalEvent: cancellation lands in the
+// journal as cancel_requested (or a direct canceled for queued jobs)
+// followed by the canceled terminal event.
+func TestCanceledJobJournalsTerminalEvent(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newTestManager(t, Config{Workers: 1, Store: st})
+	job, err := m.Submit([]string{"a", "b", "c", "d"}, slowRows(), JobRequest{K: 2, Algorithm: kanon.AlgoExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m, job.ID)
+	if _, ok := m.CancelByID(job.ID); !ok {
+		t.Fatal("cancel refused")
+	}
+	<-job.Done()
+	events, ok := m.EventsOf(job.ID)
+	if !ok {
+		t.Fatal("EventsOf lost the job")
+	}
+	if eventIndex(events, obs.EvCanceled) < 0 {
+		t.Fatalf("journal missing canceled event: %+v", events)
+	}
+}
+
+// TestObservabilityPreservesReleaseBytes pins determinism: the same
+// instance run with full journaling/trace persistence and with none
+// releases cell-identical bytes — observability watches the compute, it
+// never alters it.
+func TestObservabilityPreservesReleaseBytes(t *testing.T) {
+	header, rows, direct := smallInstance(t, 83)
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Workers: 1},            // journaling off: no store
+		{Workers: 1, Store: st}, // journaling + trace persistence on
+	} {
+		m := newTestManager(t, cfg)
+		job, err := m.Submit(header, rows, JobRequest{K: 3, Algorithm: kanon.AlgoGreedyBall, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-job.Done()
+		res, ok := job.Result()
+		if !ok {
+			t.Fatalf("job did not succeed: %+v", job.Status())
+		}
+		assertSameRelease(t, res.Header, res.Rows, direct)
+	}
+}
+
+// slowRows builds the 22-row pairwise-distinct exact-solver instance
+// from slowCSV as parsed rows.
+func slowRows() [][]string {
+	lines := strings.Split(strings.TrimSpace(slowCSV()), "\n")
+	rows := make([][]string, 0, len(lines)-1)
+	for _, l := range lines[1:] {
+		rows = append(rows, strings.Split(l, ","))
+	}
+	return rows
+}
+
+// waitRunning polls the manager until the job reports running.
+func waitRunning(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, ok := m.StatusOf(id); ok && st.State == StateRunning {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never started running", id)
+}

@@ -48,6 +48,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -145,6 +147,35 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	// Write errors past this point mean the client went away; there is
 	// nothing useful to do with them.
 	_ = relation.WriteCSVRows(w, header, rows)
+}
+
+// handleEvents serves the job's durable lifecycle journal as a JSON
+// array. Read-through like status: any node answers for any job, so a
+// survivor can narrate a job whose original owner is dead. A known job
+// with nothing journaled yet answers an empty list.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	events, ok := s.m.EventsOf(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	if events == nil {
+		events = []obs.JournalEvent{}
+	}
+	writeJSON(w, http.StatusOK, events)
+}
+
+// handleTrace serves the job's merged span timeline (an obs.Snapshot):
+// live while this node runs the job, the persisted trace.json
+// otherwise. A job that crossed nodes answers one timeline whose root
+// spans name every node that ran a segment, in wall-clock order.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.m.TraceOf(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 // handleCancel requests cancellation and answers with the job's

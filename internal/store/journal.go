@@ -1,0 +1,89 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Per-job observability artifacts: events.jsonl (the append-only
+// lifecycle journal) and trace.json (the job's latest merged span
+// snapshot). The store keeps both at the bytes level — obs owns the
+// formats — and applies the same disk discipline as every other spool:
+// writes go through writeFileAtomic (temp + fsync + rename), and
+// journal appends serialize under the per-job mutation lock so a fenced
+// old owner and the thief that replaced it cannot interleave a
+// read-modify-write.
+
+// AppendJournal appends one pre-encoded, newline-terminated journal
+// line to the job's events.jsonl. The append is a locked
+// read-modify-write of the whole spool: anything after the final
+// newline (a torn tail from a crashed writer) is dropped before the new
+// line lands, so the spool only ever grows by complete lines.
+func (s *Store) AppendJournal(id string, line []byte) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	if len(line) == 0 || line[len(line)-1] != '\n' {
+		return fmt.Errorf("store: journal line for job %s not newline-terminated", id)
+	}
+	unlock, err := s.lockJob(id)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	path := filepath.Join(s.jobDir(id), "events.jsonl")
+	prev, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	if i := bytes.LastIndexByte(prev, '\n'); i != len(prev)-1 {
+		prev = prev[:i+1] // drop the torn tail (i == -1 drops everything)
+	}
+	return writeFileAtomic(path, append(prev, line...))
+}
+
+// ReadJournal returns the job's raw events.jsonl bytes. A job with no
+// journal yet reads as empty, not as an error — journaling is optional
+// and older jobs have no spool.
+func (s *Store) ReadJournal(id string) ([]byte, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "events.jsonl"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return b, nil
+}
+
+// WriteTrace atomically replaces the job's persisted trace snapshot
+// (trace.json). The server flushes at checkpoint commits and terminal
+// transitions; last write wins, which is correct because each flush is
+// a fuller view of the same timeline.
+func (s *Store) WriteTrace(id string, data []byte) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(s.jobDir(id), "trace.json"), data)
+}
+
+// ReadTrace returns the job's persisted trace snapshot, nil if none has
+// been flushed yet.
+func (s *Store) ReadTrace(id string) ([]byte, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "trace.json"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return b, nil
+}
