@@ -1,4 +1,4 @@
-// Command kanon-bench regenerates the reproduction experiments E1–E10
+// Command kanon-bench regenerates the reproduction experiments E1–E15
 // (the tables recorded in EXPERIMENTS.md).
 //
 // Usage:

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"kanon/internal/dataset"
+	"kanon/internal/hierarchy"
 	"kanon/internal/obs"
 	"kanon/internal/relation"
 )
@@ -41,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	petals := fs.Int("petals", 4, "sunflower petals")
 	width := fs.Int("width", 2, "sunflower petal width")
 	seed := fs.Int64("seed", 1, "generator seed")
+	hierOut := fs.String("hierarchy", "", "also write a matching generalization-hierarchy sidecar (JSON) to this path, for kanon -algo hierarchy")
 	version := fs.Bool("version", false, "print build provenance and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +70,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		t = dataset.Sunflower(*petals, *width)
 	default:
 		return fmt.Errorf("unknown workload %q", *workload)
+	}
+
+	if *hierOut != "" {
+		// The derived spec covers exactly this table's values, so the
+		// pair is ready for `kanon -algo hierarchy -hierarchy <path>`.
+		b, err := hierarchy.Derive(t).Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*hierOut, b, 0o644); err != nil {
+			return err
+		}
 	}
 
 	cw := csv.NewWriter(stdout)

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"kanon/internal/hierarchy"
+	"kanon/internal/relation"
 )
 
 func runGen(t *testing.T, args ...string) (string, error) {
@@ -88,5 +93,37 @@ func TestVersionFlag(t *testing.T) {
 	}
 	if strings.Contains(out, ",") {
 		t.Errorf("-version emitted CSV instead of provenance: %q", out)
+	}
+}
+
+func TestHierarchySidecar(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	out, err := runGen(t, "-workload", "census", "-n", "30", "-m", "5", "-hierarchy", specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := hierarchy.ParseSpec(b)
+	if err != nil {
+		t.Fatalf("emitted sidecar does not parse: %v", err)
+	}
+	// The sidecar must compile against the very table it was derived
+	// from — every emitted value covered, every column declared.
+	header, rows, err := relation.ReadCSVRows(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := relation.NewTable(relation.NewSchema(header...))
+	for _, r := range rows {
+		if err := tab.AppendStrings(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := hierarchy.Compile(spec, tab); err != nil {
+		t.Fatalf("sidecar does not compile against its own table: %v", err)
 	}
 }

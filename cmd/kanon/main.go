@@ -58,7 +58,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs := flag.NewFlagSet("kanon", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	k := fs.Int("k", 3, "anonymity parameter: every released row is identical to ≥ k−1 others")
-	algoName := fs.String("algo", "ball", "algorithm: ball, exhaustive, pattern, exact, kmember, mondrian, sorted, random")
+	algoName := fs.String("algo", "ball", "algorithm: "+strings.Join(kanon.AlgorithmNames(), ", "))
+	hierPath := fs.String("hierarchy", "", "generalization-hierarchy sidecar (JSON or CSV) for -algo hierarchy; empty derives one from the data")
+	suppress := fs.Int("suppress", 0, "row-suppression budget for -algo hierarchy: up to this many outlier rows release fully starred")
 	inPath := fs.String("in", "", "input CSV path (default stdin)")
 	outPath := fs.String("out", "", "output CSV path (default stdout)")
 	stats := fs.Bool("stats", false, "print cost and group sizes to stderr")
@@ -91,6 +93,23 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	kern, err := kanon.ParseKernel(*kernelName)
 	if err != nil {
 		return err
+	}
+	if alg != kanon.AlgoHierarchy && (*hierPath != "" || *suppress != 0) {
+		return fmt.Errorf("-hierarchy and -suppress require -algo hierarchy (got -algo %s)", alg)
+	}
+	if alg == kanon.AlgoHierarchy && *block > 0 {
+		return fmt.Errorf("-algo hierarchy searches the whole lattice and cannot stream; drop -block")
+	}
+	var hspec *kanon.HierarchySpec
+	if *hierPath != "" {
+		b, err := os.ReadFile(*hierPath)
+		if err != nil {
+			return err
+		}
+		hspec, err = kanon.ParseHierarchySpec(b)
+		if err != nil {
+			return err
+		}
 	}
 
 	// The whole run is traced under one root span so the printed tree
@@ -167,6 +186,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		res, err = kanon.AnonymizeContext(ctx, header, rows, *k, &kanon.Options{
 			Algorithm: alg, Kernel: kern, Seed: *seed, Refine: *refine,
 			ColumnWeights: weights, Workers: *workers, Span: as, Log: logger,
+			Hierarchy: hspec, MaxSuppress: *suppress,
 		})
 	}
 	as.End()
@@ -225,8 +245,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		cells := len(rows) * len(header)
 		fmt.Fprintf(stderr, "algorithm: %s\n", alg)
 		fmt.Fprintf(stderr, "rows: %d, columns: %d\n", len(rows), len(header))
-		fmt.Fprintf(stderr, "suppressed entries: %d of %d (%.1f%%)\n",
-			res.Cost, cells, 100*float64(res.Cost)/float64(cells))
+		if alg == kanon.AlgoHierarchy {
+			fmt.Fprintf(stderr, "generalized entries: %d of %d (%.1f%%)\n",
+				res.Cost, cells, 100*float64(res.Cost)/float64(cells))
+			fmt.Fprintf(stderr, "NCP: %.4f, suppressed rows: %d of budget %d (optimal: %v)\n",
+				res.NCP, len(res.Suppressed), *suppress, res.Optimal)
+		} else {
+			fmt.Fprintf(stderr, "suppressed entries: %d of %d (%.1f%%)\n",
+				res.Cost, cells, 100*float64(res.Cost)/float64(cells))
+		}
 		fmt.Fprintf(stderr, "k-groups: %d (min size %d, discernibility %d, C_avg %.2f)\n",
 			rep.Groups, rep.MinGroup, rep.Discernibility, rep.CAvg)
 		fmt.Fprint(stderr, "stars per column:")

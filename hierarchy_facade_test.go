@@ -1,0 +1,163 @@
+package kanon
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kanon/internal/solver"
+)
+
+// TestAlgorithmRegistryConsistency pins the facade enum to the solver
+// registry: every Algorithm resolves to a registered solver, every
+// registered solver is reachable from the enum, and ParseAlgorithm
+// round-trips. This is the test that fails when someone adds a solver
+// family without wiring both sides.
+func TestAlgorithmRegistryConsistency(t *testing.T) {
+	names := AlgorithmNames()
+	registered := map[string]bool{}
+	for _, n := range names {
+		registered[n] = true
+	}
+	for _, a := range algorithms() {
+		name := a.String()
+		if _, ok := solver.Lookup(name); !ok {
+			t.Errorf("Algorithm %v (%q) has no registered solver", int(a), name)
+		}
+		if !registered[name] {
+			t.Errorf("Algorithm %q missing from AlgorithmNames() %v", name, names)
+		}
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, a)
+		}
+	}
+	if len(names) != len(algorithms()) {
+		t.Errorf("registry has %d solvers %v, enum has %d", len(names), names, len(algorithms()))
+	}
+	if _, err := ParseAlgorithm("nope"); err == nil || !strings.Contains(err.Error(), "hierarchy") {
+		t.Errorf("unknown-algorithm error should list registered solvers, got %v", err)
+	}
+}
+
+// TestAnonymizeHierarchy runs the full facade path with a derived
+// spec: generalized labels, NCP reporting, and the suppression budget.
+func TestAnonymizeHierarchy(t *testing.T) {
+	header := []string{"city", "age"}
+	rows := [][]string{
+		{"oslo", "33"}, {"bergen", "38"}, {"oslo", "31"},
+		{"paris", "47"}, {"paris", "45"}, {"paris", "51"},
+	}
+	res, err := Anonymize(header, rows, 3, &Options{Algorithm: AlgoHierarchy, MaxSuppress: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(rows) {
+		t.Fatalf("release has %d rows, want %d", len(res.Rows), len(rows))
+	}
+	if len(res.Suppressed) > 1 {
+		t.Fatalf("suppressed %v exceeds budget 1", res.Suppressed)
+	}
+	if res.NCP < 0 || res.NCP > 1 {
+		t.Fatalf("NCP %g outside [0,1]", res.NCP)
+	}
+	// The facade recounts cost; cross-check the changed-cell objective.
+	cost := 0
+	for i := range rows {
+		for j := range rows[i] {
+			if res.Rows[i][j] != rows[i][j] {
+				cost++
+			}
+		}
+	}
+	if cost != res.Cost || cost != res.WeightedCost {
+		t.Fatalf("cost %d / weighted %d, recount %d", res.Cost, res.WeightedCost, cost)
+	}
+}
+
+// TestAnonymizeHierarchyExplicitSpec pins released labels for a
+// hand-written sidecar through ParseHierarchySpec.
+func TestAnonymizeHierarchyExplicitSpec(t *testing.T) {
+	spec, err := ParseHierarchySpec([]byte(`{
+	  "columns": [
+	    {"name": "city", "kind": "tree", "paths": {
+	      "oslo":   ["norway", "europe"],
+	      "bergen": ["norway", "europe"],
+	      "paris":  ["france", "europe"]
+	    }},
+	    {"name": "age", "kind": "interval", "width": 10, "min": 0, "max": 79}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anonymize([]string{"city", "age"}, [][]string{
+		{"oslo", "33"}, {"bergen", "38"}, {"paris", "47"}, {"paris", "45"},
+	}, 2, &Options{Algorithm: AlgoHierarchy, Hierarchy: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"norway", "30-39"}, {"norway", "30-39"},
+		{"france", "40-49"}, {"france", "40-49"},
+	}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("release = %v, want %v", res.Rows, want)
+	}
+	if !res.Optimal {
+		t.Fatal("enumerable lattice should report Optimal")
+	}
+}
+
+// TestAnonymizeHierarchyDeterministic: the facade's repo-wide contract
+// — workers and tracing never change the release.
+func TestAnonymizeHierarchyDeterministic(t *testing.T) {
+	header := []string{"a", "b", "c"}
+	var rows [][]string
+	for i := 0; i < 40; i++ {
+		rows = append(rows, []string{
+			string(rune('p' + i%5)),
+			string(rune('a' + (i*7)%4)),
+			[]string{"10", "17", "24", "31", "38", "45"}[(i*3)%6],
+		})
+	}
+	var base *Result
+	for _, workers := range []int{1, 4} {
+		for _, trace := range []bool{false, true} {
+			res, err := Anonymize(header, rows, 3, &Options{
+				Algorithm: AlgoHierarchy, MaxSuppress: 2, Workers: workers, Trace: trace,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trace && res.Stats == nil {
+				t.Fatal("Trace set but Stats nil")
+			}
+			if base == nil {
+				base = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Rows, base.Rows) || !reflect.DeepEqual(res.Groups, base.Groups) ||
+				res.Cost != base.Cost || res.NCP != base.NCP ||
+				!reflect.DeepEqual(res.Suppressed, base.Suppressed) {
+				t.Fatalf("workers=%d trace=%v changed the release", workers, trace)
+			}
+		}
+	}
+}
+
+// TestHierarchyOptionsRequireHierarchyAlgo: the guard that keeps
+// hierarchy knobs from being silently ignored.
+func TestHierarchyOptionsRequireHierarchyAlgo(t *testing.T) {
+	spec, err := ParseHierarchySpec([]byte(`{"columns":[{"name":"a","kind":"suppress"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, rows := []string{"a"}, [][]string{{"x"}, {"y"}}
+	if _, err := Anonymize(header, rows, 1, &Options{Algorithm: AlgoGreedyBall, Hierarchy: spec}); err == nil {
+		t.Fatal("hierarchy spec accepted by AlgoGreedyBall")
+	}
+	if _, err := Anonymize(header, rows, 1, &Options{Algorithm: AlgoExact, MaxSuppress: 2}); err == nil {
+		t.Fatal("suppression budget accepted by AlgoExact")
+	}
+}

@@ -1,0 +1,49 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"kanon/internal/core"
+	"kanon/internal/relation"
+	"kanon/internal/solver"
+)
+
+// register wires one baseline under a span named after it, preserving
+// the facade's historical "baseline.<name>" trace phases.
+func register(name, desc string, run func(req solver.Request) (*core.Partition, error)) {
+	solver.Register(solver.Info{
+		Name:        name,
+		Description: desc,
+		Run: func(req solver.Request) (*solver.Result, error) {
+			sp := req.Trace.Start("baseline." + name)
+			p, err := run(req)
+			sp.End()
+			if err != nil {
+				return nil, err
+			}
+			return &solver.Result{Partition: p}, nil
+		},
+	})
+}
+
+func init() {
+	part := func(f func(t *relation.Table, k int) (*Result, error)) func(req solver.Request) (*core.Partition, error) {
+		return func(req solver.Request) (*core.Partition, error) {
+			r, err := f(req.Table, req.K)
+			if err != nil {
+				return nil, err
+			}
+			return r.Partition, nil
+		}
+	}
+	register("kmember", "greedy clustering baseline", part(KMember))
+	register("mondrian", "median-split partitioning baseline", part(Mondrian))
+	register("sorted", "lexicographic-chunks baseline", part(SortedChunks))
+	register("random", "shuffled-chunks baseline", func(req solver.Request) (*core.Partition, error) {
+		r, err := RandomChunks(req.Table, req.K, rand.New(rand.NewSource(req.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		return r.Partition, nil
+	})
+}

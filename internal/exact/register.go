@@ -1,0 +1,24 @@
+package exact
+
+import "kanon/internal/solver"
+
+func init() {
+	solver.Register(solver.Info{
+		Name:        "exact",
+		Description: "provably optimal bitmask DP (n ≤ 24)",
+		Optimal:     true,
+		Run: func(req solver.Request) (*solver.Result, error) {
+			var r *Result
+			var err error
+			if req.Weights != nil {
+				r, err = SolveWeightedCtx(req.Context(), req.Table, req.K, req.Weights, req.Trace)
+			} else {
+				r, err = SolveCtx(req.Context(), req.Table, req.K, Stars, req.Trace)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return &solver.Result{Partition: r.Partition, Optimal: true}, nil
+		},
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"kanon/internal/core"
 	"kanon/internal/dataset"
 	"kanon/internal/exact"
+	"kanon/internal/hierarchy"
 	"kanon/internal/metric"
 	"kanon/internal/pattern"
 	"kanon/internal/relation"
@@ -186,6 +187,25 @@ func benchSpecs() []benchSpec {
 		// O(n·m/64) footprint.
 		{name: "ball_bitset", n: 20000, m: 8, k: 3, quickN: 2000, kern: metric.Bitset, run: ball},
 		{name: "stream_bitset", n: 100000, m: 8, k: 3, quickN: 5000, kern: metric.Bitset, run: stream_},
+		// The hierarchy cases pin the generalization-lattice solver:
+		// count-tree construction plus the tagged cut search. The planted
+		// case runs with no budget (pure pruning path); the census case
+		// adds a suppression budget, which forces full-score walks of
+		// every non-failing node — the solver's other hot regime.
+		{name: "hier_planted", n: 1500, m: 8, k: 3, quickN: 300, run: func(t *relation.Table, k, workers int, kern metric.Choice) (int, error) {
+			r, err := hierarchy.Solve(t, k, &hierarchy.Options{Workers: workers})
+			if err != nil {
+				return 0, err
+			}
+			return r.Cost, nil
+		}},
+		{name: "hier_census", n: 2000, m: 6, k: 4, quickN: 400, run: func(t *relation.Table, k, workers int, kern metric.Choice) (int, error) {
+			r, err := hierarchy.Solve(t, k, &hierarchy.Options{Workers: workers, MaxSuppress: 10})
+			if err != nil {
+				return 0, err
+			}
+			return r.Cost, nil
+		}},
 	}
 }
 
@@ -194,7 +214,7 @@ func benchSpecs() []benchSpec {
 // derived from the suite seed so cases are independent).
 func benchTable(spec benchSpec, n int, seed int64, idx int) *relation.Table {
 	rng := rand.New(rand.NewSource(seed + int64(idx)*1_000_003))
-	if spec.name == "ball_census" {
+	if spec.name == "ball_census" || spec.name == "hier_census" {
 		return dataset.Census(rng, n, spec.m)
 	}
 	return dataset.Planted(rng, n, spec.m, 6, spec.k, 1)

@@ -166,6 +166,7 @@ func All() []Experiment {
 		{"E12", "Granularity: cell vs attribute vs full-domain lattice", runE12},
 		{"E13", "Beyond the paper: alphabet size as hardness dial (§5)", runE13},
 		{"E14", "Beyond the paper: column-weighted suppression", runE14},
+		{"E15", "Beyond the paper: hierarchy generalization vs cell suppression", runE15},
 	}
 	sort.Slice(exps, func(a, b int) bool { return idOrder(exps[a].ID) < idOrder(exps[b].ID) })
 	return exps

@@ -149,8 +149,8 @@ func TestConfigSeedDefault(t *testing.T) {
 
 func TestAllOrdered(t *testing.T) {
 	exps := All()
-	if len(exps) != 14 {
-		t.Fatalf("got %d experiments, want 14", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("got %d experiments, want 15", len(exps))
 	}
 	for i, e := range exps {
 		if idOrder(e.ID) != i+1 {

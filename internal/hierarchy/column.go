@@ -1,0 +1,323 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"kanon/internal/relation"
+)
+
+// Column is one attribute's compiled hierarchy: constant-time lookup
+// tables from base symbol codes to generalized codes, labels, and NCP
+// leaf counts at every level. Level 0 is the raw values; level Height
+// is the root.
+//
+// Pre-suppressed input cells (relation.Star) are handled uniformly:
+// every level carries a star code whose label is "*" and whose NCP is
+// that of the root, so a starred cell stays starred at every lattice
+// node and always costs full information loss.
+type Column struct {
+	Name   string
+	Height int
+	// up[l][base] is the generalized code of base symbol `base` at
+	// level l; up[0] is the identity.
+	up [][]int32
+	// labels[l][code] is the released string for generalized code
+	// `code` at level l.
+	labels [][]string
+	// leaves[l][code] counts domain leaves under the node, the NCP
+	// numerator.
+	leaves [][]int
+	// star[l] is the generalized code starred cells map to at level l.
+	star []int32
+	// total is the domain leaf count, the NCP denominator.
+	total int
+}
+
+// Code maps a base symbol code (possibly relation.Star) to its
+// generalized code at the given level.
+func (c *Column) Code(level int, base int32) int32 {
+	if base == relation.Star {
+		return c.star[level]
+	}
+	return c.up[level][base]
+}
+
+// Label renders a generalized code at the given level.
+func (c *Column) Label(level int, code int32) string {
+	return c.labels[level][code]
+}
+
+// NCP is the normalized certainty penalty of releasing one cell at the
+// given generalized code: 0 when the node covers a single leaf,
+// leaves/total otherwise (1 at the root).
+func (c *Column) NCP(level int, code int32) float64 {
+	lv := c.leaves[level][code]
+	if lv <= 1 {
+		return 0
+	}
+	return float64(lv) / float64(c.total)
+}
+
+// Sizes returns the number of generalized codes at each level,
+// reported as a lattice-shape gauge.
+func (c *Column) Sizes() []int {
+	out := make([]int, len(c.labels))
+	for l := range c.labels {
+		out[l] = len(c.labels[l])
+	}
+	return out
+}
+
+// compileColumn binds a column spec to a table attribute, building the
+// level lookup tables. Every non-star value the attribute interns must
+// be covered by the hierarchy.
+func compileColumn(spec *ColumnSpec, attr *relation.Attribute) (*Column, error) {
+	switch spec.kind() {
+	case KindTree:
+		return compileTree(spec, attr)
+	case KindInterval:
+		return compileInterval(spec, attr)
+	case KindSuppress:
+		return compileSuppress(spec, attr)
+	}
+	return nil, fmt.Errorf("hierarchy: column %q: unknown kind %q", spec.Name, spec.Kind)
+}
+
+// newColumn allocates the level tables with identity level 0.
+func newColumn(name string, height int, attr *relation.Attribute, total int) *Column {
+	a := attr.AlphabetSize()
+	c := &Column{
+		Name:   name,
+		Height: height,
+		up:     make([][]int32, height+1),
+		labels: make([][]string, height+1),
+		leaves: make([][]int, height+1),
+		star:   make([]int32, height+1),
+		total:  total,
+	}
+	c.up[0] = make([]int32, a)
+	c.labels[0] = append([]string(nil), attr.Alphabet()...)
+	c.leaves[0] = make([]int, a, a+1)
+	for b := 0; b < a; b++ {
+		c.up[0][b] = int32(b)
+		c.leaves[0][b] = 1
+	}
+	return c
+}
+
+// addStar appends (or reuses) the star code at one level. A level
+// whose labels already include "*" (a root spelled "*") absorbs
+// starred cells so textually identical cells always share a code.
+func (c *Column) addStar(level int) {
+	for code, lab := range c.labels[level] {
+		if lab == relation.StarString {
+			c.star[level] = int32(code)
+			c.leaves[level][code] = c.total
+			return
+		}
+	}
+	c.star[level] = int32(len(c.labels[level]))
+	c.labels[level] = append(c.labels[level], relation.StarString)
+	c.leaves[level] = append(c.leaves[level], c.total)
+}
+
+// compileTree builds lookup tables from explicit root-ward paths.
+func compileTree(spec *ColumnSpec, attr *relation.Attribute) (*Column, error) {
+	height := spec.Height()
+	c := newColumn(spec.Name, height, attr, len(spec.Paths))
+	// Codes per level are assigned by first appearance over the sorted
+	// leaf order, so identical specs always compile identically.
+	leafOrder := sortedKeys(spec.Paths)
+	type levelTab struct {
+		code  map[string]int32
+		count map[string]int
+	}
+	tabs := make([]levelTab, height+1)
+	for l := 1; l <= height; l++ {
+		tabs[l] = levelTab{code: map[string]int32{}, count: map[string]int{}}
+	}
+	for _, leaf := range leafOrder {
+		for l := 1; l <= height; l++ {
+			label := spec.Paths[leaf][l-1]
+			if _, ok := tabs[l].code[label]; !ok {
+				tabs[l].code[label] = int32(len(tabs[l].code))
+			}
+			tabs[l].count[label]++
+		}
+	}
+	for l := 1; l <= height; l++ {
+		n := len(tabs[l].code)
+		c.up[l] = make([]int32, attr.AlphabetSize())
+		c.labels[l] = make([]string, n, n+1)
+		c.leaves[l] = make([]int, n, n+1)
+		for label, code := range tabs[l].code {
+			c.labels[l][code] = label
+			c.leaves[l][code] = tabs[l].count[label]
+		}
+	}
+	for b := 0; b < attr.AlphabetSize(); b++ {
+		v := attr.Value(int32(b))
+		path, ok := spec.Paths[v]
+		if !ok {
+			return nil, fmt.Errorf("hierarchy: column %q: value %q not covered by the hierarchy", spec.Name, v)
+		}
+		for l := 1; l <= height; l++ {
+			c.up[l][b] = tabs[l].code[path[l-1]]
+		}
+	}
+	for l := 0; l <= height; l++ {
+		c.addStar(l)
+	}
+	return c, nil
+}
+
+// compileInterval builds aligned integer intervals that widen by
+// ×fanout per level until a single bucket covers the domain.
+func compileInterval(spec *ColumnSpec, attr *relation.Attribute) (*Column, error) {
+	a := attr.AlphabetSize()
+	vals := make([]int, a)
+	for b := 0; b < a; b++ {
+		v, err := strconv.Atoi(attr.Value(int32(b)))
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: column %q: interval hierarchy over non-integer value %q", spec.Name, attr.Value(int32(b)))
+		}
+		vals[b] = v
+	}
+	min, max := 0, 0
+	if len(vals) > 0 {
+		min, max = vals[0], vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if spec.Min != nil {
+		if len(vals) > 0 && min < *spec.Min {
+			return nil, fmt.Errorf("hierarchy: column %q: value %d below declared min %d", spec.Name, min, *spec.Min)
+		}
+		min = *spec.Min
+	}
+	if spec.Max != nil {
+		if len(vals) > 0 && max > *spec.Max {
+			return nil, fmt.Errorf("hierarchy: column %q: value %d above declared max %d", spec.Name, max, *spec.Max)
+		}
+		max = *spec.Max
+	}
+	span := max - min + 1
+	if span <= 0 {
+		return nil, fmt.Errorf("hierarchy: column %q: interval domain [%d,%d] too large", spec.Name, min, max)
+	}
+	width := spec.Width
+	if width == 0 {
+		width = (span + 7) / 8
+	}
+	if width > span {
+		width = span
+	}
+	fanout := spec.Fanout
+	if fanout == 0 {
+		fanout = 2
+	}
+	buckets := (span + width - 1) / width
+	height := 1
+	for b := buckets; b > 1; b = (b + fanout - 1) / fanout {
+		height++
+	}
+	c := newColumn(spec.Name, height, attr, span)
+	for l := 1; l <= height; l++ {
+		// step is the integer span one bucket covers at this level.
+		step := width
+		for j := 1; j < l; j++ {
+			step *= fanout
+			if step >= span {
+				step = span
+				break
+			}
+		}
+		// Generalized codes are assigned to occupied buckets in
+		// ascending bucket order.
+		occ := map[int]bool{}
+		for _, v := range vals {
+			occ[(v-min)/step] = true
+		}
+		idxs := make([]int, 0, len(occ))
+		for i := range occ {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		code := map[int]int32{}
+		c.labels[l] = make([]string, 0, len(idxs)+1)
+		c.leaves[l] = make([]int, 0, len(idxs)+1)
+		for _, i := range idxs {
+			lo := min + i*step
+			hi := lo + step - 1
+			if hi > max {
+				hi = max
+			}
+			label := strconv.Itoa(lo)
+			if hi > lo {
+				label = strconv.Itoa(lo) + "-" + strconv.Itoa(hi)
+			}
+			code[i] = int32(len(c.labels[l]))
+			c.labels[l] = append(c.labels[l], label)
+			c.leaves[l] = append(c.leaves[l], hi-lo+1)
+		}
+		c.up[l] = make([]int32, a)
+		for b, v := range vals {
+			c.up[l][b] = code[(v-min)/step]
+		}
+	}
+	for l := 0; l <= height; l++ {
+		c.addStar(l)
+	}
+	return c, nil
+}
+
+// compileSuppress builds the paper's two-level value → ★ hierarchy.
+func compileSuppress(spec *ColumnSpec, attr *relation.Attribute) (*Column, error) {
+	c := newColumn(spec.Name, 1, attr, attr.AlphabetSize())
+	c.up[1] = make([]int32, attr.AlphabetSize())
+	c.labels[1] = []string{relation.StarString}
+	c.leaves[1] = []int{c.total}
+	for l := 0; l <= 1; l++ {
+		c.addStar(l)
+	}
+	return c, nil
+}
+
+// Compile binds a spec to a table, strictly: every table column must
+// be declared by the spec and vice versa, so a mismatched sidecar
+// fails loudly instead of silently suppressing a column.
+func Compile(s *Spec, t *relation.Table) ([]*Column, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	names := t.Schema().Names()
+	if len(s.Columns) != len(names) {
+		declared := make([]string, len(s.Columns))
+		for i := range s.Columns {
+			declared[i] = s.Columns[i].Name
+		}
+		return nil, fmt.Errorf("hierarchy: spec declares %d columns %v, table has %d %v",
+			len(s.Columns), declared, len(names), names)
+	}
+	cols := make([]*Column, len(names))
+	for j, name := range names {
+		cs, ok := s.Column(name)
+		if !ok {
+			return nil, fmt.Errorf("hierarchy: table column %q not declared in spec", name)
+		}
+		c, err := compileColumn(cs, t.Schema().Attribute(j))
+		if err != nil {
+			return nil, err
+		}
+		cols[j] = c
+	}
+	return cols, nil
+}

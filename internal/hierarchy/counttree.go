@@ -1,0 +1,206 @@
+package hierarchy
+
+import (
+	"sort"
+
+	"kanon/internal/relation"
+)
+
+// CountTree is a trie over the table's distinct base-value tuples with
+// multiplicities, in the style of ARX's count tree: checking whether a
+// lattice node is k-anonymous walks the trie once, merging sibling
+// branches whose codes generalize to the same label, without ever
+// materializing the generalized table. One build serves every node of
+// the lattice.
+type CountTree struct {
+	cols []*Column
+	n    int
+	// children[d] holds, for every depth-d trie node, the index range
+	// of its children at depth d+1 via span[d]; codes[d][i] is the base
+	// code of the i-th depth-d node. counts holds row multiplicities at
+	// the deepest level. Nodes at each depth are stored in
+	// lexicographic tuple order, so sibling ranges are contiguous.
+	codes  [][]int32
+	span   [][]int32 // span[d][i]..span[d][i+1] indexes depth d+1 (d < m-1)
+	counts []int32   // multiplicity per deepest node
+	nodes  int
+}
+
+// BuildCountTree sorts the table's rows lexicographically by base code
+// and folds equal prefixes into trie layers. O(n log n · m) build,
+// O(distinct tuples · m) memory.
+func BuildCountTree(t *relation.Table, cols []*Column) *CountTree {
+	n, m := t.Len(), t.Degree()
+	ct := &CountTree{cols: cols, n: n}
+	if n == 0 || m == 0 {
+		return ct
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := t.Row(order[a]), t.Row(order[b])
+		for j := 0; j < m; j++ {
+			if ra[j] != rb[j] {
+				return ra[j] < rb[j]
+			}
+		}
+		return false
+	})
+	ct.codes = make([][]int32, m)
+	ct.span = make([][]int32, m-1)
+	// prev[d] is the code of the last node emitted at depth d.
+	prevRow := make(relation.Row, m)
+	first := true
+	for _, i := range order {
+		row := t.Row(i)
+		// diverge is the first depth where this tuple leaves the
+		// previous one's path.
+		diverge := 0
+		if !first {
+			for diverge < m && row[diverge] == prevRow[diverge] {
+				diverge++
+			}
+			if diverge == m {
+				ct.counts[len(ct.counts)-1]++
+				continue
+			}
+		}
+		for d := diverge; d < m; d++ {
+			if d < m-1 {
+				// The new child range at depth d+1 starts where the
+				// next layer currently ends.
+				ct.span[d] = append(ct.span[d], int32(len(ct.codes[d+1])))
+			}
+			ct.codes[d] = append(ct.codes[d], row[d])
+			ct.nodes++
+		}
+		ct.counts = append(ct.counts, 1)
+		copy(prevRow, row)
+		first = false
+	}
+	// Close the span ranges with a sentinel end offset.
+	for d := 0; d < m-1; d++ {
+		ct.span[d] = append(ct.span[d], int32(len(ct.codes[d+1])))
+	}
+	return ct
+}
+
+// Rows returns the table size the tree was built from.
+func (ct *CountTree) Rows() int { return ct.n }
+
+// Distinct returns the number of distinct base tuples (trie leaves).
+func (ct *CountTree) Distinct() int { return len(ct.counts) }
+
+// Nodes returns the total trie node count, reported as a gauge.
+func (ct *CountTree) Nodes() int { return ct.nodes }
+
+// Check walks the trie at one lattice node. It returns whether the
+// node is k-anonymous within the suppression budget maxSup, how many
+// rows fall in undersized classes (and would be suppressed), and the
+// release's NCP in [0,1]: kept rows pay their per-cell certainty
+// penalty, suppressed rows pay 1 per cell. By default the walk aborts
+// as soon as suppressed exceeds maxSup (ok=false, ncp meaningless);
+// full=true always completes it, which scoring callers use to rank
+// failing nodes by their true suppression count.
+func (ct *CountTree) Check(levels []int, k, maxSup int, full bool) (ok bool, suppressed int, ncp float64) {
+	if ct.n == 0 || len(ct.codes) == 0 {
+		return true, 0, 0
+	}
+	w := walkState{ct: ct, levels: levels, k: k, limit: maxSup}
+	if full {
+		w.limit = ct.n
+	}
+	// The depth-0 sibling set is the whole first layer.
+	all := make([]int32, len(ct.codes[0]))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	w.walk(all, 0, 0)
+	if w.aborted {
+		return false, w.suppressed, 0
+	}
+	m := len(ct.cols)
+	ncp = (w.keptNCP + float64(w.suppressed)*float64(m)) / (float64(ct.n) * float64(m))
+	return w.suppressed <= maxSup, w.suppressed, ncp
+}
+
+// walkState accumulates one Check traversal.
+type walkState struct {
+	ct         *CountTree
+	levels     []int
+	k, limit   int
+	suppressed int
+	keptNCP    float64
+	aborted    bool
+	// scratch buffers reused across recursion levels to keep the walk
+	// allocation-light.
+	pairs [][]pair
+}
+
+// pair tags a trie node index with its generalized code for sorting.
+type pair struct {
+	gen  int32
+	node int32
+}
+
+// walk merges the sibling set `nodes` (trie indices at `depth`) by
+// generalized code, in deterministic ascending-code order, and
+// recurses into the concatenated child ranges of each merged group.
+func (w *walkState) walk(nodes []int32, depth int, pathNCP float64) {
+	if w.aborted {
+		return
+	}
+	col := w.ct.cols[depth]
+	level := w.levels[depth]
+	for len(w.pairs) <= depth {
+		w.pairs = append(w.pairs, nil)
+	}
+	ps := w.pairs[depth][:0]
+	for _, nd := range nodes {
+		ps = append(ps, pair{gen: col.Code(level, w.ct.codes[depth][nd]), node: nd})
+	}
+	// Trie nodes are in base-code order; a stable sort by generalized
+	// code keeps the merge deterministic.
+	sort.SliceStable(ps, func(a, b int) bool { return ps[a].gen < ps[b].gen })
+	w.pairs[depth] = ps
+	last := len(w.ct.cols) - 1
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].gen == ps[i].gen {
+			j++
+		}
+		cell := col.NCP(level, ps[i].gen)
+		if depth == last {
+			size := 0
+			for _, p := range ps[i:j] {
+				size += int(w.ct.counts[p.node])
+			}
+			if size < w.k {
+				w.suppressed += size
+				if w.limit >= 0 && w.suppressed > w.limit {
+					w.aborted = true
+					return
+				}
+			} else {
+				w.keptNCP += float64(size) * (pathNCP + cell)
+			}
+		} else {
+			// Gather the merged group's children. The slice must be
+			// fresh per group because recursion reuses w.pairs[depth+1].
+			var children []int32
+			for _, p := range ps[i:j] {
+				lo, hi := w.ct.span[depth][p.node], w.ct.span[depth][p.node+1]
+				for c := lo; c < hi; c++ {
+					children = append(children, c)
+				}
+			}
+			w.walk(children, depth+1, pathNCP+cell)
+			if w.aborted {
+				return
+			}
+		}
+		i = j
+	}
+}

@@ -1,0 +1,208 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kanon/internal/relation"
+)
+
+// tableOf interns a header+rows table for tests.
+func tableOf(t testing.TB, header []string, rows [][]string) *relation.Table {
+	t.Helper()
+	tab := relation.NewTable(relation.NewSchema(header...))
+	for _, r := range rows {
+		if err := tab.AppendStrings(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// randomTable builds a small random table; starProb scatters
+// pre-suppressed cells to exercise the star paths.
+func randomTable(t testing.TB, rng *rand.Rand, n, m, alphabet int, starProb float64) *relation.Table {
+	header := make([]string, m)
+	for j := range header {
+		header[j] = fmt.Sprintf("c%d", j)
+	}
+	rows := make([][]string, n)
+	for i := range rows {
+		row := make([]string, m)
+		for j := range row {
+			if rng.Float64() < starProb {
+				row[j] = relation.StarString
+			} else if j%2 == 1 {
+				// Odd columns are numeric so Derive builds intervals.
+				row[j] = fmt.Sprintf("%d", 10+rng.Intn(alphabet)*7)
+			} else {
+				row[j] = fmt.Sprintf("v%d", rng.Intn(alphabet))
+			}
+		}
+		rows[i] = row
+	}
+	return tableOf(t, header, rows)
+}
+
+// naiveNode evaluates one lattice node the obvious way: render every
+// row's labels, group by the rendered tuple, suppress undersized
+// classes. The count-tree walk must agree exactly.
+func naiveNode(t *relation.Table, cols []*Column, levels []int, k int) (suppressed int, ncp float64) {
+	n, m := t.Len(), t.Degree()
+	classes := map[string][]int{}
+	for i := 0; i < n; i++ {
+		row := t.Row(i)
+		parts := make([]string, m)
+		for j := 0; j < m; j++ {
+			parts[j] = cols[j].Label(levels[j], cols[j].Code(levels[j], row[j]))
+		}
+		key := strings.Join(parts, "\x00")
+		classes[key] = append(classes[key], i)
+	}
+	var sum float64
+	for _, members := range classes {
+		if len(members) < k {
+			suppressed += len(members)
+			sum += float64(len(members)) * float64(m)
+			continue
+		}
+		for _, i := range members {
+			row := t.Row(i)
+			for j := 0; j < m; j++ {
+				sum += cols[j].NCP(levels[j], cols[j].Code(levels[j], row[j]))
+			}
+		}
+	}
+	return suppressed, sum / (float64(n) * float64(m))
+}
+
+// allNodes enumerates every level vector of the compiled columns.
+func allNodes(cols []*Column) [][]int {
+	var out [][]int
+	var rec func(prefix []int, j int)
+	rec = func(prefix []int, j int) {
+		if j == len(cols) {
+			out = append(out, append([]int(nil), prefix...))
+			return
+		}
+		for l := 0; l <= cols[j].Height; l++ {
+			rec(append(prefix, l), j+1)
+		}
+	}
+	rec(nil, 0)
+	return out
+}
+
+// TestCountTreeMatchesNaiveGroupBy is the core equivalence property:
+// for random tables (including pre-starred cells) and every lattice
+// node, the single count-tree walk reports exactly the suppression
+// count and NCP of a direct group-by of the generalized table.
+func TestCountTreeMatchesNaiveGroupBy(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		starProb := 0.0
+		if seed >= 4 {
+			starProb = 0.1
+		}
+		tab := randomTable(t, rng, 40+rng.Intn(40), 3, 4, starProb)
+		cols, err := Compile(Derive(tab), tab)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ct := BuildCountTree(tab, cols)
+		if ct.Rows() != tab.Len() {
+			t.Fatalf("seed %d: tree rows %d != %d", seed, ct.Rows(), tab.Len())
+		}
+		k := 2 + rng.Intn(3)
+		for _, levels := range allNodes(cols) {
+			wantSup, wantNCP := naiveNode(tab, cols, levels, k)
+			ok, sup, ncp := ct.Check(levels, k, tab.Len(), false)
+			if !ok {
+				t.Fatalf("seed %d node %v: walk not ok under budget n", seed, levels)
+			}
+			if sup != wantSup {
+				t.Fatalf("seed %d node %v: suppressed %d, naive %d", seed, levels, sup, wantSup)
+			}
+			if math.Abs(ncp-wantNCP) > 1e-9 {
+				t.Fatalf("seed %d node %v: ncp %g, naive %g", seed, levels, ncp, wantNCP)
+			}
+		}
+	}
+}
+
+// TestCountTreeAbortsOverBudget checks the pruned walk agrees with the
+// full walk on the anonymity verdict.
+func TestCountTreeAbortsOverBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tab := randomTable(t, rng, 60, 3, 5, 0)
+	cols, err := Compile(Derive(tab), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := BuildCountTree(tab, cols)
+	for _, levels := range allNodes(cols) {
+		for _, maxSup := range []int{0, 3, 10} {
+			_, fullSup, _ := ct.Check(levels, 3, maxSup, true)
+			ok, _, _ := ct.Check(levels, 3, maxSup, false)
+			if want := fullSup <= maxSup; ok != want {
+				t.Fatalf("node %v maxSup %d: pruned ok=%v, full suppressed=%d", levels, maxSup, ok, fullSup)
+			}
+		}
+	}
+}
+
+// TestNCPMonotoneAlongChains: with no suppression budget, walking any
+// chain up the lattice (one column at a time) never decreases NCP.
+func TestNCPMonotoneAlongChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tab := randomTable(t, rng, 50, 3, 4, 0.05)
+	cols, err := Compile(Derive(tab), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := BuildCountTree(tab, cols)
+	for trial := 0; trial < 200; trial++ {
+		levels := make([]int, len(cols))
+		_, _, prev := ct.Check(levels, 1, 0, true) // k=1: nothing suppressed, pure NCP
+		for {
+			// Pick a random raisable column.
+			var raisable []int
+			for j, c := range cols {
+				if levels[j] < c.Height {
+					raisable = append(raisable, j)
+				}
+			}
+			if len(raisable) == 0 {
+				break
+			}
+			j := raisable[rng.Intn(len(raisable))]
+			levels[j]++
+			_, _, cur := ct.Check(levels, 1, 0, true)
+			if cur < prev-1e-12 {
+				t.Fatalf("NCP decreased along chain at %v: %g -> %g", levels, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestCountTreeTrivialShapes covers degenerate inputs.
+func TestCountTreeTrivialShapes(t *testing.T) {
+	// Single distinct tuple: anonymous at the bottom for any k ≤ n.
+	tab := tableOf(t, []string{"a", "b"}, [][]string{{"x", "1"}, {"x", "1"}, {"x", "1"}})
+	cols, err := Compile(Derive(tab), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := BuildCountTree(tab, cols)
+	if ct.Distinct() != 1 {
+		t.Fatalf("distinct = %d, want 1", ct.Distinct())
+	}
+	ok, sup, ncp := ct.Check([]int{0, 0}, 3, 0, false)
+	if !ok || sup != 0 || ncp != 0 {
+		t.Fatalf("uniform table at bottom: ok=%v sup=%d ncp=%g", ok, sup, ncp)
+	}
+}

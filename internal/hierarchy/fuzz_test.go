@@ -1,0 +1,42 @@
+package hierarchy
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzHierarchySpec hammers the sidecar decoder: arbitrary bytes must
+// never panic, and any spec the decoder accepts must survive an
+// encode → parse round trip unchanged — the durable-manifest contract
+// for hierarchy jobs.
+func FuzzHierarchySpec(f *testing.F) {
+	f.Add([]byte(jsonSpec))
+	f.Add([]byte("city,oslo,norway,europe,*\ncity,paris,france,europe,*\n"))
+	f.Add([]byte(`{"columns":[{"name":"a","kind":"interval","width":5,"min":0,"max":99}]}`))
+	f.Add([]byte(`{"columns":[{"name":"a","paths":{"x":["*"]}}]}`))
+	f.Add([]byte(`{"columns":[{"name":"a","paths":{"x":["x"]}}]}`))                   // cycle
+	f.Add([]byte(`{"columns":[{"name":"a","paths":{"x":["*"],"y":[]}}]}`))            // level gap
+	f.Add([]byte(`{"columns":[{"name":"a","paths":{"x":["p","*"],"y":["p","z"]}}]}`)) // split root
+	f.Add([]byte("a,b\n"))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		b, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted spec does not encode: %v", err)
+		}
+		s2, err := ParseSpec(b)
+		if err != nil {
+			t.Fatalf("encoded spec does not re-parse: %v\n%s", err, b)
+		}
+		// The version is stamped on encode; align before comparing.
+		s.Version = SpecVersion
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the spec:\n%+v\n%+v", s, s2)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"kanon/internal/solver"
+)
+
+func init() {
+	solver.Register(solver.Info{
+		Name:        "hierarchy",
+		Description: "full-domain generalization lattice, minimum-NCP cut",
+		Run: func(req solver.Request) (*solver.Result, error) {
+			var spec *Spec
+			switch h := req.Hierarchy.(type) {
+			case nil:
+			case *Spec:
+				spec = h
+			default:
+				return nil, fmt.Errorf("hierarchy: unsupported spec payload %T", req.Hierarchy)
+			}
+			r, err := Solve(req.Table, req.K, &Options{
+				MaxSuppress: req.MaxSuppress,
+				Spec:        spec,
+				Workers:     req.Workers,
+				Ctx:         req.Ctx,
+				Trace:       req.Trace,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &solver.Result{
+				Rows:       r.Rows,
+				Groups:     r.Groups,
+				Cost:       r.Cost,
+				NCP:        r.NCP,
+				Suppressed: r.Suppressed,
+				Optimal:    r.Optimal,
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,336 @@
+package hierarchy
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"unicode/utf8"
+)
+
+// SpecVersion tags the sidecar format. Decoders reject other versions
+// instead of guessing.
+const SpecVersion = "kanon-hierarchy/1"
+
+// Column kinds a spec may declare.
+const (
+	// KindTree is an explicit per-value generalization tree, given as
+	// uniform-height root-ward paths.
+	KindTree = "tree"
+	// KindInterval is an integer column generalized to aligned
+	// intervals that double (or ×fanout) per level.
+	KindInterval = "interval"
+	// KindSuppress is the paper's two-level value → ★ hierarchy.
+	KindSuppress = "suppress"
+)
+
+// Spec is the sidecar description of one table's generalization
+// hierarchies: one ColumnSpec per quasi-identifier column, matched to
+// the table by column name.
+type Spec struct {
+	// Version is SpecVersion; empty is accepted on input (and stamped
+	// on encode) so hand-written specs stay terse.
+	Version string `json:"version,omitempty"`
+	// Columns declares one hierarchy per table column.
+	Columns []ColumnSpec `json:"columns"`
+}
+
+// ColumnSpec declares one column's hierarchy.
+type ColumnSpec struct {
+	// Name is the table column this hierarchy applies to.
+	Name string `json:"name"`
+	// Kind is one of KindTree, KindInterval, KindSuppress. Empty means
+	// KindTree when Paths is present.
+	Kind string `json:"kind,omitempty"`
+	// Paths (KindTree) maps each leaf value to its root-ward ancestor
+	// chain: Paths[leaf][l-1] is the leaf's label at level l, and the
+	// final element is the column's root. Every path must have the same
+	// length — full-domain generalization needs a well-defined level.
+	Paths map[string][]string `json:"paths,omitempty"`
+	// Width (KindInterval) is the level-1 interval width; 0 derives a
+	// width from the data range.
+	Width int `json:"width,omitempty"`
+	// Fanout (KindInterval) is how many intervals merge per level above
+	// the first; 0 means 2.
+	Fanout int `json:"fanout,omitempty"`
+	// Min and Max (KindInterval) bound the domain for the NCP
+	// denominator and interval alignment; nil derives them from data.
+	Min *int `json:"min,omitempty"`
+	Max *int `json:"max,omitempty"`
+}
+
+// kind resolves the column's effective kind.
+func (c *ColumnSpec) kind() string {
+	if c.Kind == "" && len(c.Paths) > 0 {
+		return KindTree
+	}
+	return c.Kind
+}
+
+// Height returns the number of generalization levels above the raw
+// values that this column spec declares, or 0 when the height is
+// data-dependent (intervals with derived bounds).
+func (c *ColumnSpec) Height() int {
+	if c.kind() == KindTree {
+		for _, p := range c.Paths {
+			return len(p)
+		}
+	}
+	if c.kind() == KindSuppress {
+		return 1
+	}
+	return 0
+}
+
+// Validate checks the spec's internal consistency: well-formed kinds,
+// unique column names, and — for trees — uniform path heights (no
+// level gaps), acyclic labeling (no label on two levels), and
+// consistent parents (no dangling or conflicting edges).
+func (s *Spec) Validate() error {
+	if s.Version != "" && s.Version != SpecVersion {
+		return fmt.Errorf("hierarchy: spec version %q, want %q", s.Version, SpecVersion)
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("hierarchy: spec declares no columns")
+	}
+	seen := map[string]bool{}
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		if c.Name == "" {
+			return fmt.Errorf("hierarchy: column %d has no name", i)
+		}
+		if !utf8.ValidString(c.Name) {
+			return fmt.Errorf("hierarchy: column %d name is not valid UTF-8", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("hierarchy: column %q declared twice", c.Name)
+		}
+		seen[c.Name] = true
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("hierarchy: column %q: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// validate checks one column spec.
+func (c *ColumnSpec) validate() error {
+	switch c.kind() {
+	case KindTree:
+		return c.validateTree()
+	case KindInterval:
+		if len(c.Paths) > 0 {
+			return fmt.Errorf("interval column carries tree paths")
+		}
+		if c.Width < 0 {
+			return fmt.Errorf("width %d < 0", c.Width)
+		}
+		if c.Fanout != 0 && c.Fanout < 2 {
+			return fmt.Errorf("fanout %d < 2", c.Fanout)
+		}
+		if c.Min != nil && c.Max != nil && *c.Min > *c.Max {
+			return fmt.Errorf("min %d > max %d", *c.Min, *c.Max)
+		}
+		return nil
+	case KindSuppress:
+		if len(c.Paths) > 0 || c.Width != 0 || c.Fanout != 0 || c.Min != nil || c.Max != nil {
+			return fmt.Errorf("suppress column carries hierarchy fields")
+		}
+		return nil
+	case "":
+		return fmt.Errorf("no kind and no paths")
+	default:
+		return fmt.Errorf("unknown kind %q", c.Kind)
+	}
+}
+
+// validateTree enforces the tree invariants the compiler and the
+// lattice search rely on.
+func (c *ColumnSpec) validateTree() error {
+	if c.Width != 0 || c.Fanout != 0 || c.Min != nil || c.Max != nil {
+		return fmt.Errorf("tree column carries interval fields")
+	}
+	if len(c.Paths) == 0 {
+		return fmt.Errorf("tree column declares no paths")
+	}
+	leaves := sortedKeys(c.Paths)
+	height := len(c.Paths[leaves[0]])
+	if height < 1 {
+		return fmt.Errorf("leaf %q has an empty path", leaves[0])
+	}
+	root := c.Paths[leaves[0]][height-1]
+	// levelOf records the unique level each label lives at; a label on
+	// two levels would make the implied parent relation cyclic or
+	// ill-formed, so it is rejected as a cycle.
+	levelOf := map[string]int{}
+	// parentOf records each label's unique parent label; conflicting
+	// re-declarations are dangling/inconsistent edges.
+	parentOf := map[string]string{}
+	for _, leaf := range leaves {
+		if leaf == "" {
+			return fmt.Errorf("tree declares an empty leaf value")
+		}
+		if !utf8.ValidString(leaf) {
+			return fmt.Errorf("leaf %q is not valid UTF-8", leaf)
+		}
+		path := c.Paths[leaf]
+		if len(path) != height {
+			return fmt.Errorf("leaf %q has %d levels, leaf %q has %d (level gap)",
+				leaf, len(path), leaves[0], height)
+		}
+		if path[height-1] != root {
+			return fmt.Errorf("leaf %q ends at root %q, leaf %q at %q",
+				leaf, path[height-1], leaves[0], root)
+		}
+		prev := leaf
+		for l, label := range path {
+			if label == "" {
+				return fmt.Errorf("leaf %q has an empty label at level %d", leaf, l+1)
+			}
+			if !utf8.ValidString(label) {
+				return fmt.Errorf("leaf %q has a non-UTF-8 label at level %d", leaf, l+1)
+			}
+			if at, ok := levelOf[label]; ok {
+				if at != l+1 {
+					return fmt.Errorf("label %q appears at level %d and level %d (cycle)", label, at, l+1)
+				}
+			} else {
+				levelOf[label] = l + 1
+			}
+			if p, ok := parentOf[prev]; ok && p != label {
+				return fmt.Errorf("label %q has parents %q and %q (dangling parent)", prev, p, label)
+			}
+			parentOf[prev] = label
+			prev = label
+		}
+	}
+	for _, leaf := range leaves {
+		if l, ok := levelOf[leaf]; ok {
+			return fmt.Errorf("leaf %q also appears as a level-%d label (cycle)", leaf, l)
+		}
+	}
+	return nil
+}
+
+// ParseSpec decodes a sidecar from JSON (first non-space byte '{') or
+// CSV (anything else) and validates it. The CSV form is one record per
+// leaf: column,leaf,level1,…,root — the familiar per-attribute
+// hierarchy-file shape, with '#' comment lines allowed.
+func ParseSpec(b []byte) (*Spec, error) {
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("hierarchy: empty spec")
+	}
+	var s *Spec
+	var err error
+	if trimmed[0] == '{' {
+		s, err = parseJSONSpec(trimmed)
+	} else {
+		s, err = parseCSVSpec(b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseJSONSpec strictly decodes the JSON form; unknown fields are
+// rejected so typos fail loudly instead of silently meaning defaults.
+func parseJSONSpec(b []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("hierarchy: decoding spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("hierarchy: trailing data after spec object")
+	}
+	return &s, nil
+}
+
+// parseCSVSpec decodes the CSV form into tree columns.
+func parseCSVSpec(b []byte) (*Spec, error) {
+	cr := csv.NewReader(bytes.NewReader(b))
+	cr.Comment = '#'
+	cr.FieldsPerRecord = -1 // columns may have different heights
+	cr.TrimLeadingSpace = true
+	var s Spec
+	byName := map[string]*ColumnSpec{}
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: csv spec: %w", err)
+		}
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("hierarchy: csv spec record %d has %d fields, want ≥ 3 (column,leaf,levels…)", line, len(rec))
+		}
+		name := rec[0]
+		col := byName[name]
+		if col == nil {
+			s.Columns = append(s.Columns, ColumnSpec{Name: name, Kind: KindTree, Paths: map[string][]string{}})
+			col = &s.Columns[len(s.Columns)-1]
+			byName[name] = col
+		}
+		leaf := rec[1]
+		if _, dup := col.Paths[leaf]; dup {
+			return nil, fmt.Errorf("hierarchy: csv spec declares leaf %q of column %q twice", leaf, name)
+		}
+		col.Paths[leaf] = append([]string(nil), rec[2:]...)
+	}
+	if len(s.Columns) == 0 {
+		return nil, fmt.Errorf("hierarchy: empty spec")
+	}
+	return &s, nil
+}
+
+// Encode serializes the spec as canonical indented JSON (the sidecar
+// format kanon-datagen emits), stamping the version.
+func (s *Spec) Encode() ([]byte, error) {
+	out := *s
+	out.Version = SpecVersion
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: encoding spec: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Column returns the spec entry for the named column.
+func (s *Spec) Column(name string) (*ColumnSpec, bool) {
+	for i := range s.Columns {
+		if s.Columns[i].Name == name {
+			return &s.Columns[i], true
+		}
+	}
+	return nil, false
+}
+
+// sortedKeys returns the map's keys in sorted order, the package's
+// deterministic iteration idiom.
+func sortedKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rangeLabel renders the derived-tree label covering sorted values
+// lo..hi; singleton groups keep both endpoints so a derived interior
+// label can never collide with a leaf value.
+func rangeLabel(lo, hi string) string {
+	return lo + ".." + hi
+}

@@ -1,0 +1,171 @@
+package hierarchy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const jsonSpec = `{
+  "version": "kanon-hierarchy/1",
+  "columns": [
+    {"name": "city", "kind": "tree", "paths": {
+      "oslo":   ["norway", "europe", "*"],
+      "bergen": ["norway", "europe", "*"],
+      "paris":  ["france", "europe", "*"],
+      "tokyo":  ["japan",  "asia",   "*"]
+    }},
+    {"name": "age", "kind": "interval", "width": 10},
+    {"name": "id", "kind": "suppress"}
+  ]
+}`
+
+func TestParseSpecJSON(t *testing.T) {
+	s, err := ParseSpec([]byte(jsonSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Columns) != 3 {
+		t.Fatalf("got %d columns, want 3", len(s.Columns))
+	}
+	if c, _ := s.Column("city"); c.Height() != 3 {
+		t.Fatalf("city height = %d, want 3", c.Height())
+	}
+	if c, _ := s.Column("id"); c.Height() != 1 {
+		t.Fatalf("id height = %d, want 1", c.Height())
+	}
+}
+
+func TestParseSpecCSV(t *testing.T) {
+	csv := `# city hierarchy
+city,oslo,norway,europe,*
+city,bergen,norway,europe,*
+city,paris,france,europe,*
+zip,100,10x,*
+zip,101,10x,*
+`
+	s, err := ParseSpec([]byte(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Columns) != 2 {
+		t.Fatalf("got %d columns, want 2", len(s.Columns))
+	}
+	city, _ := s.Column("city")
+	if got := city.Paths["oslo"]; !reflect.DeepEqual(got, []string{"norway", "europe", "*"}) {
+		t.Fatalf("oslo path = %v", got)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	s, err := ParseSpec([]byte(jsonSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec(b)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("round trip changed the spec:\n%+v\n%+v", s, s2)
+	}
+}
+
+func TestSpecValidationRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"level gap", `{"columns":[{"name":"c","paths":{"a":["x","*"],"b":["*"]}}]}`, "level gap"},
+		{"dangling parent", `{"columns":[{"name":"c","paths":{"a":["x","*"],"b":["x","y","*"]}}]}`, "level gap"},
+		{"conflicting parent", `{"columns":[{"name":"c","paths":{"a":["x","p","*"],"b":["x","q","*"]}}]}`, "dangling parent"},
+		{"label at two levels", `{"columns":[{"name":"c","paths":{"a":["x","y","*"],"b":["y","x","*"]}}]}`, "cycle"},
+		{"leaf as interior", `{"columns":[{"name":"c","paths":{"a":["b","*"],"b":["b","*"]}}]}`, "parent"},
+		{"leaf is its own root", `{"columns":[{"name":"c","paths":{"a":["b"],"b":["b"]}}]}`, "cycle"},
+		{"different roots", `{"columns":[{"name":"c","paths":{"a":["x","*"],"b":["x","any"]}}]}`, "root"},
+		{"empty label", `{"columns":[{"name":"c","paths":{"a":["","*"]}}]}`, "empty label"},
+		{"unknown kind", `{"columns":[{"name":"c","kind":"wat"}]}`, "unknown kind"},
+		{"dup column", `{"columns":[{"name":"c","kind":"suppress"},{"name":"c","kind":"suppress"}]}`, "twice"},
+		{"no columns", `{"columns":[]}`, "no columns"},
+		{"bad version", `{"version":"nope/9","columns":[{"name":"c","kind":"suppress"}]}`, "version"},
+		{"min over max", `{"columns":[{"name":"c","kind":"interval","min":9,"max":1}]}`, "min"},
+		{"bad fanout", `{"columns":[{"name":"c","kind":"interval","fanout":1}]}`, "fanout"},
+		{"tree with width", `{"columns":[{"name":"c","width":3,"paths":{"a":["*"]}}]}`, "interval fields"},
+		{"suppress with paths", `{"columns":[{"name":"c","kind":"suppress","paths":{"a":["*"]}}]}`, "hierarchy fields"},
+		{"unknown field", `{"columns":[{"name":"c","kind":"suppress","wat":1}]}`, "wat"},
+		{"empty", ``, "empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("accepted invalid spec %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDeriveValidatesAndCovers(t *testing.T) {
+	tab := tableOf(t, []string{"city", "age"}, [][]string{
+		{"oslo", "31"}, {"bergen", "35"}, {"paris", "47"}, {"tokyo", "29"},
+		{"lima", "31"}, {"cairo", "62"}, {"quito", "18"}, {"pune", "55"},
+	})
+	s := Derive(tab)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("derived spec invalid: %v", err)
+	}
+	if c, _ := s.Column("age"); c.Kind != KindInterval {
+		t.Fatalf("numeric column derived as %q", c.Kind)
+	}
+	if c, _ := s.Column("city"); c.Kind != KindTree {
+		t.Fatalf("categorical column derived as %q", c.Kind)
+	}
+	if _, err := Compile(s, tab); err != nil {
+		t.Fatalf("derived spec does not compile against its own table: %v", err)
+	}
+	// Derived trees must also survive an encode/parse round trip.
+	b, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpec(b); err != nil {
+		t.Fatalf("derived spec does not re-parse: %v", err)
+	}
+}
+
+func TestCompileRejectsUncoveredValue(t *testing.T) {
+	tab := tableOf(t, []string{"city"}, [][]string{{"oslo"}, {"atlantis"}})
+	s := &Spec{Columns: []ColumnSpec{{Name: "city", Kind: KindTree,
+		Paths: map[string][]string{"oslo": {"*"}}}}}
+	if _, err := Compile(s, tab); err == nil || !strings.Contains(err.Error(), "atlantis") {
+		t.Fatalf("want uncovered-value error naming atlantis, got %v", err)
+	}
+}
+
+func TestCompileRejectsColumnMismatch(t *testing.T) {
+	tab := tableOf(t, []string{"a", "b"}, [][]string{{"1", "2"}})
+	s := &Spec{Columns: []ColumnSpec{{Name: "a", Kind: KindSuppress}}}
+	if _, err := Compile(s, tab); err == nil {
+		t.Fatal("want column-count mismatch error")
+	}
+	s = &Spec{Columns: []ColumnSpec{{Name: "a", Kind: KindSuppress}, {Name: "z", Kind: KindSuppress}}}
+	if _, err := Compile(s, tab); err == nil || !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("want undeclared-column error naming b, got %v", err)
+	}
+}
+
+func TestCompileIntervalRejectsNonInteger(t *testing.T) {
+	tab := tableOf(t, []string{"age"}, [][]string{{"31"}, {"old"}})
+	s := &Spec{Columns: []ColumnSpec{{Name: "age", Kind: KindInterval}}}
+	if _, err := Compile(s, tab); err == nil || !strings.Contains(err.Error(), "old") {
+		t.Fatalf("want non-integer error naming the value, got %v", err)
+	}
+}

@@ -1,0 +1,17 @@
+package pattern
+
+import "kanon/internal/solver"
+
+func init() {
+	solver.Register(solver.Info{
+		Name:        "pattern",
+		Description: "projection-pattern set cover for low-degree tables",
+		Run: func(req solver.Request) (*solver.Result, error) {
+			r, err := AnonymizeCtx(req.Context(), req.Table, req.K, req.Trace)
+			if err != nil {
+				return nil, err
+			}
+			return &solver.Result{Partition: r.Partition}, nil
+		},
+	})
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"kanon"
+	"kanon/internal/relation"
+)
+
+const hierSpecJSON = `{
+  "columns": [
+    {"name": "age", "kind": "interval", "width": 10, "min": 0, "max": 79},
+    {"name": "zip", "kind": "tree", "paths": {
+      "15213": ["152xx"],
+      "15217": ["152xx"]
+    }},
+    {"name": "dx", "kind": "suppress"}
+  ]
+}`
+
+// TestE2EHierarchyMatchesCLI: a hierarchy job through the HTTP API is
+// byte-identical to the direct facade run, across worker counts and
+// with tracing on — the repo-wide determinism contract extended to the
+// new solver family.
+func TestE2EHierarchyMatchesCLI(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	header, rows, err := relation.ReadCSVRows(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		query url.Values
+		opts  kanon.Options
+	}{
+		{"derived", url.Values{"k": {"2"}, "algo": {"hierarchy"}},
+			kanon.Options{Algorithm: kanon.AlgoHierarchy}},
+		{"spec+budget", url.Values{"k": {"2"}, "algo": {"hierarchy"}, "hierarchy": {hierSpecJSON}, "suppress": {"1"}},
+			kanon.Options{Algorithm: kanon.AlgoHierarchy, MaxSuppress: 1}},
+		{"workers=1", url.Values{"k": {"2"}, "algo": {"hierarchy"}, "workers": {"1"}},
+			kanon.Options{Algorithm: kanon.AlgoHierarchy, Workers: 1}},
+		{"workers=4+trace", url.Values{"k": {"2"}, "algo": {"hierarchy"}, "workers": {"4"}, "trace": {"true"}},
+			kanon.Options{Algorithm: kanon.AlgoHierarchy, Workers: 4}},
+	} {
+		st, resp := submit(t, ts, tc.query.Encode(), sampleCSV)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("%s: submit status %d", tc.name, resp.StatusCode)
+		}
+		done := pollUntil(t, ts, st.ID, 10*time.Second, func(s Status) bool { return s.State.Terminal() })
+		if done.State != StateSucceeded {
+			t.Fatalf("%s: state %s, error %q", tc.name, done.State, done.Error)
+		}
+		rr, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(rr.Body)
+		rr.Body.Close()
+		if rr.StatusCode != http.StatusOK {
+			t.Fatalf("%s: result status %d: %s", tc.name, rr.StatusCode, got)
+		}
+		opts := tc.opts
+		if tc.query.Has("hierarchy") {
+			spec, err := kanon.ParseHierarchySpec([]byte(tc.query.Get("hierarchy")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Hierarchy = spec
+		}
+		res, err := kanon.Anonymize(header, rows, 2, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := relation.WriteCSVRows(&want, res.Header, res.Rows); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("%s: service bytes differ from direct run:\nservice:\n%s\ndirect:\n%s", tc.name, got, want.Bytes())
+		}
+		if done.Cost == nil || *done.Cost != res.Cost {
+			t.Errorf("%s: status cost = %v, want %d", tc.name, done.Cost, res.Cost)
+		}
+	}
+}
+
+// TestSubmitUnknownAlgo400 is the regression test for the admission
+// fix: an unknown ?algo= is a 400 whose body lists every registered
+// solver, instead of an accepted job that fails later.
+func TestSubmitUnknownAlgo400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Post(ts.URL+"/v1/jobs?k=2&algo=wat", "text/csv", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	for _, name := range kanon.AlgorithmNames() {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("error body does not list registered solver %q:\n%s", name, body)
+		}
+	}
+}
+
+// TestHierarchyParamsValidation: malformed specs are 400s at admission,
+// and hierarchy knobs on other algorithms are rejected.
+func TestHierarchyParamsValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name  string
+		query url.Values
+	}{
+		{"bad spec", url.Values{"k": {"2"}, "algo": {"hierarchy"}, "hierarchy": {`{"columns":[]}`}}},
+		{"bad suppress", url.Values{"k": {"2"}, "algo": {"hierarchy"}, "suppress": {"-1"}}},
+		{"spec on ball", url.Values{"k": {"2"}, "hierarchy": {hierSpecJSON}}},
+		{"suppress on exact", url.Values{"k": {"2"}, "algo": {"exact"}, "suppress": {"1"}}},
+	}
+	for _, tc := range cases {
+		_, resp := submit(t, ts, tc.query.Encode(), sampleCSV)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestHierarchyManifestRoundTrip: the spec and budget survive the
+// durable manifest, so crash recovery re-runs the same lattice.
+func TestHierarchyManifestRoundTrip(t *testing.T) {
+	spec, err := kanon.ParseHierarchySpec([]byte(hierSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Job{
+		ID: "job-roundtrip",
+		Req: JobRequest{
+			K: 2, Algorithm: kanon.AlgoHierarchy,
+			HierarchySpec: spec, MaxSuppress: 3,
+		},
+		header:    []string{"age", "zip", "dx"},
+		rows:      [][]string{{"34", "15213", "flu"}, {"36", "15213", "flu"}},
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	m := j.manifest()
+	if m.HierarchySpec == "" || m.MaxSuppress != 3 {
+		t.Fatalf("manifest dropped hierarchy fields: %+v", m)
+	}
+	req, err := requestFromManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.MaxSuppress != 3 || req.HierarchySpec == nil {
+		t.Fatalf("recovered request dropped hierarchy fields: %+v", req)
+	}
+	// The recovered spec must describe the same hierarchy.
+	b1, _ := spec.Encode()
+	b2, _ := req.HierarchySpec.Encode()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("recovered spec differs:\n%s\nvs\n%s", b1, b2)
+	}
+}

@@ -70,17 +70,23 @@ type JobRequest struct {
 	// explicitly (the zero kanon.Kernel is the valid "auto", so
 	// presence cannot be read off the value alone).
 	KernelSet bool
+	// HierarchySpec is AlgoHierarchy's generalization sidecar, parsed
+	// and validated at admission; nil derives one from the data.
+	HierarchySpec *kanon.HierarchySpec
+	// MaxSuppress is AlgoHierarchy's row-suppression budget.
+	MaxSuppress int
 }
 
 // ParseJobRequest validates the query parameters of a submission:
 // k (required), algo, workers, block, refine, seed, timeout, trace,
-// kernel. Unknown parameters are rejected so typos fail loudly instead
-// of silently running with defaults.
+// kernel, hierarchy, suppress. Unknown parameters are rejected so
+// typos fail loudly instead of silently running with defaults.
 func ParseJobRequest(q url.Values) (JobRequest, error) {
 	req := JobRequest{Algorithm: kanon.AlgoGreedyBall}
 	for key := range q {
 		switch key {
-		case "k", "algo", "workers", "block", "refine", "seed", "timeout", "trace", "kernel":
+		case "k", "algo", "workers", "block", "refine", "seed", "timeout", "trace", "kernel",
+			"hierarchy", "suppress":
 		default:
 			return req, fmt.Errorf("unknown parameter %q", key)
 		}
@@ -149,6 +155,22 @@ func ParseJobRequest(q url.Values) (JobRequest, error) {
 		}
 		req.Kernel, req.KernelSet = kern, true
 	}
+	if v := q.Get("hierarchy"); v != "" {
+		// The spec document travels in the parameter itself, validated at
+		// admission so a malformed sidecar is a 400, not a failed job.
+		s, err := kanon.ParseHierarchySpec([]byte(v))
+		if err != nil {
+			return req, err
+		}
+		req.HierarchySpec = s
+	}
+	if v := q.Get("suppress"); v != "" {
+		s, err := strconv.Atoi(v)
+		if err != nil || s < 0 {
+			return req, fmt.Errorf("suppress must be a nonnegative integer, got %q", v)
+		}
+		req.MaxSuppress = s
+	}
 	return req, nil
 }
 
@@ -160,6 +182,9 @@ func validateInstance(req JobRequest, rows int) error {
 	}
 	if req.BlockRows > 0 && req.Algorithm != kanon.AlgoGreedyBall {
 		return fmt.Errorf("block streaming supports only algo=ball, got %s", req.Algorithm)
+	}
+	if req.Algorithm != kanon.AlgoHierarchy && (req.HierarchySpec != nil || req.MaxSuppress != 0) {
+		return fmt.Errorf("hierarchy and suppress parameters require algo=hierarchy, got %s", req.Algorithm)
 	}
 	if req.Algorithm == kanon.AlgoExact && rows > exact.MaxDPRows {
 		return fmt.Errorf("exact solver is limited to %d rows (got %d); use a greedy algorithm",
@@ -226,9 +251,18 @@ func (j *Job) manifest() *store.Manifest {
 		Refine:      j.Req.Refine,
 		Seed:        j.Req.Seed,
 		TimeoutMS:   j.Req.Timeout.Milliseconds(),
+		MaxSuppress: j.Req.MaxSuppress,
 		Rows:        len(j.rows),
 		Cols:        len(j.header),
 		SubmittedAt: j.submitted,
+	}
+	if j.Req.HierarchySpec != nil {
+		// The spec was validated at admission, so encoding cannot fail;
+		// persisting the canonical JSON keeps recovery format-independent
+		// of how the submission spelled it (JSON or CSV).
+		if b, err := j.Req.HierarchySpec.Encode(); err == nil {
+			m.HierarchySpec = string(b)
+		}
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -262,17 +296,26 @@ func requestFromManifest(m *store.Manifest) (JobRequest, error) {
 	if err != nil {
 		return JobRequest{}, err
 	}
-	return JobRequest{
-		K:         m.K,
-		Algorithm: algo,
-		Workers:   m.Workers,
-		BlockRows: m.BlockRows,
-		Refine:    m.Refine,
-		Seed:      m.Seed,
-		Timeout:   time.Duration(m.TimeoutMS) * time.Millisecond,
-		Kernel:    kern,
-		KernelSet: true,
-	}, nil
+	req := JobRequest{
+		K:           m.K,
+		Algorithm:   algo,
+		Workers:     m.Workers,
+		BlockRows:   m.BlockRows,
+		Refine:      m.Refine,
+		Seed:        m.Seed,
+		Timeout:     time.Duration(m.TimeoutMS) * time.Millisecond,
+		Kernel:      kern,
+		KernelSet:   true,
+		MaxSuppress: m.MaxSuppress,
+	}
+	if m.HierarchySpec != "" {
+		s, err := kanon.ParseHierarchySpec([]byte(m.HierarchySpec))
+		if err != nil {
+			return JobRequest{}, err
+		}
+		req.HierarchySpec = s
+	}
+	return req, nil
 }
 
 // Status is the JSON view of a job served by GET /v1/jobs/{id} and

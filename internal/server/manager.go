@@ -608,12 +608,14 @@ func (m *Manager) execute(ctx context.Context, job *Job, o jobObs) (*kanon.Resul
 		return streamResult(ctx, job, ckpt, o.root)
 	}
 	opts := &kanon.Options{
-		Algorithm: req.Algorithm,
-		Kernel:    req.Kernel,
-		Seed:      req.Seed,
-		Refine:    req.Refine,
-		Workers:   req.Workers,
-		Log:       m.cfg.Log,
+		Algorithm:   req.Algorithm,
+		Kernel:      req.Kernel,
+		Seed:        req.Seed,
+		Refine:      req.Refine,
+		Workers:     req.Workers,
+		Hierarchy:   req.HierarchySpec,
+		MaxSuppress: req.MaxSuppress,
+		Log:         m.cfg.Log,
 	}
 	if o.root != nil {
 		opts.Span = o.root // per-job tracer; Stats come from its snapshot

@@ -59,6 +59,12 @@ type Manifest struct {
 	// TimeoutMS is the client-requested deadline in milliseconds
 	// (0 = server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// HierarchySpec is the hierarchy sidecar of an algo=hierarchy job,
+	// persisted as canonical JSON so recovery re-runs the same lattice.
+	// Empty means none (other algorithms, or a derived hierarchy).
+	HierarchySpec string `json:"hierarchy_spec,omitempty"`
+	// MaxSuppress is the hierarchy job's row-suppression budget.
+	MaxSuppress int `json:"max_suppress,omitempty"`
 	// Rows and Cols record the request table's shape.
 	Rows int `json:"rows"`
 	Cols int `json:"cols"`
@@ -136,7 +142,7 @@ func (m *Manifest) validate() error {
 	if m.Algo == "" {
 		return fmt.Errorf("store: manifest missing algorithm")
 	}
-	if m.Workers < 0 || m.BlockRows < 0 || m.TimeoutMS < 0 {
+	if m.Workers < 0 || m.BlockRows < 0 || m.TimeoutMS < 0 || m.MaxSuppress < 0 {
 		return fmt.Errorf("store: manifest has negative knobs")
 	}
 	if m.SubmittedAt.IsZero() {

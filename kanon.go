@@ -34,18 +34,23 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
-	"math/rand"
+	"strings"
 	"time"
 
-	"kanon/internal/algo"
-	"kanon/internal/baseline"
 	"kanon/internal/core"
 	"kanon/internal/exact"
+	"kanon/internal/hierarchy"
 	"kanon/internal/metric"
 	"kanon/internal/obs"
-	"kanon/internal/pattern"
 	"kanon/internal/refine"
 	"kanon/internal/relation"
+	"kanon/internal/solver"
+
+	// The solver families register themselves with internal/solver at
+	// init; the facade dispatches by name and never links them directly.
+	_ "kanon/internal/algo"
+	_ "kanon/internal/baseline"
+	_ "kanon/internal/pattern"
 )
 
 // Stats is a structured trace of one Anonymize call: a tree of phase
@@ -79,7 +84,21 @@ const (
 	AlgoSorted
 	// AlgoRandom is the shuffled-chunks baseline.
 	AlgoRandom
+	// AlgoHierarchy is full-domain generalization: every column is
+	// coarsened uniformly to one level of a per-attribute hierarchy
+	// (Options.Hierarchy, or one derived from the data), searching the
+	// generalization lattice for the minimum-NCP k-anonymous cut with
+	// up to Options.MaxSuppress rows suppressed as outliers.
+	AlgoHierarchy
 )
+
+// algorithms lists every Algorithm enum value, in declaration order.
+func algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoGreedyBall, AlgoGreedyExhaustive, AlgoPattern, AlgoExact,
+		AlgoKMember, AlgoMondrian, AlgoSorted, AlgoRandom, AlgoHierarchy,
+	}
+}
 
 // String returns the algorithm's short name (as accepted by the CLI).
 func (a Algorithm) String() string {
@@ -100,22 +119,28 @@ func (a Algorithm) String() string {
 		return "sorted"
 	case AlgoRandom:
 		return "random"
+	case AlgoHierarchy:
+		return "hierarchy"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
 
-// ParseAlgorithm maps a short name back to an Algorithm.
+// ParseAlgorithm maps a short name back to an Algorithm. The error for
+// an unknown name lists every registered solver.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	for _, a := range []Algorithm{
-		AlgoGreedyBall, AlgoGreedyExhaustive, AlgoPattern, AlgoExact,
-		AlgoKMember, AlgoMondrian, AlgoSorted, AlgoRandom,
-	} {
+	for _, a := range algorithms() {
 		if a.String() == name {
 			return a, nil
 		}
 	}
-	return 0, fmt.Errorf("kanon: unknown algorithm %q", name)
+	return 0, fmt.Errorf("kanon: %w", solver.ErrUnknown(name))
+}
+
+// AlgorithmNames returns every registered solver name, sorted — the
+// single source of truth for CLI usage strings and API error messages.
+func AlgorithmNames() []string {
+	return solver.Names()
 }
 
 // Kernel selects the distance-kernel backend of the metric-driven
@@ -167,6 +192,18 @@ func (k Kernel) choice() metric.Choice {
 	return metric.Auto
 }
 
+// HierarchySpec declares per-column generalization hierarchies for
+// AlgoHierarchy: explicit value trees, integer intervals, or plain
+// suppression, matched to the table by column name. Parse one from a
+// JSON/CSV sidecar with ParseHierarchySpec.
+type HierarchySpec = hierarchy.Spec
+
+// ParseHierarchySpec decodes and validates a hierarchy sidecar: JSON
+// (first non-space byte '{') or CSV records of column,leaf,levels…
+func ParseHierarchySpec(b []byte) (*HierarchySpec, error) {
+	return hierarchy.ParseSpec(b)
+}
+
 // Options tunes Anonymize. The zero value selects AlgoGreedyBall with
 // paper-faithful settings.
 type Options struct {
@@ -204,10 +241,21 @@ type Options struct {
 	// Result still reports the weighted cost.
 	ColumnWeights []int
 	// Workers bounds the parallelism of the greedy algorithms' hot
-	// paths (distance matrix fill, ball-family construction): 0 means
-	// all CPUs, 1 forces the sequential path. Output is identical for
-	// every worker count; other algorithms ignore it.
+	// paths (distance matrix fill, ball-family construction) and the
+	// hierarchy lattice search: 0 means all CPUs, 1 forces the
+	// sequential path. Output is identical for every worker count;
+	// other algorithms ignore it.
 	Workers int
+	// Hierarchy declares the generalization hierarchies AlgoHierarchy
+	// searches over; nil derives a spec from the data (intervals for
+	// integer columns, balanced value trees otherwise). Setting it with
+	// any other algorithm is an error.
+	Hierarchy *HierarchySpec
+	// MaxSuppress is AlgoHierarchy's row-suppression budget: up to this
+	// many outlier rows may be released fully starred instead of
+	// forcing every column to a coarser level. Setting it with any
+	// other algorithm is an error.
+	MaxSuppress int
 	// Trace collects phase timings and counters into Result.Stats.
 	// Off (the default) the instrumentation costs one nil check per
 	// phase; on, the anonymized output is byte-identical — tracing
@@ -242,11 +290,22 @@ type Result struct {
 	// Cost is the number of entries this call newly suppressed (the
 	// paper's objective). Entries already suppressed in the input do
 	// not count, so Cost(result.Rows) = result.Cost + Cost(input rows).
+	// For AlgoHierarchy it counts every released cell that differs from
+	// the input — generalized or suppressed.
 	Cost int
-	// WeightedCost is Σ over newly suppressed entries of the column's
-	// weight; equals Cost when ColumnWeights is nil.
+	// WeightedCost is Σ over newly suppressed (or, for AlgoHierarchy,
+	// changed) entries of the column's weight; equals Cost when
+	// ColumnWeights is nil.
 	WeightedCost int
-	// Optimal is true only for AlgoExact.
+	// NCP is the release's normalized certainty penalty in [0,1] —
+	// AlgoHierarchy's utility objective. 0 for suppression algorithms.
+	NCP float64
+	// Suppressed lists the rows AlgoHierarchy released fully starred as
+	// outliers, ascending; nil for suppression algorithms.
+	Suppressed []int
+	// Optimal is true for AlgoExact, and for AlgoHierarchy when the
+	// generalization lattice was small enough to enumerate exhaustively
+	// (the cut is then the provably minimum-NCP k-anonymous one).
 	Optimal bool
 	// Stats holds the phase-span tree and counters of this call; nil
 	// unless Options.Trace was set.
@@ -295,10 +354,6 @@ func AnonymizeContext(ctx context.Context, header []string, rows [][]string, k i
 	if err != nil {
 		return nil, err
 	}
-	var (
-		p       *core.Partition
-		optimal bool
-	)
 	// A nil tracer (and thus nil root span) disables every instrument
 	// below at the cost of one nil check per use. An external span
 	// takes precedence: instrumentation then attaches to the caller's
@@ -316,89 +371,41 @@ func AnonymizeContext(ctx context.Context, header []string, rows [][]string, k i
 	if err := weights.Validate(t.Degree()); err != nil {
 		return nil, fmt.Errorf("kanon: %w", err)
 	}
-	switch opts.Algorithm {
-	case AlgoGreedyBall:
-		if weights != nil {
-			r, err := algo.GreedyBallWeighted(t, k, weights, &algo.Options{Ctx: ctx, SplitSorted: opts.SplitSorted, Workers: opts.Workers, Trace: root, Log: ev})
-			if err != nil {
-				return nil, err
-			}
-			p = r.Partition
-			break
-		}
-		r, err := algo.GreedyBall(t, k, &algo.Options{
-			Ctx:                 ctx,
-			SplitSorted:         opts.SplitSorted,
-			TrueDiameterWeights: opts.TrueDiameterWeights,
-			Workers:             opts.Workers,
-			Kernel:              opts.Kernel.choice(),
-			Trace:               root,
-			Log:                 ev,
-		})
-		if err != nil {
-			return nil, err
-		}
-		p = r.Partition
-	case AlgoGreedyExhaustive:
-		r, err := algo.GreedyExhaustive(t, k, &algo.Options{Ctx: ctx, SplitSorted: opts.SplitSorted, Workers: opts.Workers, Kernel: opts.Kernel.choice(), Trace: root, Log: ev})
-		if err != nil {
-			return nil, err
-		}
-		p = r.Partition
-	case AlgoPattern:
-		r, err := pattern.AnonymizeCtx(ctx, t, k, root)
-		if err != nil {
-			return nil, err
-		}
-		p = r.Partition
-	case AlgoExact:
-		var r *exact.Result
-		var err error
-		if weights != nil {
-			r, err = exact.SolveWeightedCtx(ctx, t, k, weights, root)
-		} else {
-			r, err = exact.SolveCtx(ctx, t, k, exact.Stars, root)
-		}
-		if err != nil {
-			return nil, err
-		}
-		p = r.Partition
-		optimal = true
-	case AlgoKMember:
-		bs := root.Start("baseline.kmember")
-		r, err := baseline.KMember(t, k)
-		bs.End()
-		if err != nil {
-			return nil, err
-		}
-		p = r.Partition
-	case AlgoMondrian:
-		bs := root.Start("baseline.mondrian")
-		r, err := baseline.Mondrian(t, k)
-		bs.End()
-		if err != nil {
-			return nil, err
-		}
-		p = r.Partition
-	case AlgoSorted:
-		bs := root.Start("baseline.sorted")
-		r, err := baseline.SortedChunks(t, k)
-		bs.End()
-		if err != nil {
-			return nil, err
-		}
-		p = r.Partition
-	case AlgoRandom:
-		bs := root.Start("baseline.random")
-		r, err := baseline.RandomChunks(t, k, rand.New(rand.NewSource(opts.Seed)))
-		bs.End()
-		if err != nil {
-			return nil, err
-		}
-		p = r.Partition
-	default:
-		return nil, fmt.Errorf("kanon: unknown algorithm %v", opts.Algorithm)
+	if opts.Algorithm != AlgoHierarchy && (opts.Hierarchy != nil || opts.MaxSuppress != 0) {
+		return nil, fmt.Errorf("kanon: hierarchy spec and suppression budget require AlgoHierarchy, not %v", opts.Algorithm)
 	}
+	info, ok := solver.Lookup(opts.Algorithm.String())
+	if !ok {
+		return nil, fmt.Errorf("kanon: %w", solver.ErrUnknown(opts.Algorithm.String()))
+	}
+	// The spec travels as `any` so the registry stays family-agnostic;
+	// a typed nil must not masquerade as a non-nil payload.
+	var hspec any
+	if opts.Hierarchy != nil {
+		hspec = opts.Hierarchy
+	}
+	sres, err := info.Run(solver.Request{
+		Ctx:                 ctx,
+		Table:               t,
+		K:                   k,
+		Seed:                opts.Seed,
+		SplitSorted:         opts.SplitSorted,
+		TrueDiameterWeights: opts.TrueDiameterWeights,
+		Workers:             opts.Workers,
+		Kernel:              opts.Kernel.choice(),
+		Weights:             weights,
+		MaxSuppress:         opts.MaxSuppress,
+		Hierarchy:           hspec,
+		Trace:               root,
+		Log:                 ev,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sres.Partition == nil {
+		return finishDirect(t, header, k, opts, sres, root, tr, weights)
+	}
+	p, optimal := sres.Partition, sres.Optimal
 
 	if opts.Refine && !optimal {
 		if err := ctx.Err(); err != nil {
@@ -451,6 +458,81 @@ func AnonymizeContext(ctx context.Context, header []string, rows [][]string, k i
 		Optimal:      optimal,
 		Stats:        stats,
 	}, nil
+}
+
+// finishDirect packages a direct-release solver result (the hierarchy
+// family): the solver rendered the rows itself, so the facade only
+// verifies, prices, and wraps them. K-anonymity is checked textually
+// with fully suppressed rows exempt from the size floor — an all-star
+// row carries no quasi-identifier to link, and the suppression budget
+// admits fewer than k of them.
+func finishDirect(t *relation.Table, header []string, k int, opts *Options, sres *solver.Result, root *obs.Span, tr *obs.Tracer, weights core.Weights) (*Result, error) {
+	out := sres.Rows
+	if len(out) != t.Len() {
+		return nil, fmt.Errorf("kanon: internal: release has %d rows, input %d", len(out), t.Len())
+	}
+	class := make(map[string]int, len(out))
+	for _, r := range out {
+		class[strings.Join(r, "\x00")]++
+	}
+	for i, r := range out {
+		if allStars(r) {
+			continue
+		}
+		if class[strings.Join(r, "\x00")] < k {
+			return nil, fmt.Errorf("kanon: internal: released row %d in class smaller than %d", i, k)
+		}
+	}
+	// Cost and WeightedCost price every changed cell; for a direct
+	// release "changed" covers generalized labels, not just stars.
+	cost, wcost := 0, 0
+	for i := 0; i < t.Len(); i++ {
+		orig := t.Strings(i)
+		for j := range orig {
+			if out[i][j] != orig[j] {
+				cost++
+				if weights == nil {
+					wcost++
+				} else {
+					wcost += weights[j]
+				}
+			}
+		}
+	}
+	if cost != sres.Cost {
+		return nil, fmt.Errorf("kanon: internal: solver cost %d, recount %d", sres.Cost, cost)
+	}
+	var stats *Stats
+	if root != nil {
+		root.Counter("kanon.cells_generalized").Add(int64(cost))
+		root.Counter("kanon.groups").Add(int64(len(sres.Groups)))
+		root.End()
+	}
+	if tr != nil {
+		stats = tr.Snapshot()
+	}
+	return &Result{
+		K:            k,
+		Header:       append([]string(nil), header...),
+		Rows:         out,
+		Groups:       sres.Groups,
+		Cost:         cost,
+		WeightedCost: wcost,
+		NCP:          sres.NCP,
+		Suppressed:   sres.Suppressed,
+		Optimal:      sres.Optimal,
+		Stats:        stats,
+	}, nil
+}
+
+// allStars reports whether every cell of the row is suppressed.
+func allStars(row []string) bool {
+	for _, c := range row {
+		if c != Star {
+			return false
+		}
+	}
+	return true
 }
 
 // Verify reports whether the given (possibly starred) table is
