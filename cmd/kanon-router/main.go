@@ -1,5 +1,6 @@
 // Command kanon-router is a thin HTTP front end for a kanond cluster:
-// one stable address in front of N nodes sharing a data directory.
+// one stable address in front of N nodes sharing a data directory (or
+// replicating it with -replicate-peers).
 //
 // Usage:
 //
@@ -7,12 +8,24 @@
 //
 // Submissions (POST /v1/jobs) go to the peer advertising the most free
 // worker slots on its /healthz; peers that are down or draining are
-// skipped, and a rejected submission fails over to the next-freest peer.
+// skipped. Every submission carries an Idempotency-Key — the client's
+// if it sent one, a router-generated one otherwise — so a request that
+// fails at the connection level is retried against the same peer with
+// backoff: if the peer admitted the job and died before answering, the
+// retry replays the original acceptance instead of admitting a twin,
+// and failing over to a sibling is equally safe. Admission rejections
+// (429, 503) fail over to the next-freest peer.
+//
 // Reads (status, results) and cancels go to any live peer — cluster
-// nodes answer for every job in the shared store, not just their own —
-// so the router holds no state at all: no queue, no job table, nothing
-// to lose. Its own /healthz aggregates the per-node payloads into a
-// cluster capacity picture.
+// nodes answer for every job in the store, not just their own — with
+// the starting peer rotated per request so one node does not absorb
+// all read traffic. Fetched job results are kept in a TTL-bounded
+// cache (results are immutable once written), so a client polling a
+// finished job's result does not hammer the cluster. Beyond that cache
+// the router holds no state: no queue, no job table, nothing to lose.
+// Its own /healthz aggregates the per-node payloads into a cluster
+// capacity picture, and /metrics merges every node's telemetry into
+// one exposition.
 package main
 
 import (
@@ -29,6 +42,8 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -57,10 +72,20 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	peers := fs.String("peers", "", "comma-separated base URLs of the kanond nodes (required)")
 	timeout := fs.Duration("peer-timeout", 30*time.Second, "per-peer request timeout")
 	maxBody := fs.Int64("max-body", 32<<20, "request body limit in bytes (buffered for submit failover)")
+	submitRetries := fs.Int("submit-retries", 2, "same-peer retries when a submission fails at the connection level")
+	retryBackoff := fs.Duration("retry-backoff", 100*time.Millisecond, "backoff before the first submit retry (doubles per attempt)")
+	resultTTL := fs.Duration("result-cache-ttl", 30*time.Second, "how long fetched job results are served from the router's cache (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rt, err := newRouter(*peers, *timeout, *maxBody)
+	rt, err := newRouter(routerConfig{
+		peers:         *peers,
+		timeout:       *timeout,
+		maxBody:       *maxBody,
+		submitRetries: *submitRetries,
+		retryBackoff:  *retryBackoff,
+		resultTTL:     *resultTTL,
+	})
 	if err != nil {
 		return err
 	}
@@ -110,17 +135,33 @@ type peerHealth struct {
 	Claimed  int    `json:"claimed"`
 }
 
-// router forwards requests to the healthiest peer. It is stateless:
-// every routing decision is made from live /healthz probes.
-type router struct {
-	peers   []string
-	client  *http.Client
-	maxBody int64
+// routerConfig carries the router's knobs from flags (or tests).
+type routerConfig struct {
+	peers         string
+	timeout       time.Duration
+	maxBody       int64
+	submitRetries int
+	retryBackoff  time.Duration
+	resultTTL     time.Duration
 }
 
-func newRouter(peerList string, timeout time.Duration, maxBody int64) (*router, error) {
+// router forwards requests to the healthiest peer. Routing decisions
+// are made from live /healthz probes; the only state is a rotation
+// counter (so ties don't always land on the first-listed peer) and the
+// TTL cache of immutable job results.
+type router struct {
+	peers         []string
+	client        *http.Client
+	maxBody       int64
+	submitRetries int
+	retryBackoff  time.Duration
+	rr            atomic.Uint64
+	cache         resultCache
+}
+
+func newRouter(cfg routerConfig) (*router, error) {
 	var peers []string
-	for _, p := range strings.Split(peerList, ",") {
+	for _, p := range strings.Split(cfg.peers, ",") {
 		p = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(p), "/"))
 		if p == "" {
 			continue
@@ -133,10 +174,16 @@ func newRouter(peerList string, timeout time.Duration, maxBody int64) (*router, 
 	if len(peers) == 0 {
 		return nil, errors.New("no peers: pass -peers http://host:port[,...]")
 	}
+	if cfg.submitRetries < 0 {
+		return nil, fmt.Errorf("submit-retries %d: want >= 0", cfg.submitRetries)
+	}
 	return &router{
-		peers:   peers,
-		client:  &http.Client{Timeout: timeout},
-		maxBody: maxBody,
+		peers:         peers,
+		client:        &http.Client{Timeout: cfg.timeout},
+		maxBody:       cfg.maxBody,
+		submitRetries: cfg.submitRetries,
+		retryBackoff:  cfg.retryBackoff,
+		cache:         resultCache{ttl: cfg.resultTTL},
 	}, nil
 }
 
@@ -150,14 +197,25 @@ func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rt.aggregateMetrics(w)
 	default:
 		// Status, results, cancels, debug: any live peer can answer
-		// (job reads go through the shared store on every node).
+		// (job reads go through the replicated store on every node).
 		rt.forwardAny(w, r)
 	}
 }
 
+// next returns the starting offset into rt.peers for this request,
+// advancing once per call so ties rotate across peers instead of
+// always landing on the first one listed. A counter, not randomness:
+// replaying a request sequence reproduces the same peer choices.
+func (rt *router) next() int {
+	return int((rt.rr.Add(1) - 1) % uint64(len(rt.peers)))
+}
+
 // probe fetches one peer's health. Unreachable peers come back with
 // Status "unreachable" rather than an error, so callers can rank and
-// report them uniformly.
+// report them uniformly. A non-2xx answer counts as unreachable unless
+// the body decodes to an honest non-ok status (a draining node answers
+// 503 with status "draining"); a 500 claiming "ok" — a proxy error
+// page, a half-crashed process — must not rank as admitting.
 func (rt *router) probe(peer string) peerHealth {
 	resp, err := rt.client.Get(peer + "/healthz")
 	if err != nil {
@@ -168,18 +226,27 @@ func (rt *router) probe(peer string) peerHealth {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
 		return peerHealth{Status: "unreachable"}
 	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		if h.Status == "" || h.Status == "ok" {
+			return peerHealth{Status: "unreachable", Node: h.Node}
+		}
+	}
 	return h
 }
 
 // rankedPeers probes every peer and orders the admitting ones freest
-// first; draining or unreachable peers are excluded.
+// first; draining or unreachable peers are excluded. The probe order
+// rotates per request, so equally-free peers share the load instead of
+// the tie always resolving in flag order.
 func (rt *router) rankedPeers() []string {
 	type ranked struct {
 		peer string
 		h    peerHealth
 	}
+	start, n := rt.next(), len(rt.peers)
 	var ok []ranked
-	for _, p := range rt.peers {
+	for i := 0; i < n; i++ {
+		p := rt.peers[(start+i)%n]
 		if h := rt.probe(p); h.Status == "ok" {
 			ok = append(ok, ranked{p, h})
 		}
@@ -192,62 +259,116 @@ func (rt *router) rankedPeers() []string {
 	return out
 }
 
+// peerReply is one peer's complete answer to a forwarded request.
+type peerReply struct {
+	code int
+	hdr  http.Header
+	body []byte
+}
+
 // routeSubmit buffers the body (so it can be replayed) and offers the
 // submission to admitting peers, freest first, until one accepts it.
-// Admission rejections that a sibling might not repeat (429, 503) fail
-// over; anything else — including 4xx validation errors, which every
-// peer would repeat verbatim — is relayed as-is.
+// Every attempt carries the same Idempotency-Key — the client's, or a
+// generated one — so retries and failover can never admit the job
+// twice. Admission rejections that a sibling might not repeat (429,
+// 503) fail over; anything else — including 4xx validation errors,
+// which every peer would repeat verbatim — is relayed as-is.
 func (rt *router) routeSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBody))
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 		return
 	}
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		key = "rtr-" + obs.NewRunID()
+	}
 	peers := rt.rankedPeers()
 	if len(peers) == 0 {
 		writeError(w, http.StatusServiceUnavailable, errors.New("no admitting peers"))
 		return
 	}
-	var lastCode int
-	var lastBody []byte
-	var lastHdr http.Header
+	var last *peerReply
 	for _, peer := range peers {
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-			peer+"/v1/jobs?"+r.URL.RawQuery, bytes.NewReader(body))
+		reply, err := rt.submitTo(r.Context(), peer, r.URL.RawQuery, r.Header.Get("Content-Type"), key, body)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
+			continue // connection errors exhausted their retries: fail over
 		}
-		req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
-		resp, err := rt.client.Do(req)
-		if err != nil {
-			continue // peer died between probe and submit: next
-		}
-		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-			lastCode, lastBody, lastHdr = resp.StatusCode, b, resp.Header
+		if reply.code == http.StatusTooManyRequests || reply.code == http.StatusServiceUnavailable {
+			last = reply
 			continue
 		}
-		relay(w, resp.StatusCode, resp.Header, b)
+		relay(w, reply.code, reply.hdr, reply.body)
 		return
 	}
-	if lastCode != 0 {
-		relay(w, lastCode, lastHdr, lastBody)
+	if last != nil {
+		relay(w, last.code, last.hdr, last.body)
 		return
 	}
 	writeError(w, http.StatusServiceUnavailable, errors.New("every peer refused the submission"))
 }
 
+// submitTo posts the buffered submission to one peer, retrying the
+// same peer with backoff when the connection fails. A connection error
+// is ambiguous — the peer may have admitted the job and died before
+// answering — and only a retry with the same Idempotency-Key can tell
+// "lost request" from "lost response": kanond replays the original
+// acceptance for a key it has already bound.
+func (rt *router) submitTo(ctx context.Context, peer, rawQuery, contentType, key string, body []byte) (*peerReply, error) {
+	var lastErr error
+	for attempt := 0; attempt <= rt.submitRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(rt.retryBackoff << (attempt - 1)):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			peer+"/v1/jobs?"+rawQuery, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return &peerReply{code: resp.StatusCode, hdr: resp.Header, body: b}, nil
+	}
+	return nil, lastErr
+}
+
 // forwardAny relays the request to the first peer that answers at all —
 // for reads any node's answer is authoritative, and 404 from a live
-// peer means the job is gone everywhere, not "try the next one".
+// peer means the job is gone everywhere, not "try the next one". The
+// starting peer rotates per request. Successful result fetches are
+// served from (and feed) the TTL cache: a job's result bytes are
+// immutable once written.
 func (rt *router) forwardAny(w http.ResponseWriter, r *http.Request) {
 	var body []byte
 	if r.Body != nil {
-		body, _ = io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBody))
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBody))
+		if err != nil {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
 	}
-	for _, peer := range rt.peers {
+	id := resultJobID(r)
+	if id != "" {
+		if hdr, b, ok := rt.cache.get(id); ok {
+			relay(w, http.StatusOK, hdr, b)
+			return
+		}
+	}
+	start, n := rt.next(), len(rt.peers)
+	for i := 0; i < n; i++ {
+		peer := rt.peers[(start+i)%n]
 		req, err := http.NewRequestWithContext(r.Context(), r.Method,
 			peer+r.URL.Path+query(r), bytes.NewReader(body))
 		if err != nil {
@@ -260,10 +381,79 @@ func (rt *router) forwardAny(w http.ResponseWriter, r *http.Request) {
 		}
 		b, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		if id != "" && resp.StatusCode == http.StatusOK {
+			rt.cache.put(id, resp.Header, b)
+		}
 		relay(w, resp.StatusCode, resp.Header, b)
 		return
 	}
 	writeError(w, http.StatusServiceUnavailable, errors.New("no reachable peers"))
+}
+
+// resultJobID extracts the job ID when the request is a result fetch
+// (GET /v1/jobs/{id}/result) — the one response the router may cache.
+// Everything else returns "".
+func resultJobID(r *http.Request) string {
+	if r.Method != http.MethodGet {
+		return ""
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/v1/jobs/")
+	if !ok {
+		return ""
+	}
+	id, ok := strings.CutSuffix(rest, "/result")
+	if !ok || id == "" || strings.Contains(id, "/") {
+		return ""
+	}
+	return id
+}
+
+// resultCache holds recently fetched job results. Result bytes are
+// immutable once a job succeeds, so serving them from memory is always
+// correct; the TTL only bounds how long the router holds them (and how
+// long a deleted job's result outlives its reaping).
+type resultCache struct {
+	ttl     time.Duration
+	mu      sync.Mutex
+	entries map[string]resultEntry
+}
+
+type resultEntry struct {
+	hdr     http.Header
+	body    []byte
+	expires time.Time
+}
+
+func (c *resultCache) get(id string) (http.Header, []byte, bool) {
+	if c.ttl <= 0 {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok || time.Now().After(e.expires) {
+		delete(c.entries, id)
+		return nil, nil, false
+	}
+	return e.hdr, e.body, true
+}
+
+func (c *resultCache) put(id string, hdr http.Header, body []byte) {
+	if c.ttl <= 0 {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]resultEntry)
+	}
+	for k, e := range c.entries { // opportunistic prune: the map stays TTL-bounded
+		if now.After(e.expires) {
+			delete(c.entries, k)
+		}
+	}
+	c.entries[id] = resultEntry{hdr: hdr, body: body, expires: now.Add(c.ttl)}
 }
 
 // aggregateHealth renders the cluster capacity picture: per-peer
@@ -311,18 +501,15 @@ func (rt *router) aggregateHealth(w http.ResponseWriter) {
 // cluster: every reachable peer's telemetry snapshot (its /debug/obs
 // payload), merged with a `node` label distinguishing the series. A
 // single scrape target therefore covers N nodes without any peer
-// needing to know about the others. Peers that are down are skipped;
-// if none answer, the scrape fails loudly with 503 rather than
-// masquerading as an empty-but-healthy cluster.
+// needing to know about the others. One request per peer per scrape:
+// the snapshot itself carries the node ID (falling back to the peer
+// address for single-node peers), so no separate health probe is
+// needed. Peers that are down or answer non-200 are skipped; if none
+// answer, the scrape fails loudly with 503 rather than masquerading as
+// an empty-but-healthy cluster.
 func (rt *router) aggregateMetrics(w http.ResponseWriter) {
 	var nodes []obs.NodeSnapshot
 	for _, p := range rt.peers {
-		node := rt.probe(p).Node
-		if node == "" {
-			// Single-node peers report no node id; label by address so
-			// the series still separate per peer.
-			node = strings.TrimPrefix(strings.TrimPrefix(p, "http://"), "https://")
-		}
 		resp, err := rt.client.Get(p + "/debug/obs")
 		if err != nil {
 			continue
@@ -330,8 +517,14 @@ func (rt *router) aggregateMetrics(w http.ResponseWriter) {
 		var snap obs.Snapshot
 		err = json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&snap)
 		resp.Body.Close()
-		if err != nil {
+		if err != nil || resp.StatusCode != http.StatusOK {
 			continue
+		}
+		node := snap.Node
+		if node == "" {
+			// Single-node peers report no node id; label by address so
+			// the series still separate per peer.
+			node = strings.TrimPrefix(strings.TrimPrefix(p, "http://"), "https://")
 		}
 		nodes = append(nodes, obs.NodeSnapshot{Node: node, Snap: &snap})
 	}
@@ -353,7 +546,7 @@ func query(r *http.Request) string {
 
 // relay copies a peer response (selected headers, code, body) out.
 func relay(w http.ResponseWriter, code int, hdr http.Header, body []byte) {
-	for _, k := range []string{"Content-Type", "Location", "Retry-After"} {
+	for _, k := range []string{"Content-Type", "Location", "Retry-After", "Idempotency-Key", "Idempotency-Replay"} {
 		if v := hdr.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}

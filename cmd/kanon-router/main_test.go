@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -54,6 +55,7 @@ func newFakeNode(t *testing.T, name string, free int, status string) *fakeNode {
 	mux.HandleFunc("GET /debug/obs", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(&obs.Snapshot{
+			Node:     name,
 			Counters: map[string]int64{"server.jobs_succeeded": int64(free)},
 			Gauges:   map[string]obs.GaugeStat{"server.jobs_running": {Last: 1, Max: 2}},
 		})
@@ -69,7 +71,14 @@ func newTestRouter(t *testing.T, nodes ...*fakeNode) *router {
 	for i, n := range nodes {
 		urls[i] = n.srv.URL
 	}
-	rt, err := newRouter(strings.Join(urls, ","), 2*time.Second, 1<<20)
+	rt, err := newRouter(routerConfig{
+		peers:         strings.Join(urls, ","),
+		timeout:       2 * time.Second,
+		maxBody:       1 << 20,
+		submitRetries: 1,
+		retryBackoff:  time.Millisecond,
+		resultTTL:     time.Minute,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,17 +260,315 @@ func TestAggregateMetricsAllPeersDown(t *testing.T) {
 // TestNewRouterRejectsBadPeers: configuration errors fail at startup,
 // not at the first request.
 func TestNewRouterRejectsBadPeers(t *testing.T) {
-	if _, err := newRouter("", time.Second, 1); err == nil {
+	if _, err := newRouter(routerConfig{peers: "", timeout: time.Second, maxBody: 1}); err == nil {
 		t.Error("empty peer list accepted")
 	}
-	if _, err := newRouter("node-a:8080", time.Second, 1); err == nil {
+	if _, err := newRouter(routerConfig{peers: "node-a:8080", timeout: time.Second, maxBody: 1}); err == nil {
 		t.Error("schemeless peer accepted")
 	}
-	rt, err := newRouter(" http://a/ , http://b ", time.Second, 1)
+	if _, err := newRouter(routerConfig{peers: "http://a", timeout: time.Second, maxBody: 1, submitRetries: -1}); err == nil {
+		t.Error("negative submit-retries accepted")
+	}
+	rt, err := newRouter(routerConfig{peers: " http://a/ , http://b ", timeout: time.Second, maxBody: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rt.peers) != 2 || rt.peers[0] != "http://a" || rt.peers[1] != "http://b" {
 		t.Fatalf("peers = %v", rt.peers)
+	}
+}
+
+// TestForwardOversizedBodyIs413: forwardAny must refuse a body over
+// -max-body with 413, exactly as routeSubmit does — not forward a
+// silently truncated read. Regression: the read error was discarded.
+func TestForwardOversizedBodyIs413(t *testing.T) {
+	live := newFakeNode(t, "live", 4, "ok")
+	rt := newTestRouter(t, live)
+	rt.maxBody = 8
+
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("PUT", "/v1/jobs/j-1/whatever",
+		strings.NewReader(strings.Repeat("x", 64))))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", rec.Code)
+	}
+}
+
+// TestForwardRotatesAcrossPeers: repeated reads spread across live
+// peers deterministically instead of always hitting the first-listed
+// one. Regression: forwardAny walked rt.peers in flag order.
+func TestForwardRotatesAcrossPeers(t *testing.T) {
+	var hits [2]atomic.Int64
+	nodes := make([]*fakeNode, 2)
+	for i := range nodes {
+		i := i
+		n := &fakeNode{name: fmt.Sprintf("n%d", i)}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			fmt.Fprintf(w, `{"id":%q,"state":"queued"}`, r.PathValue("id"))
+		})
+		n.srv = httptest.NewServer(mux)
+		t.Cleanup(n.srv.Close)
+		nodes[i] = n
+	}
+	rt := newTestRouter(t, nodes...)
+
+	for i := 0; i < 4; i++ {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/j-1", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	if hits[0].Load() != 2 || hits[1].Load() != 2 {
+		t.Fatalf("hits = %d/%d, want 2/2", hits[0].Load(), hits[1].Load())
+	}
+}
+
+// TestProbeRejectsLyingPeer: a peer answering non-2xx while its body
+// claims "ok" (a proxy error page, a half-crashed process) must rank
+// as unreachable, not admitting. An honest non-ok status on a non-2xx
+// answer (draining) keeps its word. Regression: probe never looked at
+// the status code.
+func TestProbeRejectsLyingPeer(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(peerHealth{Status: "ok", Node: "liar", Free: 4})
+	})
+	liar := httptest.NewServer(mux)
+	defer liar.Close()
+
+	rt, err := newRouter(routerConfig{peers: liar.URL, timeout: time.Second, maxBody: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := rt.probe(liar.URL); h.Status != "unreachable" {
+		t.Fatalf("probe of 500-but-ok peer = %q, want unreachable", h.Status)
+	}
+
+	draining := newFakeNode(t, "drainer", 4, "draining") // answers 503 honestly
+	rt2, err := newRouter(routerConfig{peers: draining.srv.URL, timeout: time.Second, maxBody: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := rt2.probe(draining.srv.URL); h.Status != "draining" {
+		t.Fatalf("probe of honest draining peer = %q, want draining", h.Status)
+	}
+}
+
+// TestMetricsSingleProbe: one scrape costs exactly one request per
+// peer — the /debug/obs snapshot carries the node label itself.
+// Regression: aggregateMetrics probed /healthz first, doubling probe
+// traffic on every scrape.
+func TestMetricsSingleProbe(t *testing.T) {
+	var healthz, debug atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		healthz.Add(1)
+		_ = json.NewEncoder(w).Encode(peerHealth{Status: "ok", Node: "n1"})
+	})
+	mux.HandleFunc("GET /debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		debug.Add(1)
+		_ = json.NewEncoder(w).Encode(&obs.Snapshot{
+			Node:     "n1",
+			Counters: map[string]int64{"server.jobs_succeeded": 1},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rt, err := newRouter(routerConfig{peers: srv.URL, timeout: time.Second, maxBody: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), `node="n1"`) {
+		t.Errorf("exposition missing snapshot-carried node label:\n%s", rec.Body)
+	}
+	if healthz.Load() != 0 || debug.Load() != 1 {
+		t.Fatalf("scrape cost healthz=%d debug=%d requests, want 0/1", healthz.Load(), debug.Load())
+	}
+}
+
+// TestMetricsSkipsErroringPeer: a peer whose /debug/obs answers non-200
+// is skipped, not merged as an empty snapshot.
+func TestMetricsSkipsErroringPeer(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{}`)
+	})
+	broken := httptest.NewServer(mux)
+	defer broken.Close()
+	good := newFakeNode(t, "good", 2, "ok")
+
+	rt, err := newRouter(routerConfig{
+		peers: broken.URL + "," + good.srv.URL, timeout: time.Second, maxBody: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), `node="good"`) {
+		t.Errorf("good peer missing from exposition:\n%s", rec.Body)
+	}
+}
+
+// TestSubmitCarriesIdempotencyKey: the router forwards the client's
+// key verbatim, and generates one when the client sent none — no
+// submission ever reaches a peer unkeyed.
+func TestSubmitCarriesIdempotencyKey(t *testing.T) {
+	var got atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(peerHealth{Status: "ok", Node: "n1", Free: 4})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("Idempotency-Key"))
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"j-1","state":"queued"}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	rt, err := newRouter(routerConfig{peers: srv.URL, timeout: time.Second, maxBody: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest("POST", "/v1/jobs?k=2", strings.NewReader("x\n1\n2\n"))
+	req.Header.Set("Idempotency-Key", "client-key-1")
+	rt.ServeHTTP(httptest.NewRecorder(), req)
+	if got.Load() != "client-key-1" {
+		t.Fatalf("peer saw key %q, want the client's", got.Load())
+	}
+
+	rt.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/jobs?k=2", strings.NewReader("x\n1\n2\n")))
+	key, _ := got.Load().(string)
+	if !strings.HasPrefix(key, "rtr-") || len(key) <= len("rtr-") {
+		t.Fatalf("peer saw generated key %q, want rtr-*", key)
+	}
+}
+
+// TestSubmitRetriesSamePeerWithSameKey: a peer that accepts the job
+// but drops the connection before answering gets retried — same peer,
+// same Idempotency-Key — instead of the router blindly failing over
+// and admitting a twin elsewhere. Exactly one job results.
+func TestSubmitRetriesSamePeerWithSameKey(t *testing.T) {
+	var admitted sync.Map // key → job id
+	var submits atomic.Int64
+	var dropped atomic.Bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(peerHealth{Status: "ok", Node: "flaky", Free: 4})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		n := submits.Add(1)
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" {
+			t.Error("submission arrived without an Idempotency-Key")
+		}
+		id, replay := admitted.LoadOrStore(key, fmt.Sprintf("j-%d", n))
+		if n == 1 {
+			// Admit the job, then kill the connection before the
+			// response: the client cannot tell this from a lost request.
+			dropped.Store(true)
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder does not support hijack")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			return
+		}
+		if replay {
+			w.Header().Set("Idempotency-Replay", "true")
+		}
+		w.Header().Set("Idempotency-Key", key)
+		w.Header().Set("Location", "/v1/jobs/"+id.(string))
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":%q,"state":"queued"}`, id)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rt, err := newRouter(routerConfig{
+		peers: srv.URL, timeout: time.Second, maxBody: 1 << 20,
+		submitRetries: 2, retryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs?k=2", strings.NewReader("x\n1\n2\n")))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if !dropped.Load() || submits.Load() < 2 {
+		t.Fatalf("expected a dropped first attempt plus a retry, saw %d submits", submits.Load())
+	}
+	jobs := 0
+	admitted.Range(func(_, _ any) bool { jobs++; return true })
+	if jobs != 1 {
+		t.Fatalf("%d jobs admitted cluster-wide, want exactly 1", jobs)
+	}
+	if rec.Header().Get("Idempotency-Replay") != "true" {
+		t.Errorf("replayed acceptance lost its Idempotency-Replay header")
+	}
+	if !strings.Contains(rec.Body.String(), `"id":"j-1"`) {
+		t.Errorf("retry answered a different job: %s", rec.Body)
+	}
+}
+
+// TestResultCache: a fetched result is served from the router's cache
+// within the TTL — one peer round-trip no matter how often the client
+// re-downloads — and expires after it.
+func TestResultCache(t *testing.T) {
+	var fetches atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		w.Header().Set("Content-Type", "text/csv")
+		fmt.Fprint(w, "a\n1\n")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	rt, err := newRouter(routerConfig{
+		peers: srv.URL, timeout: time.Second, maxBody: 1 << 20, resultTTL: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		rt.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/j-1/result", nil))
+		if rec.Code != http.StatusOK || rec.Body.String() != "a\n1\n" {
+			t.Fatalf("fetch %d: status %d body %q", i, rec.Code, rec.Body)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "text/csv" {
+			t.Errorf("fetch %d: Content-Type %q", i, ct)
+		}
+	}
+	if fetches.Load() != 1 {
+		t.Fatalf("peer saw %d result fetches, want 1 (cache)", fetches.Load())
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	rt.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/jobs/j-1/result", nil))
+	if fetches.Load() != 2 {
+		t.Fatalf("peer saw %d fetches after TTL expiry, want 2", fetches.Load())
 	}
 }

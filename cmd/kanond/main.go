@@ -22,6 +22,12 @@
 // become stealable one -lease-ttl after its last renewal, and streamed
 // jobs continue from the dead node's committed block checkpoints —
 // byte-identically. Any node answers status/result/cancel for any job.
+//
+// Adding -replicate-peers removes the shared-directory requirement:
+// each node keeps a private -data-dir and a pull loop converges
+// manifests, checkpoints, journals, and result spools across the named
+// peers (the other nodes' listen addresses), so the same claim, steal,
+// and resume semantics run with no shared filesystem at all.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +75,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	dataDir := fs.String("data-dir", "", "persist jobs (requests, manifests, results, block checkpoints) under this directory; empty keeps everything in memory")
 	recoverJobs := fs.Bool("recover", true, "with -data-dir, re-admit jobs found queued or running on disk at startup and resume their block checkpoints")
 	nodeID := fs.String("node-id", "", "with -data-dir, join the cluster sharing that directory under this identity; empty runs single-node")
+	replicatePeers := fs.String("replicate-peers", "", "cluster mode without a shared filesystem: comma-separated base URLs of the other nodes; each node keeps a full copy of -data-dir and pulls what it is missing (requires -node-id)")
+	replicateInterval := fs.Duration("replicate-interval", 500*time.Millisecond, "pull-loop interval of the replicated store backend")
 	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "cluster mode: lease duration per claimed job — the crash-failover delay before peers steal a dead node's work")
 	claimInterval := fs.Duration("claim-interval", 0, "cluster mode: poll interval for foreign work and expired leases (0 = lease-ttl/5, clamped to [50ms, 2s])")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget before running jobs are cancelled")
@@ -91,7 +100,19 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 		logger = slog.New(slog.NewJSONHandler(stderr, nil))
 	}
 	var st *store.Store
-	if *dataDir != "" {
+	var repl *store.Replicated
+	switch {
+	case *replicatePeers != "":
+		if *dataDir == "" || *nodeID == "" {
+			return errors.New("-replicate-peers requires -data-dir and -node-id (each node is a private replica)")
+		}
+		var err error
+		st, repl, err = store.OpenReplicated(*dataDir, splitPeers(*replicatePeers),
+			store.ReplicateOptions{Interval: *replicateInterval})
+		if err != nil {
+			return err
+		}
+	case *dataDir != "":
 		var err error
 		if st, err = store.Open(*dataDir); err != nil {
 			return err
@@ -137,6 +158,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
+	if repl != nil {
+		// Start pulling only once we are serving: peers poll us on the
+		// same listener, and a symmetric start keeps the first rounds from
+		// burning timeouts against half-up processes.
+		repl.StartSync()
+		defer repl.StopSync()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -170,6 +198,17 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}, ready ch
 		}
 	}
 	return nil
+}
+
+// splitPeers parses the comma-separated -replicate-peers value.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // writeMetrics dumps a snapshot as Prometheus text exposition.

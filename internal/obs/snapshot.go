@@ -14,6 +14,10 @@ import (
 // as a phase tree or emit as JSON. encoding/json sorts map keys, so the
 // serialized form is deterministic for a given run.
 type Snapshot struct {
+	// Node identifies the process the snapshot came from (the kanond
+	// node ID), so an aggregator scraping /debug/obs can label each
+	// node's series without a second probe. Empty outside cluster mode.
+	Node       string                   `json:"node,omitempty"`
 	Spans      []SpanSnapshot           `json:"spans,omitempty"`
 	Counters   map[string]int64         `json:"counters,omitempty"`
 	Gauges     map[string]GaugeStat     `json:"gauges,omitempty"`

@@ -182,6 +182,7 @@ func (m *Manager) adoptJob(man *store.Manifest) (*Job, error) {
 	}
 	m.mu.Lock()
 	m.jobs[man.ID] = j
+	m.rememberIdem(j)
 	m.mu.Unlock()
 	return j, nil
 }

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"kanon/internal/store"
+)
+
+// postKeyed submits a CSV body with an Idempotency-Key header.
+func postKeyed(t *testing.T, url, query, key, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/jobs?"+query, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, b
+}
+
+// TestSubmitIdempotentReplay: a duplicate submission with the same key
+// replays the original acceptance — same job ID, Idempotency-Replay
+// header, Location — and admits no second job.
+func TestSubmitIdempotentReplay(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, Store: st})
+
+	resp, b := postKeyed(t, ts.URL, "k=2", "key-dup-1", sampleCSV)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("Idempotency-Key"); got != "key-dup-1" {
+		t.Errorf("acceptance did not echo the key: %q", got)
+	}
+	if resp.Header.Get("Idempotency-Replay") != "" {
+		t.Error("fresh acceptance marked as replay")
+	}
+	var first Status
+	if err := json.Unmarshal(b, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	resp2, b2 := postKeyed(t, ts.URL, "k=2", "key-dup-1", sampleCSV)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("duplicate submit: %d %s", resp2.StatusCode, b2)
+	}
+	if resp2.Header.Get("Idempotency-Replay") != "true" {
+		t.Error("duplicate acceptance missing Idempotency-Replay: true")
+	}
+	if loc := resp2.Header.Get("Location"); loc != "/v1/jobs/"+first.ID {
+		t.Errorf("replay Location = %q", loc)
+	}
+	var second Status
+	if err := json.Unmarshal(b2, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("duplicate admitted a twin: %s then %s", first.ID, second.ID)
+	}
+
+	pollUntil(t, ts, first.ID, 10*time.Second, func(s Status) bool { return s.State.Terminal() })
+	manifests, _, err := st.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(manifests) != 1 {
+		t.Fatalf("%d job directories exist, want exactly 1", len(manifests))
+	}
+	if manifests[0].IdempotencyKey != "key-dup-1" {
+		t.Errorf("manifest lost the key: %+v", manifests[0])
+	}
+
+	// Replay still answers after the job finished.
+	resp3, b3 := postKeyed(t, ts.URL, "k=2", "key-dup-1", sampleCSV)
+	if resp3.StatusCode != http.StatusAccepted || resp3.Header.Get("Idempotency-Replay") != "true" {
+		t.Fatalf("post-completion replay: %d %s", resp3.StatusCode, b3)
+	}
+}
+
+// TestSubmitIdempotentWithoutStore: the in-memory key table answers
+// replays even with no persistence configured.
+func TestSubmitIdempotentWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, b := postKeyed(t, ts.URL, "k=2", "mem-key", sampleCSV)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var first Status
+	if err := json.Unmarshal(b, &first); err != nil {
+		t.Fatal(err)
+	}
+	resp2, b2 := postKeyed(t, ts.URL, "k=2", "mem-key", sampleCSV)
+	var second Status
+	if err := json.Unmarshal(b2, &second); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusAccepted || second.ID != first.ID {
+		t.Fatalf("replay: %d id %s, want 202 with %s", resp2.StatusCode, second.ID, first.ID)
+	}
+}
+
+// TestSubmitRejectsBadIdempotencyKey: a malformed key is a client
+// error before the body is even parsed.
+func TestSubmitRejectsBadIdempotencyKey(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, _ := postKeyed(t, ts.URL, "k=2", "bad key with spaces", sampleCSV)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestIdempotencySurvivesRestart: the key rides in the manifest, so a
+// new process over the same store still replays it.
+func TestIdempotencySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, Store: st})
+	resp, b := postKeyed(t, ts.URL, "k=2", "key-restart", sampleCSV)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, b)
+	}
+	var first Status
+	if err := json.Unmarshal(b, &first); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, ts, first.ID, 10*time.Second, func(s Status) bool { return s.State.Terminal() })
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Config{Workers: 2, Store: st2})
+	resp2, b2 := postKeyed(t, ts2.URL, "k=2", "key-restart", sampleCSV)
+	if resp2.StatusCode != http.StatusAccepted || resp2.Header.Get("Idempotency-Replay") != "true" {
+		t.Fatalf("replay after restart: %d %s", resp2.StatusCode, b2)
+	}
+	var second Status
+	if err := json.Unmarshal(b2, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("restart admitted a twin: %s then %s", first.ID, second.ID)
+	}
+}
+
+// TestReplicaEndpoints: the replication surface serves the job
+// inventory and whitelisted spool files, and rejects everything else.
+func TestReplicaEndpoints(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2, Store: st})
+	stj, resp := submit(t, ts, "k=2", sampleCSV)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	pollUntil(t, ts, stj.ID, 10*time.Second, func(s Status) bool { return s.State.Terminal() })
+
+	lr, err := http.Get(ts.URL + "/v1/replica/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []store.ReplicaJob
+	err = json.NewDecoder(lr.Body).Decode(&jobs)
+	lr.Body.Close()
+	if err != nil || lr.StatusCode != http.StatusOK {
+		t.Fatalf("listing: %d, %v", lr.StatusCode, err)
+	}
+	if len(jobs) != 1 || jobs[0].Manifest == nil || jobs[0].Manifest.ID != stj.ID {
+		t.Fatalf("listing = %+v", jobs)
+	}
+	hasRequest := false
+	for _, f := range jobs[0].Files {
+		if f.Name == "request.csv" && f.Size > 0 {
+			hasRequest = true
+		}
+	}
+	if !hasRequest {
+		t.Fatalf("listing lacks request.csv: %+v", jobs[0].Files)
+	}
+
+	fr, err := http.Get(ts.URL + "/v1/replica/jobs/" + stj.ID + "/file?name=request.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := io.ReadAll(fr.Body)
+	fr.Body.Close()
+	if fr.StatusCode != http.StatusOK || string(fb) != sampleCSV {
+		t.Fatalf("file fetch: %d %q", fr.StatusCode, fb)
+	}
+
+	for path, want := range map[string]int{
+		"/v1/replica/jobs/" + stj.ID + "/file?name=manifest.json": http.StatusBadRequest,
+		"/v1/replica/jobs/" + stj.ID + "/file?name=..%2Fescape":   http.StatusBadRequest,
+		"/v1/replica/jobs/job-none/file?name=request.csv":         http.StatusNotFound,
+	} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Errorf("%s: status %d, want %d", path, r.StatusCode, want)
+		}
+	}
+}
+
+// TestReplicaEndpointsAbsentWithoutStore: an in-memory server has
+// nothing to replicate and the endpoints stay unregistered.
+func TestReplicaEndpointsAbsentWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	r, err := http.Get(ts.URL + "/v1/replica/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", r.StatusCode)
+	}
+}

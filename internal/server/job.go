@@ -75,6 +75,11 @@ type JobRequest struct {
 	HierarchySpec *kanon.HierarchySpec
 	// MaxSuppress is AlgoHierarchy's row-suppression budget.
 	MaxSuppress int
+	// IdempotencyKey, when non-empty, makes the submission exactly-once:
+	// at most one admitted job carries a given key, and a resubmission
+	// with the same key replays the original acceptance. Carried from
+	// the Idempotency-Key request header, never from the query string.
+	IdempotencyKey string
 }
 
 // ParseJobRequest validates the query parameters of a submission:
@@ -240,21 +245,22 @@ func (j *Job) manifest() *store.Manifest {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	m := &store.Manifest{
-		Version:     store.ManifestVersion,
-		ID:          j.ID,
-		State:       string(j.state),
-		K:           j.Req.K,
-		Algo:        j.Req.Algorithm.String(),
-		Kernel:      j.Req.Kernel.String(),
-		Workers:     j.Req.Workers,
-		BlockRows:   j.Req.BlockRows,
-		Refine:      j.Req.Refine,
-		Seed:        j.Req.Seed,
-		TimeoutMS:   j.Req.Timeout.Milliseconds(),
-		MaxSuppress: j.Req.MaxSuppress,
-		Rows:        len(j.rows),
-		Cols:        len(j.header),
-		SubmittedAt: j.submitted,
+		Version:        store.ManifestVersion,
+		ID:             j.ID,
+		State:          string(j.state),
+		K:              j.Req.K,
+		Algo:           j.Req.Algorithm.String(),
+		Kernel:         j.Req.Kernel.String(),
+		Workers:        j.Req.Workers,
+		BlockRows:      j.Req.BlockRows,
+		Refine:         j.Req.Refine,
+		Seed:           j.Req.Seed,
+		TimeoutMS:      j.Req.Timeout.Milliseconds(),
+		MaxSuppress:    j.Req.MaxSuppress,
+		Rows:           len(j.rows),
+		Cols:           len(j.header),
+		SubmittedAt:    j.submitted,
+		IdempotencyKey: j.Req.IdempotencyKey,
 	}
 	if j.Req.HierarchySpec != nil {
 		// The spec was validated at admission, so encoding cannot fail;
@@ -297,16 +303,17 @@ func requestFromManifest(m *store.Manifest) (JobRequest, error) {
 		return JobRequest{}, err
 	}
 	req := JobRequest{
-		K:           m.K,
-		Algorithm:   algo,
-		Workers:     m.Workers,
-		BlockRows:   m.BlockRows,
-		Refine:      m.Refine,
-		Seed:        m.Seed,
-		Timeout:     time.Duration(m.TimeoutMS) * time.Millisecond,
-		Kernel:      kern,
-		KernelSet:   true,
-		MaxSuppress: m.MaxSuppress,
+		K:              m.K,
+		Algorithm:      algo,
+		Workers:        m.Workers,
+		BlockRows:      m.BlockRows,
+		Refine:         m.Refine,
+		Seed:           m.Seed,
+		Timeout:        time.Duration(m.TimeoutMS) * time.Millisecond,
+		Kernel:         kern,
+		KernelSet:      true,
+		MaxSuppress:    m.MaxSuppress,
+		IdempotencyKey: m.IdempotencyKey,
 	}
 	if m.HierarchySpec != "" {
 		s, err := kanon.ParseHierarchySpec([]byte(m.HierarchySpec))

@@ -124,6 +124,10 @@ var (
 	// the job is withdrawn rather than accepted with a broken
 	// durability promise (HTTP 500).
 	ErrStore = errors.New("server: persisting job")
+	// ErrIdempotentReplay means the submission's Idempotency-Key already
+	// admitted a job; the caller should look the original up and replay
+	// its acceptance instead of reporting an error.
+	ErrIdempotentReplay = errors.New("server: idempotency key already used")
 )
 
 // Manager owns the job queue, the worker pool, the in-memory result
@@ -140,6 +144,11 @@ type Manager struct {
 	jobs     map[string]*Job
 	queue    chan *Job
 	draining bool
+	// idem maps Idempotency-Key → job ID for every key-carrying job this
+	// node knows. It is the fast path and the same-node race guard;
+	// cluster-wide lookups additionally scan the store's manifests
+	// (which carry the key durably and replicate with everything else).
+	idem map[string]string
 
 	workerWG    sync.WaitGroup
 	janitorStop chan struct{}
@@ -209,6 +218,7 @@ func NewManager(cfg Config) *Manager {
 		baseCtx:        ctx,
 		baseCancel:     cancel,
 		jobs:           make(map[string]*Job),
+		idem:           make(map[string]string),
 		janitorStop:    make(chan struct{}),
 		janitorDone:    make(chan struct{}),
 		qDepth:         tr.Gauge("server.queue_depth"),
@@ -247,9 +257,11 @@ func NewManager(cfg Config) *Manager {
 	m.queue = make(chan *Job, queueCap)
 	for _, j := range terminal {
 		m.jobs[j.ID] = j
+		m.rememberIdem(j)
 	}
 	for _, j := range recoverable {
 		m.jobs[j.ID] = j
+		m.rememberIdem(j)
 		m.queue <- j // cannot block: the queue was sized for the backlog
 		m.qDepth.Add(1)
 		m.recovered.Inc()
@@ -359,8 +371,82 @@ func (m *Manager) persist(j *Job) {
 }
 
 // Snapshot freezes the server-wide telemetry registry — the /metrics
-// and /debug/obs source.
-func (m *Manager) Snapshot() *obs.Snapshot { return m.tr.Snapshot() }
+// and /debug/obs source. The snapshot is stamped with this node's ID
+// so one scrape identifies the node without a second probe.
+func (m *Manager) Snapshot() *obs.Snapshot {
+	s := m.tr.Snapshot()
+	s.Node = m.cfg.NodeID
+	return s
+}
+
+// rememberIdem indexes a recovered or adopted job's idempotency key.
+// Held-lock-free: call outside m.mu only at startup, else under it.
+func (m *Manager) rememberIdem(j *Job) {
+	if j.Req.IdempotencyKey != "" {
+		m.idem[j.Req.IdempotencyKey] = j.ID
+	}
+}
+
+// Idempotent resolves an idempotency key to the status of the job it
+// admitted, if any — the replay lookup behind duplicate submissions.
+// The local table answers for jobs this node has seen; cluster mode
+// falls back to scanning the store's manifests, so the answer covers
+// jobs admitted by peers (exactly when the directory is shared,
+// eventually when replicated).
+func (m *Manager) Idempotent(key string) (Status, bool) {
+	if key == "" {
+		return Status{}, false
+	}
+	m.mu.Lock()
+	id, ok := m.idem[key]
+	m.mu.Unlock()
+	if ok {
+		if st, ok := m.StatusOf(id); ok {
+			return st, true
+		}
+	}
+	if m.cfg.Store != nil {
+		if man, err := m.cfg.Store.FindIdempotent(key); err == nil && man != nil {
+			m.mu.Lock()
+			m.idem[key] = man.ID
+			m.mu.Unlock()
+			if st, ok := m.StatusOf(man.ID); ok {
+				return st, true
+			}
+			return statusFromManifest(man), true
+		}
+	}
+	return Status{}, false
+}
+
+// reserveIdem claims a key for a submission in flight, so two racing
+// duplicates cannot both admit. Returns ErrIdempotentReplay when the
+// key is already bound (to a finished admission or a racing one — the
+// caller re-resolves via Idempotent either way).
+func (m *Manager) reserveIdem(key, id string) error {
+	if key == "" {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.idem[key]; ok {
+		return ErrIdempotentReplay
+	}
+	m.idem[key] = id
+	return nil
+}
+
+// unreserveIdem releases a key whose submission failed admission.
+func (m *Manager) unreserveIdem(key, id string) {
+	if key == "" {
+		return
+	}
+	m.mu.Lock()
+	if m.idem[key] == id {
+		delete(m.idem, key)
+	}
+	m.mu.Unlock()
+}
 
 // Submit admits a job: it validates the instance, then either enqueues
 // it (FIFO) or rejects it with ErrQueueFull / ErrDraining. The input
@@ -385,8 +471,15 @@ func (m *Manager) Submit(header []string, rows [][]string, req JobRequest) (*Job
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if err := m.reserveIdem(req.IdempotencyKey, job.ID); err != nil {
+		return nil, err
+	}
 	if m.cfg.cluster() {
-		return m.submitCluster(job)
+		j, err := m.submitCluster(job)
+		if err != nil {
+			m.unreserveIdem(req.IdempotencyKey, job.ID)
+		}
+		return j, err
 	}
 	// Persist before the job becomes visible to workers: otherwise a
 	// fast worker's "running" manifest could be overwritten by this
@@ -397,6 +490,7 @@ func (m *Manager) Submit(header []string, rows [][]string, req JobRequest) (*Job
 	if m.cfg.Store != nil {
 		if err := m.cfg.Store.CreateJob(job.manifest(), header, rows); err != nil {
 			m.rejected.Inc()
+			m.unreserveIdem(req.IdempotencyKey, job.ID)
 			m.log(job, slog.LevelWarn, "job_persist_failed", slog.String("error", err.Error()))
 			return nil, fmt.Errorf("%w: %v", ErrStore, err)
 		}
@@ -404,6 +498,7 @@ func (m *Manager) Submit(header []string, rows [][]string, req JobRequest) (*Job
 			Detail: fmt.Sprintf("algo=%s k=%d rows=%d", req.Algorithm, req.K, len(rows))})
 	}
 	unwind := func() {
+		m.unreserveIdem(req.IdempotencyKey, job.ID)
 		if m.cfg.Store != nil {
 			if err := m.cfg.Store.Delete(job.ID); err != nil {
 				m.log(job, slog.LevelWarn, "job_reap_failed", slog.String("error", err.Error()))
@@ -715,6 +810,9 @@ func (m *Manager) evictExpired(now time.Time) {
 		j.mu.Unlock()
 		if gone {
 			delete(m.jobs, id)
+			if key := j.Req.IdempotencyKey; key != "" && m.idem[key] == id {
+				delete(m.idem, key)
+			}
 			evicted = append(evicted, j)
 		}
 	}

@@ -28,6 +28,7 @@ import (
 
 	"kanon/internal/obs"
 	"kanon/internal/relation"
+	"kanon/internal/store"
 )
 
 // Server is the HTTP front end of a Manager.
@@ -52,6 +53,13 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if m.cfg.Store != nil {
+		// Replication surface: what this node's store shows its peers.
+		// Registered whenever a store exists — a shared-directory cluster
+		// simply never gets polled.
+		mux.HandleFunc("GET /v1/replica/jobs", s.handleReplicaJobs)
+		mux.HandleFunc("GET /v1/replica/jobs/{id}/file", s.handleReplicaFile)
+	}
 	s.mux = mux
 	return s
 }
@@ -77,6 +85,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		if err := store.ValidateIdempotencyKey(key); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.IdempotencyKey = key
+		// Replay before reading the body: a duplicate costs one lookup,
+		// not a full CSV parse.
+		if st, ok := s.m.Idempotent(key); ok {
+			s.replaySubmit(w, key, st)
+			return
+		}
+	}
 	body := http.MaxBytesReader(w, r.Body, s.m.cfg.MaxBodyBytes)
 	header, rows, err := relation.ReadCSVRows(body)
 	if err != nil {
@@ -98,6 +119,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
+	case errors.Is(err, ErrIdempotentReplay):
+		// Lost a race with a duplicate of ourselves; the winner's job is
+		// the submission's job.
+		if st, ok := s.m.Idempotent(req.IdempotencyKey); ok {
+			s.replaySubmit(w, req.IdempotencyKey, st)
+			return
+		}
+		// The winner unwound (rejected) between its reservation and our
+		// lookup; the client should retry.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
 	case errors.Is(err, ErrStore):
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -105,8 +138,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.IdempotencyKey != "" {
+		w.Header().Set("Idempotency-Key", req.IdempotencyKey)
+	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// replaySubmit answers a duplicate submission with the original job's
+// acceptance: same 202, same Location, plus a marker header so clients
+// can tell a replay from a fresh admission.
+func (s *Server) replaySubmit(w http.ResponseWriter, key string, st Status) {
+	w.Header().Set("Idempotency-Key", key)
+	w.Header().Set("Idempotency-Replay", "true")
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleReplicaJobs serves this node's job inventory — manifests plus
+// spool-file listings — to replication peers.
+func (s *Server) handleReplicaJobs(w http.ResponseWriter, r *http.Request) {
+	jobs, err := s.m.cfg.Store.ReplicaJobs()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if jobs == nil {
+		jobs = []store.ReplicaJob{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+// handleReplicaFile serves one whitelisted spool file raw. 400 for a
+// name outside the whitelist, 404 for a file (or job) that is gone —
+// pullers treat 404 as "retry next round", not an error.
+func (s *Server) handleReplicaFile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name := r.URL.Query().Get("name")
+	if err := store.ValidateID(id); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := store.ValidateReplicaFile(name); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	b, err := s.m.cfg.Store.ReadJobFile(id, name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, errUnknownJob)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
 }
 
 // handleStatus serves a job's lifecycle snapshot. In cluster mode the

@@ -36,7 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
+	"path"
 	"time"
 )
 
@@ -67,24 +67,23 @@ const lockAcquireTimeout = 10 * time.Second
 // that arbitrates between processes sharing the directory. Stale locks
 // (older than lockStale, i.e. abandoned by a crash) are broken.
 func (s *Store) lockJob(id string) (func(), error) {
-	path := filepath.Join(s.jobDir(id), "manifest.lock")
+	rel := path.Join(jobRel(id), "manifest.lock")
 	deadline := time.Now().Add(lockAcquireTimeout)
 	for {
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		err := s.be.TryLock(rel)
 		if err == nil {
-			_ = f.Close()
-			return func() { _ = os.Remove(path) }, nil
+			return func() { _ = s.be.Remove(rel) }, nil
 		}
-		if !os.IsExist(err) {
+		if !errors.Is(err, os.ErrExist) {
 			// Typically ENOENT: the job directory was reaped while we
 			// were trying — surface that as the job being gone.
 			return nil, fmt.Errorf("store: locking job %s: %w", id, err)
 		}
-		if info, serr := os.Stat(path); serr == nil && time.Since(info.ModTime()) > s.lockStale {
+		if _, mt, serr := s.be.Stat(rel); serr == nil && time.Since(mt) > s.lockStale {
 			// Abandoned by a crashed process. Removal may race another
-			// breaker; whoever's O_EXCL create wins next loop is the
-			// single winner either way.
-			_ = os.Remove(path)
+			// breaker; whoever's TryLock wins next loop is the single
+			// winner either way.
+			_ = s.be.Remove(rel)
 			continue
 		}
 		if time.Now().After(deadline) {
@@ -107,7 +106,7 @@ func (s *Store) mutate(id string, fn func(*Manifest) error) (*Manifest, error) {
 		return nil, err
 	}
 	defer unlock()
-	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "manifest.json"))
+	b, err := s.be.ReadFile(path.Join(jobRel(id), "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -122,7 +121,7 @@ func (s *Store) mutate(id string, fn func(*Manifest) error) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFileAtomic(filepath.Join(s.jobDir(id), "manifest.json"), out); err != nil {
+	if err := s.be.WriteAtomic(path.Join(jobRel(id), "manifest.json"), out); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -288,9 +287,9 @@ func (s *Store) ReapTerminal(id string, cutoff time.Time) (reaped bool, err erro
 		return false, err
 	}
 	defer unlock()
-	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "manifest.json"))
+	b, err := s.be.ReadFile(path.Join(jobRel(id), "manifest.json"))
 	if err != nil {
-		if os.IsNotExist(err) {
+		if notExist(err) {
 			return false, nil
 		}
 		return false, fmt.Errorf("store: %w", err)
@@ -306,7 +305,7 @@ func (s *Store) ReapTerminal(id string, cutoff time.Time) (reaped bool, err erro
 	// unlock's Remove then fails with ENOENT, which it ignores. Any
 	// mutator waiting on the lock next sees ENOENT from its O_EXCL
 	// create and reports the job gone.
-	if err := os.RemoveAll(s.jobDir(id)); err != nil {
+	if err := s.be.RemoveAll(jobRel(id)); err != nil {
 		return false, fmt.Errorf("store: %w", err)
 	}
 	return true, nil

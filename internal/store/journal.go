@@ -3,8 +3,7 @@ package store
 import (
 	"bytes"
 	"fmt"
-	"os"
-	"path/filepath"
+	"path"
 )
 
 // Per-job observability artifacts: events.jsonl (the append-only
@@ -33,15 +32,15 @@ func (s *Store) AppendJournal(id string, line []byte) error {
 		return err
 	}
 	defer unlock()
-	path := filepath.Join(s.jobDir(id), "events.jsonl")
-	prev, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	rel := path.Join(jobRel(id), "events.jsonl")
+	prev, err := s.be.ReadFile(rel)
+	if err != nil && !notExist(err) {
 		return fmt.Errorf("store: %w", err)
 	}
 	if i := bytes.LastIndexByte(prev, '\n'); i != len(prev)-1 {
 		prev = prev[:i+1] // drop the torn tail (i == -1 drops everything)
 	}
-	return writeFileAtomic(path, append(prev, line...))
+	return s.be.WriteAtomic(rel, append(prev, line...))
 }
 
 // ReadJournal returns the job's raw events.jsonl bytes. A job with no
@@ -51,8 +50,8 @@ func (s *Store) ReadJournal(id string) ([]byte, error) {
 	if err := ValidateID(id); err != nil {
 		return nil, err
 	}
-	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "events.jsonl"))
-	if os.IsNotExist(err) {
+	b, err := s.be.ReadFile(path.Join(jobRel(id), "events.jsonl"))
+	if notExist(err) {
 		return nil, nil
 	}
 	if err != nil {
@@ -69,7 +68,7 @@ func (s *Store) WriteTrace(id string, data []byte) error {
 	if err := ValidateID(id); err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(s.jobDir(id), "trace.json"), data)
+	return s.be.WriteAtomic(path.Join(jobRel(id), "trace.json"), data)
 }
 
 // ReadTrace returns the job's persisted trace snapshot, nil if none has
@@ -78,8 +77,8 @@ func (s *Store) ReadTrace(id string) ([]byte, error) {
 	if err := ValidateID(id); err != nil {
 		return nil, err
 	}
-	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "trace.json"))
-	if os.IsNotExist(err) {
+	b, err := s.be.ReadFile(path.Join(jobRel(id), "trace.json"))
+	if notExist(err) {
 		return nil, nil
 	}
 	if err != nil {

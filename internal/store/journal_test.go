@@ -65,7 +65,7 @@ func TestJournalAppendDropsTornTail(t *testing.T) {
 	if err := s.AppendJournal("job-j", []byte("{\"event\":\"submitted\"}\n")); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(s.jobDir("job-j"), "events.jsonl")
+	path := filepath.Join(s.Dir(), "jobs", "job-j", "events.jsonl")
 	// Simulate a crash mid-append: a partial line with no newline.
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {

@@ -6,10 +6,15 @@ import (
 	"time"
 )
 
-// ManifestVersion is the on-disk format tag every job manifest carries.
-// Decoders reject other versions instead of guessing, so a future
-// format change (kanon-job/2) cannot be misread as this one.
-const ManifestVersion = "kanon-job/1"
+// ManifestVersion is the on-disk format tag every new job manifest
+// carries. Version 2 added the idempotency key; version 1 manifests
+// (from before the field existed) still decode — the key is simply
+// absent — but anything else is rejected instead of guessed at, so a
+// future format change cannot be misread as this one.
+const (
+	ManifestVersion       = "kanon-job/2"
+	manifestVersionLegacy = "kanon-job/1"
+)
 
 // Job states as persisted in manifests. They mirror the server's
 // lifecycle states textually; the store validates against this set but
@@ -95,6 +100,12 @@ type Manifest struct {
 	// can set it (DELETE may land anywhere in the cluster); the owner
 	// notices at its next lease renewal and unwinds promptly.
 	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// IdempotencyKey is the client-supplied (or router-generated)
+	// exactly-once submission token. At most one admitted job carries a
+	// given key; a resubmission with the same key replays this job's
+	// original acceptance instead of admitting a twin. Empty for jobs
+	// submitted without a key.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // Claim is the lease record of a claimed (running) job.
@@ -121,7 +132,7 @@ func (m *Manifest) Terminal() bool {
 
 // validate rejects manifests the recovery path could not act on safely.
 func (m *Manifest) validate() error {
-	if m.Version != ManifestVersion {
+	if m.Version != ManifestVersion && m.Version != manifestVersionLegacy {
 		return fmt.Errorf("store: manifest version %q, want %q", m.Version, ManifestVersion)
 	}
 	if err := ValidateID(m.ID); err != nil {
@@ -150,6 +161,11 @@ func (m *Manifest) validate() error {
 	}
 	if m.Node != "" {
 		if err := ValidateNodeID(m.Node); err != nil {
+			return err
+		}
+	}
+	if m.IdempotencyKey != "" {
+		if err := ValidateIdempotencyKey(m.IdempotencyKey); err != nil {
 			return err
 		}
 	}
@@ -227,6 +243,28 @@ func ValidateID(id string) error {
 func ValidateNodeID(node string) error {
 	if err := ValidateID(node); err != nil {
 		return fmt.Errorf("store: invalid node id: %w", err)
+	}
+	return nil
+}
+
+// ValidateIdempotencyKey vets a client-supplied Idempotency-Key. Keys
+// travel in headers, manifests, and logs, so they follow the job-ID
+// byte rules (with a longer budget for UUID-ish client formats).
+func ValidateIdempotencyKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("store: empty idempotency key")
+	}
+	if len(key) > 128 {
+		return fmt.Errorf("store: idempotency key longer than 128 bytes")
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case i > 0 && (c == '-' || c == '_' || c == '.' || c == ':'):
+		default:
+			return fmt.Errorf("store: idempotency key has unsafe byte %q at %d", c, i)
+		}
 	}
 	return nil
 }

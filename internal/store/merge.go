@@ -1,0 +1,90 @@
+// Manifest merging: the convergence rule of the replicated backend.
+//
+// Every node holds a full local copy of every job; the pull loop
+// (replicated.go) repeatedly confronts a local manifest with a peer's
+// copy of the same job and must pick one — deterministically, so all
+// nodes settle on the same record no matter the order peers are
+// polled. The order below is total:
+//
+//  1. A terminal record beats a non-terminal one. A job that finished
+//     anywhere finished everywhere; in particular a stale steal racing
+//     a completed run cannot resurrect the job (the thief's renewal
+//     fences out at its next write).
+//  2. Otherwise the higher fencing token wins — every claim, including
+//     a steal, increments it, so the fence is the authoritative "who
+//     acted last" clock the manifests already carry.
+//  3. Equal fences, one running: running beats queued (the claim is
+//     newer information than the queue state it came from).
+//  4. Equal fences, both running, same claim node: the later lease
+//     deadline wins, so renewals propagate — without this, every
+//     renewal would look like a no-op to peers and survivors would
+//     steal from live nodes.
+//  5. Equal fences, both running, different claim nodes — two nodes
+//     claimed independently inside one replication interval. The
+//     lexically smaller node ID wins on every node, the loser sees
+//     itself fenced at its next renewal and abandons; the duplicated
+//     partial work is harmless because jobs are deterministic.
+//
+// CancelRequested is OR-merged onto the winner (unless it is already
+// terminal): a cancellation observed anywhere must reach the lease
+// holder regardless of which record wins.
+package store
+
+// mergeManifests resolves local and remote copies of one job into the
+// record both sides should converge on. It never mutates its inputs;
+// on a full tie the local copy wins (no write, no churn).
+func mergeManifests(local, remote *Manifest) *Manifest {
+	winner := pickManifest(local, remote)
+	merged := *winner
+	if merged.Claim != nil {
+		c := *merged.Claim
+		merged.Claim = &c
+	}
+	if !merged.Terminal() && (local.CancelRequested || remote.CancelRequested) {
+		merged.CancelRequested = true
+	}
+	return &merged
+}
+
+// pickManifest applies rules 1–5 above; local is preferred on ties.
+func pickManifest(local, remote *Manifest) *Manifest {
+	lt, rt := local.Terminal(), remote.Terminal()
+	switch {
+	case lt && !rt:
+		return local
+	case rt && !lt:
+		return remote
+	case lt && rt:
+		if remote.Fence > local.Fence {
+			return remote
+		}
+		return local
+	}
+	if local.Fence != remote.Fence {
+		if remote.Fence > local.Fence {
+			return remote
+		}
+		return local
+	}
+	lr, rr := local.State == StateRunning, remote.State == StateRunning
+	switch {
+	case lr && !rr:
+		return local
+	case rr && !lr:
+		return remote
+	case !lr && !rr:
+		return local
+	}
+	ln, rn := claimNode(local), claimNode(remote)
+	if ln == rn {
+		if local.Claim != nil && remote.Claim != nil &&
+			remote.Claim.Expires.After(local.Claim.Expires) {
+			return remote
+		}
+		return local
+	}
+	if rn < ln {
+		return remote
+	}
+	return local
+}

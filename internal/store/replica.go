@@ -1,0 +1,100 @@
+// The replication wire surface: what one node shows its peers. kanond
+// exposes these through two HTTP endpoints (internal/server):
+//
+//	GET /v1/replica/jobs                   → []ReplicaJob (ReplicaJobs)
+//	GET /v1/replica/jobs/{id}/file?name=N  → raw bytes    (ReadJobFile)
+//
+// The listing carries each job's full manifest (small, and the merge
+// in merge.go needs every field) plus the names and sizes of its spool
+// files, so a puller can fetch exactly what it is missing. The file
+// endpoint serves only whitelisted names — the spools the store itself
+// writes — never the manifest (it travels in the listing, validated)
+// and never the lock file.
+package store
+
+import (
+	"fmt"
+	"path"
+	"strings"
+)
+
+// ReplicaFile names one spool file of a job and its current size.
+// Sizes let pullers skip files they already have in full (immutable
+// spools) or already merged (the journal).
+type ReplicaFile struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// ReplicaJob is one job as advertised to replication peers.
+type ReplicaJob struct {
+	Manifest *Manifest     `json:"manifest"`
+	Files    []ReplicaFile `json:"files,omitempty"`
+}
+
+// replicaSpools are the fixed-name spool files a job may carry, in the
+// order they are advertised. request.csv leads: a puller adopting a
+// job fetches files in listing order and the request must land before
+// the manifest commit makes the job visible.
+var replicaSpools = []string{"request.csv", "result.csv", "events.jsonl", "trace.json"}
+
+// ReplicaJobs lists every decodable job with its manifest and spool
+// inventory — the body of GET /v1/replica/jobs. Undecodable
+// directories are skipped exactly as the recovery scan skips them.
+func (s *Store) ReplicaJobs() ([]ReplicaJob, error) {
+	manifests, _, err := s.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]ReplicaJob, 0, len(manifests))
+	for _, m := range manifests {
+		rj := ReplicaJob{Manifest: m}
+		for _, name := range replicaSpools {
+			if size, _, err := s.be.Stat(path.Join(jobRel(m.ID), name)); err == nil {
+				rj.Files = append(rj.Files, ReplicaFile{Name: name, Size: size})
+			}
+		}
+		if entries, err := s.be.List(path.Join(jobRel(m.ID), "checkpoints")); err == nil {
+			for _, e := range entries {
+				if e.Dir || !strings.HasPrefix(e.Name, "block-") {
+					continue
+				}
+				name := "checkpoints/" + e.Name
+				if size, _, err := s.be.Stat(path.Join(jobRel(m.ID), name)); err == nil {
+					rj.Files = append(rj.Files, ReplicaFile{Name: name, Size: size})
+				}
+			}
+		}
+		jobs = append(jobs, rj)
+	}
+	return jobs, nil
+}
+
+// ValidateReplicaFile vets a spool-file name requested over the wire:
+// one of the fixed spools, or a checkpoint block file. Anything else —
+// the manifest, the lock, traversal attempts — is rejected.
+func ValidateReplicaFile(name string) error {
+	for _, s := range replicaSpools {
+		if name == s {
+			return nil
+		}
+	}
+	dir, base := path.Split(name)
+	if dir == "checkpoints/" && strings.HasPrefix(base, "block-") && ValidateID(base) == nil {
+		return nil
+	}
+	return fmt.Errorf("store: %q is not a replicable job file", name)
+}
+
+// ReadJobFile returns the raw bytes of one whitelisted spool file —
+// the body of GET /v1/replica/jobs/{id}/file. Missing files surface
+// the backend's not-exist error so the handler can answer 404.
+func (s *Store) ReadJobFile(id, name string) ([]byte, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	if err := ValidateReplicaFile(name); err != nil {
+		return nil, err
+	}
+	return s.be.ReadFile(path.Join(jobRel(id), name))
+}

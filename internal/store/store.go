@@ -1,8 +1,8 @@
-// Package store persists kanond jobs to disk so a crash or restart
-// loses no admitted work. The layout is one directory per job:
+// Package store persists kanond jobs so a crash or restart loses no
+// admitted work. The layout is one directory per job:
 //
 //	<data-dir>/jobs/<job-id>/
-//	    manifest.json     versioned (kanon-job/1) lifecycle record
+//	    manifest.json     versioned (kanon-job/2) lifecycle record
 //	    request.csv       the submitted table, via the shared CSV codec
 //	    result.csv        the release, written before the manifest says
 //	                      succeeded
@@ -10,13 +10,13 @@
 //	        block-<lo>-<hi>.csv        anonymized rows (header + rows)
 //	        block-<lo>-<hi>.stat.json  the block's BlockStat (commit marker)
 //
-// Every write lands via write-to-temp + fsync + rename, so a reader
-// (including the post-crash recovery scan) sees either the previous
-// complete file or the new complete file, never a torn one. The
-// manifest is the commit record: result and checkpoint spools are
-// written before the state that makes them authoritative, so a crash
-// between the two at worst re-runs deterministic work, never serves a
-// phantom result.
+// Every write lands through a Backend (backend.go) whose atomic-write
+// primitive guarantees a reader (including the post-crash recovery
+// scan) sees either the previous complete file or the new complete
+// file, never a torn one. The manifest is the commit record: result
+// and checkpoint spools are written before the state that makes them
+// authoritative, so a crash between the two at worst re-runs
+// deterministic work, never serves a phantom result.
 //
 // The store is mechanism, not policy: it validates what it reads and
 // keeps writes atomic, while the server decides what to recover, when
@@ -29,7 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
+	"path"
 	"sort"
 	"time"
 
@@ -37,14 +37,14 @@ import (
 	"kanon/internal/stream"
 )
 
-// Store is a disk-backed job store rooted at one data directory. All
-// methods are safe for concurrent use — including use by other
-// processes sharing the directory: distinct jobs touch distinct
-// directories, same-job writes are atomic renames, and the claim
-// operations (claim.go) serialize read-modify-write manifest
-// transitions through a per-job lock file.
+// Store is a backend-backed job store. All methods are safe for
+// concurrent use — including use by other processes sharing the
+// backend's substrate: distinct jobs touch distinct directories,
+// same-job writes are atomic replacements, and the claim operations
+// (claim.go) serialize read-modify-write manifest transitions through
+// a per-job lock file.
 type Store struct {
-	dir string
+	be Backend
 	// lockStale is how old a per-job mutation lock may grow before it is
 	// presumed abandoned by a crashed process and broken. Mutations hold
 	// the lock for microseconds, so the default (30s) is generous; tests
@@ -53,15 +53,22 @@ type Store struct {
 }
 
 // Open ensures the data directory (and its jobs/ subdirectory) exists
-// and returns a store over it.
+// and returns a store over the local-disk backend rooted there.
 func Open(dir string) (*Store, error) {
-	if dir == "" {
-		return nil, fmt.Errorf("store: empty data directory")
+	be, err := NewLocal(dir)
+	if err != nil {
+		return nil, err
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+	return OpenBackend(be)
+}
+
+// OpenBackend returns a store over an explicit Backend — how the
+// replicated backend (replicated.go) is mounted.
+func OpenBackend(be Backend) (*Store, error) {
+	if err := be.MkdirAll("jobs"); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir, lockStale: 30 * time.Second}, nil
+	return &Store{be: be, lockStale: 30 * time.Second}, nil
 }
 
 // SetLockStale overrides how old an abandoned per-job mutation lock may
@@ -73,13 +80,16 @@ func (s *Store) SetLockStale(d time.Duration) {
 	}
 }
 
-// Dir returns the data directory the store was opened on.
-func (s *Store) Dir() string { return s.dir }
+// Dir returns the backend's local root directory.
+func (s *Store) Dir() string { return s.be.Root() }
 
-// jobDir returns the directory of one job. Callers must have validated
-// the ID (every public method does).
-func (s *Store) jobDir(id string) string {
-	return filepath.Join(s.dir, "jobs", id)
+// Backend returns the store's backing primitive layer.
+func (s *Store) Backend() Backend { return s.be }
+
+// jobRel returns the backend-relative directory of one job. Callers
+// must have validated the ID (every public method does).
+func jobRel(id string) string {
+	return path.Join("jobs", id)
 }
 
 // CreateJob persists a newly admitted job: its directory, the request
@@ -90,14 +100,14 @@ func (s *Store) CreateJob(m *Manifest, header []string, rows [][]string) error {
 	if err != nil {
 		return err
 	}
-	dir := s.jobDir(m.ID)
-	if err := os.MkdirAll(filepath.Join(dir, "checkpoints"), 0o755); err != nil {
+	dir := jobRel(m.ID)
+	if err := s.be.MkdirAll(path.Join(dir, "checkpoints")); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := writeCSVAtomic(filepath.Join(dir, "request.csv"), header, rows); err != nil {
+	if err := s.writeCSV(path.Join(dir, "request.csv"), header, rows); err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(dir, "manifest.json"), b)
+	return s.be.WriteAtomic(path.Join(dir, "manifest.json"), b)
 }
 
 // WriteManifest atomically replaces a job's manifest — the state
@@ -107,7 +117,7 @@ func (s *Store) WriteManifest(m *Manifest) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(s.jobDir(m.ID), "manifest.json"), b)
+	return s.be.WriteAtomic(path.Join(jobRel(m.ID), "manifest.json"), b)
 }
 
 // ReadManifest loads and validates one job's manifest.
@@ -115,7 +125,7 @@ func (s *Store) ReadManifest(id string) (*Manifest, error) {
 	if err := ValidateID(id); err != nil {
 		return nil, err
 	}
-	b, err := os.ReadFile(filepath.Join(s.jobDir(id), "manifest.json"))
+	b, err := s.be.ReadFile(path.Join(jobRel(id), "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -134,7 +144,7 @@ func (s *Store) WriteResult(id string, header []string, rows [][]string) error {
 	if err := ValidateID(id); err != nil {
 		return err
 	}
-	return writeCSVAtomic(filepath.Join(s.jobDir(id), "result.csv"), header, rows)
+	return s.writeCSV(path.Join(jobRel(id), "result.csv"), header, rows)
 }
 
 // ReadResult loads the job's release.
@@ -147,12 +157,11 @@ func (s *Store) readCSV(id, name string) (header []string, rows [][]string, err 
 	if err := ValidateID(id); err != nil {
 		return nil, nil, err
 	}
-	f, err := os.Open(filepath.Join(s.jobDir(id), name))
+	b, err := s.be.ReadFile(path.Join(jobRel(id), name))
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
-	defer f.Close()
-	header, rows, err = relation.ReadCSVRows(f)
+	header, rows, err = relation.ReadCSVRows(bytes.NewReader(b))
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: reading %s for job %s: %w", name, id, err)
 	}
@@ -165,7 +174,7 @@ func (s *Store) Delete(id string) error {
 	if err := ValidateID(id); err != nil {
 		return err
 	}
-	if err := os.RemoveAll(s.jobDir(id)); err != nil {
+	if err := s.be.RemoveAll(jobRel(id)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -177,18 +186,18 @@ func (s *Store) Delete(id string) error {
 // whose manifests do not decode are reported in skipped — the caller
 // decides whether to warn; one corrupt directory never hides the rest.
 func (s *Store) Jobs() (manifests []*Manifest, skipped []string, err error) {
-	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	entries, err := s.be.List("jobs")
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
 	for _, e := range entries {
-		if !e.IsDir() || ValidateID(e.Name()) != nil {
-			skipped = append(skipped, e.Name())
+		if !e.Dir || ValidateID(e.Name) != nil {
+			skipped = append(skipped, e.Name)
 			continue
 		}
-		m, err := s.ReadManifest(e.Name())
-		if err != nil || m.ID != e.Name() {
-			skipped = append(skipped, e.Name())
+		m, err := s.ReadManifest(e.Name)
+		if err != nil || m.ID != e.Name {
+			skipped = append(skipped, e.Name)
 			continue
 		}
 		manifests = append(manifests, m)
@@ -202,6 +211,27 @@ func (s *Store) Jobs() (manifests []*Manifest, skipped []string, err error) {
 	return manifests, skipped, nil
 }
 
+// FindIdempotent returns the oldest manifest carrying the given
+// idempotency key, or nil when no admitted job used it. The scan runs
+// over the same manifests recovery trusts, so the answer spans every
+// node writing to this store (shared directory) or everything the
+// replication loop has converged (replicated backend).
+func (s *Store) FindIdempotent(key string) (*Manifest, error) {
+	if err := ValidateIdempotencyKey(key); err != nil {
+		return nil, err
+	}
+	manifests, _, err := s.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range manifests {
+		if m.IdempotencyKey == key {
+			return m, nil
+		}
+	}
+	return nil, nil
+}
+
 // Checkpoint returns the job's block-checkpoint sink for the stream
 // pipeline. The header is spooled with every block so the files are
 // self-describing CSV.
@@ -209,11 +239,11 @@ func (s *Store) Checkpoint(id string, header []string) (*Checkpoint, error) {
 	if err := ValidateID(id); err != nil {
 		return nil, err
 	}
-	dir := filepath.Join(s.jobDir(id), "checkpoints")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	dir := path.Join(jobRel(id), "checkpoints")
+	if err := s.be.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Checkpoint{dir: dir, header: append([]string(nil), header...)}, nil
+	return &Checkpoint{be: s.be, dir: dir, header: append([]string(nil), header...)}, nil
 }
 
 // Checkpoint spools completed stream blocks for one job. It implements
@@ -223,6 +253,7 @@ func (s *Store) Checkpoint(id string, header []string) (*Checkpoint, error) {
 // as the commit marker: a crash between the two leaves a CSV without a
 // stat, which Load treats as "not checkpointed".
 type Checkpoint struct {
+	be     Backend
 	dir    string
 	header []string
 }
@@ -237,15 +268,19 @@ func blockBase(lo, hi int) string {
 
 // Save durably records one completed block: rows first, stat second.
 func (c *Checkpoint) Save(stat stream.BlockStat, rows [][]string) error {
-	base := filepath.Join(c.dir, blockBase(stat.Lo, stat.Hi))
-	if err := writeCSVAtomic(base+".csv", c.header, rows); err != nil {
+	base := path.Join(c.dir, blockBase(stat.Lo, stat.Hi))
+	var buf bytes.Buffer
+	if err := relation.WriteCSVRows(&buf, c.header, rows); err != nil {
+		return fmt.Errorf("store: encoding %s: %w", path.Base(base)+".csv", err)
+	}
+	if err := c.be.WriteAtomic(base+".csv", buf.Bytes()); err != nil {
 		return err
 	}
 	b, err := json.Marshal(&stat)
 	if err != nil {
 		return fmt.Errorf("store: encoding block stat: %w", err)
 	}
-	return writeFileAtomic(base+".stat.json", append(b, '\n'))
+	return c.be.WriteAtomic(base+".stat.json", append(b, '\n'))
 }
 
 // Load replays the block [lo, hi) if both of its spool files are
@@ -253,8 +288,8 @@ func (c *Checkpoint) Save(stat stream.BlockStat, rows [][]string) error {
 // foreign content — is ok=false: recomputing a block is always safe,
 // so the sink never turns a damaged checkpoint into a fatal error.
 func (c *Checkpoint) Load(lo, hi int) (rows [][]string, stat *stream.BlockStat, ok bool, err error) {
-	base := filepath.Join(c.dir, blockBase(lo, hi))
-	sb, err := os.ReadFile(base + ".stat.json")
+	base := path.Join(c.dir, blockBase(lo, hi))
+	sb, err := c.be.ReadFile(base + ".stat.json")
 	if err != nil {
 		return nil, nil, false, nil
 	}
@@ -262,7 +297,7 @@ func (c *Checkpoint) Load(lo, hi int) (rows [][]string, stat *stream.BlockStat, 
 	if json.Unmarshal(sb, &st) != nil || st.Lo != lo || st.Hi != hi {
 		return nil, nil, false, nil
 	}
-	rb, err := os.ReadFile(base + ".csv")
+	rb, err := c.be.ReadFile(base + ".csv")
 	if err != nil {
 		return nil, nil, false, nil
 	}
@@ -276,17 +311,16 @@ func (c *Checkpoint) Load(lo, hi int) (rows [][]string, stat *stream.BlockStat, 
 // Blocks lists the committed checkpoints (stats only), in row order —
 // observability and test surface, not used by the resume path.
 func (c *Checkpoint) Blocks() ([]stream.BlockStat, error) {
-	entries, err := os.ReadDir(c.dir)
+	entries, err := c.be.List(c.dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var stats []stream.BlockStat
 	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || filepath.Ext(name) != ".json" {
+		if e.Dir || path.Ext(e.Name) != ".json" {
 			continue
 		}
-		b, err := os.ReadFile(filepath.Join(c.dir, name))
+		b, err := c.be.ReadFile(path.Join(c.dir, e.Name))
 		if err != nil {
 			continue
 		}
@@ -300,40 +334,16 @@ func (c *Checkpoint) Blocks() ([]stream.BlockStat, error) {
 	return stats, nil
 }
 
-// writeCSVAtomic spools a header+rows table through the shared codec,
-// then commits it atomically.
-func writeCSVAtomic(path string, header []string, rows [][]string) error {
+// writeCSV spools a header+rows table through the shared codec, then
+// commits it atomically.
+func (s *Store) writeCSV(rel string, header []string, rows [][]string) error {
 	var buf bytes.Buffer
 	if err := relation.WriteCSVRows(&buf, header, rows); err != nil {
-		return fmt.Errorf("store: encoding %s: %w", filepath.Base(path), err)
+		return fmt.Errorf("store: encoding %s: %w", path.Base(rel), err)
 	}
-	return writeFileAtomic(path, buf.Bytes())
+	return s.be.WriteAtomic(rel, buf.Bytes())
 }
 
-// writeFileAtomic writes data to a same-directory temp file, fsyncs,
-// and renames it over path — the only write primitive in the store, so
-// every on-disk file is either absent or complete. The temp name is
-// unique per writer: in cluster mode two nodes may race to write the
-// same (deterministic, byte-identical) spool, and a shared temp name
-// would let their writes interleave into a torn file before the rename.
-func writeFileAtomic(path string, data []byte) error {
-	dir, base := filepath.Split(path)
-	f, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	tmp := f.Name()
-	_, werr := f.Write(data)
-	merr := f.Chmod(0o644)
-	serr := f.Sync()
-	cerr := f.Close()
-	if err := errors.Join(werr, merr, serr, cerr); err != nil {
-		_ = os.Remove(tmp)
-		return fmt.Errorf("store: writing %s: %w", base, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
-		return fmt.Errorf("store: %w", err)
-	}
-	return nil
-}
+// notExist reports whether err means "no such file", unwrapping the
+// store's error decoration.
+func notExist(err error) bool { return errors.Is(err, os.ErrNotExist) }

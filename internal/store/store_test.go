@@ -407,11 +407,15 @@ func TestCheckpointLoadRejectsDamage(t *testing.T) {
 
 func TestWriteFileAtomicReplaces(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, "f.json")
-	if err := writeFileAtomic(path, []byte("one")); err != nil {
+	be, err := NewLocal(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFileAtomic(path, []byte("two")); err != nil {
+	path := filepath.Join(dir, "f.json")
+	if err := be.WriteAtomic("f.json", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.WriteAtomic("f.json", []byte("two")); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)
@@ -423,7 +427,7 @@ func TestWriteFileAtomicReplaces(t *testing.T) {
 		t.Fatalf("directory has %d entries (%v)", len(entries), err)
 	}
 	// A missing parent directory fails cleanly, leaving nothing behind.
-	if err := writeFileAtomic(filepath.Join(dir, "no-such", "f"), []byte("x")); err == nil {
+	if err := be.WriteAtomic("no-such/f", []byte("x")); err == nil {
 		t.Error("write into missing directory succeeded")
 	}
 }
